@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table of the paper, one benchmark (family)
+// per artefact, plus micro-benchmarks of the audit hot paths. Virtual
+// (simulated) durations are reported as custom metrics — e.g.
+// `virtual_s/op` on the Table II benchmarks is the value the paper's table
+// reports — while ns/op measures the real compute cost of the simulation.
+//
+// Run with: go test -bench=. -benchmem
+package fakeproject_test
+
+import (
+	"sync"
+	"testing"
+
+	"fakeproject"
+	"fakeproject/internal/drand"
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/ratelimit"
+	"fakeproject/internal/sampling"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/stats"
+	"fakeproject/internal/twitterapi"
+)
+
+// benchSim is the shared simulation used by the table benchmarks; building
+// it (population generation + classifier training) is excluded from every
+// measurement via sync.Once.
+var (
+	benchSimOnce sync.Once
+	benchSim     *experiments.Simulation
+	benchSimErr  error
+)
+
+func sharedSim(b *testing.B) *experiments.Simulation {
+	b.Helper()
+	benchSimOnce.Do(func() {
+		benchSim, benchSimErr = experiments.NewSimulation(experiments.SimConfig{
+			Only: []string{
+				"RobDWaller", "davc", "giovanniallevi", "PC_Chiambretti", "BarackObama",
+			},
+			ScaleCap:     60000,
+			WithDeepDive: true,
+		})
+	})
+	if benchSimErr != nil {
+		b.Fatal(benchSimErr)
+	}
+	return benchSim
+}
+
+// BenchmarkTableI_RateLimitedPaging measures the Table I substrate: paging
+// a 60K-follower list through the rate-limited followers/ids endpoint
+// (12 pages per iteration).
+func BenchmarkTableI_RateLimitedPaging(b *testing.B) {
+	sim := sharedSim(b)
+	id, err := sim.Store.LookupName("PC_Chiambretti")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := twitterapi.NewDirectClient(sim.Service, sim.Clock, twitterapi.ClientConfig{Tokens: 1 << 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := twitterapi.AllFollowerIDs(client, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ids) == 0 {
+			b.Fatal("empty page")
+		}
+	}
+}
+
+// benchAuditTool measures one tool's fresh (uncached) audit of one target,
+// reporting the tool's virtual response time — the Table II quantity.
+func benchAuditTool(b *testing.B, tool, target string) {
+	sim := sharedSim(b)
+	auditor := sim.Auditor(tool)
+	var virtual float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auditor.Forget(target)
+		report, err := auditor.Audit(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += report.Elapsed.Seconds()
+	}
+	b.ReportMetric(virtual/float64(b.N), "virtual_s/op")
+}
+
+// BenchmarkTableII_* regenerate the response-time rows for a mid-class
+// account (giovanniallevi, 13.9K followers).
+func BenchmarkTableII_FC(b *testing.B) { benchAuditTool(b, experiments.ToolFC, "giovanniallevi") }
+func BenchmarkTableII_Twitteraudit(b *testing.B) {
+	benchAuditTool(b, experiments.ToolTA, "giovanniallevi")
+}
+func BenchmarkTableII_StatusPeople(b *testing.B) {
+	benchAuditTool(b, experiments.ToolSP, "giovanniallevi")
+}
+func BenchmarkTableII_Socialbakers(b *testing.B) {
+	benchAuditTool(b, experiments.ToolSB, "giovanniallevi")
+}
+
+// BenchmarkTableII_CachedRepeat measures the <5s repeat-request path,
+// using Twitteraudit's never-expiring cache (the "assessed 7 months ago"
+// behaviour) so that the accumulated virtual time of large b.N runs cannot
+// expire the entry mid-benchmark.
+func BenchmarkTableII_CachedRepeat(b *testing.B) {
+	sim := sharedSim(b)
+	auditor := sim.Auditor(experiments.ToolTA)
+	if _, err := auditor.Audit("davc"); err != nil {
+		b.Fatal(err)
+	}
+	var virtual float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := auditor.Audit("davc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Cached {
+			b.Fatal("expected cache hit")
+		}
+		virtual += report.Elapsed.Seconds()
+	}
+	b.ReportMetric(virtual/float64(b.N), "virtual_s/op")
+}
+
+// BenchmarkTableIII_* regenerate verdict rows on the paper's pathological
+// account (@PC_Chiambretti, 97% inactive).
+func BenchmarkTableIII_FC(b *testing.B) { benchAuditTool(b, experiments.ToolFC, "PC_Chiambretti") }
+func BenchmarkTableIII_Twitteraudit(b *testing.B) {
+	benchAuditTool(b, experiments.ToolTA, "PC_Chiambretti")
+}
+func BenchmarkTableIII_StatusPeople(b *testing.B) {
+	benchAuditTool(b, experiments.ToolSP, "PC_Chiambretti")
+}
+func BenchmarkTableIII_Socialbakers(b *testing.B) {
+	benchAuditTool(b, experiments.ToolSB, "PC_Chiambretti")
+}
+
+// BenchmarkFollowerOrder regenerates the Section IV-B snapshot experiment
+// (2 accounts × 3 days per iteration).
+func BenchmarkFollowerOrder(b *testing.B) {
+	sim := sharedSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFollowerOrder(2, 3, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Confirmed() {
+			b.Fatal("order thesis not confirmed")
+		}
+	}
+}
+
+// BenchmarkCrawlCost_Analytic measures the closed-form crawl model across
+// the high-class accounts (incl. Obama's 41M → ≈27 days).
+func BenchmarkCrawlCost_Analytic(b *testing.B) {
+	var days float64
+	for i := 0; i < b.N; i++ {
+		est := fakeproject.EstimateFullCrawl(41000000, 1)
+		days = est.Days()
+	}
+	b.ReportMetric(days, "obama_days")
+}
+
+// BenchmarkCrawlCost_Simulated runs a real rate-limited crawl of a 20K
+// account on the virtual clock per iteration.
+func BenchmarkCrawlCost_Simulated(b *testing.B) {
+	sim := sharedSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val, err := sim.ValidateCrawlModel(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if val.RelativeErr > 0.05 {
+			b.Fatalf("model error %.2f%%", val.RelativeErr*100)
+		}
+	}
+}
+
+// BenchmarkDeepDive regenerates the Section II-A Deep Dive comparison
+// (one Fakers + one Deep Dive audit of a mega account per iteration).
+func BenchmarkDeepDive(b *testing.B) {
+	sim := sharedSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.RunDeepDive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 3 {
+			b.Fatal("missing deep dive rows")
+		}
+	}
+}
+
+// BenchmarkAnecdote regenerates a scaled Section II-A bought-followers
+// anecdote (11K fresh accounts per iteration).
+func BenchmarkAnecdote(b *testing.B) {
+	sim := sharedSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The bought batch covers the launch-era window (5,000), so the
+		// Fakers verdict saturates while the truth stays at one third.
+		res, err := sim.RunAnecdote(10000, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FakersJunkPct < 90 {
+			b.Fatalf("anecdote lost its bite: %.1f%%", res.FakersJunkPct)
+		}
+	}
+}
+
+// BenchmarkGoldStandardTraining measures the Section III pipeline: gold
+// standard synthesis + forest training (400 accounts per class).
+func BenchmarkGoldStandardTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gold, err := fc.BuildGoldStandard(400, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(gold.Fakes) != 400 {
+			b.Fatal("bad gold standard")
+		}
+	}
+}
+
+// --- micro-benchmarks of the audit hot paths ---
+
+// BenchmarkUniformSample9604 draws the FC engine's 9,604-element sample
+// from a million-follower list.
+func BenchmarkUniformSample9604(b *testing.B) {
+	src := drand.New(1)
+	for i := 0; i < b.N; i++ {
+		idx := sampling.Uniform{}.Sample(1000000, 9604, src)
+		if len(idx) != 9604 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+// BenchmarkProfileLookupBatch materialises one users/lookup batch (100
+// procedural profiles).
+func BenchmarkProfileLookupBatch(b *testing.B) {
+	sim := sharedSim(b)
+	id, err := sim.Store.LookupName("davc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := sim.Store.FollowersNewestFirst(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := ids[:100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profiles := sim.Store.Profiles(batch)
+		if len(profiles) != 100 {
+			b.Fatal("bad batch")
+		}
+	}
+}
+
+// BenchmarkConfidenceInterval measures the estimator maths of Section II-D.
+func BenchmarkConfidenceInterval(b *testing.B) {
+	p, err := stats.EstimateProportion(2881, 9604)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		iv := p.ConfidenceInterval(0.95)
+		if iv.Width() <= 0 {
+			b.Fatal("degenerate interval")
+		}
+	}
+}
+
+// BenchmarkRateLimiterReserve measures the limiter on the hot path.
+func BenchmarkRateLimiterReserve(b *testing.B) {
+	clock := simclock.NewVirtualAtEpoch()
+	limiter := ratelimit.New(clock, twitterapi.DefaultLimits())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Sleep(limiter.Reserve(twitterapi.EndpointUsersLookup))
+	}
+}

@@ -1,0 +1,111 @@
+// Command fakecheck audits one target account of the paper testbed with one
+// or all of the four analytics engines, printing each tool's verdict,
+// sample geometry, response time and API spend:
+//
+//	fakecheck -target PC_Chiambretti            # all four tools
+//	fakecheck -target BarackObama -tool fc      # the FC engine only
+//	fakecheck -list                             # show available targets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fakecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target = flag.String("target", "", "screen name to audit (from the paper testbed)")
+		tool   = flag.String("tool", "all", "tool: all|fc|ta|sp|sb")
+		seed   = flag.Uint64("seed", 20140301, "simulation seed")
+		scale  = flag.Int("scale", 120000, "max materialised followers")
+		list   = flag.Bool("list", false, "list available targets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "screen name\tfollowers\tclass")
+		for _, a := range core.PaperTestbed() {
+			fmt.Fprintf(tw, "%s\t%d\t%s\n", a.ScreenName, a.Followers, a.Class)
+		}
+		return tw.Flush()
+	}
+	if *target == "" {
+		return fmt.Errorf("a -target is required (try -list)")
+	}
+
+	tools := map[string]string{
+		"fc": experiments.ToolFC,
+		"ta": experiments.ToolTA,
+		"sp": experiments.ToolSP,
+		"sb": experiments.ToolSB,
+	}
+	var selected []string
+	if *tool == "all" {
+		selected = experiments.ToolOrder
+	} else {
+		key, ok := tools[*tool]
+		if !ok {
+			return fmt.Errorf("unknown tool %q (want all|fc|ta|sp|sb)", *tool)
+		}
+		selected = []string{key}
+	}
+
+	fmt.Fprintf(os.Stderr, "building population for @%s...\n", *target)
+	sim, err := experiments.NewSimulation(experiments.SimConfig{
+		Seed:     *seed,
+		ScaleCap: *scale,
+		Only:     []string{*target},
+	})
+	if err != nil {
+		return err
+	}
+	if len(sim.Testbed()) == 0 {
+		return fmt.Errorf("unknown target %q (try -list)", *target)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tool\tinactive\tfake\tgenuine\tsample\twindow\ttime\tAPI calls")
+	for _, name := range selected {
+		rep, err := sim.Auditor(name).Audit(*target)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		window := "whole list"
+		if rep.Window > 0 {
+			window = fmt.Sprintf("newest %d", rep.Window)
+		}
+		inactive := fmt.Sprintf("%.1f%%", rep.InactivePct)
+		if !rep.HasInactiveClass {
+			inactive = "n/a"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%.1f%%\t%d\t%s\t%.0fs\t%d\n",
+			rep.Tool, inactive, rep.FakePct, rep.GenuinePct,
+			rep.SampleSize, window, rep.Elapsed.Seconds(), rep.APICalls)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	for _, a := range sim.Testbed() {
+		fmt.Printf("\npaper reports for @%s (%d followers): FC %.1f/%.1f/%.1f  TA -/%.1f/%.1f  SP %.0f/%.0f/%.0f  SB %.0f/%.0f/%.0f\n",
+			a.ScreenName, a.Followers,
+			a.FC.Inactive, a.FC.Fake, a.FC.Genuine,
+			a.TA.Fake, a.TA.Genuine,
+			a.SP.Inactive, a.SP.Fake, a.SP.Genuine,
+			a.SB.Inactive, a.SB.Fake, a.SB.Genuine)
+	}
+	return nil
+}

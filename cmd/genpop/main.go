@@ -1,0 +1,158 @@
+// Command genpop generates a synthetic follower population and prints its
+// statistics: overall class tallies, the positional class distribution by
+// decile (the quantity the window-limited tools implicitly sample), and a
+// few example profiles per archetype.
+//
+//	genpop -followers 50000 -inactive 40 -fake 15
+//	genpop -followers 80000 -paper PC_Chiambretti   # use a paper account's layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/population"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "genpop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		followers = flag.Int("followers", 20000, "population size")
+		inactive  = flag.Float64("inactive", 30, "inactive percentage")
+		fake      = flag.Float64("fake", 10, "fake percentage")
+		paper     = flag.String("paper", "", "derive the layout from this paper account instead")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "write a store snapshot to this file (loadable by twitterd -load)")
+	)
+	flag.Parse()
+
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, *seed)
+	gen := population.NewGenerator(store, *seed)
+
+	var layout population.Layout
+	n := *followers
+	if *paper != "" {
+		var acct *core.PaperAccount
+		for _, a := range core.PaperTestbed() {
+			if a.ScreenName == *paper {
+				a := a
+				acct = &a
+				break
+			}
+		}
+		if acct == nil {
+			return fmt.Errorf("unknown paper account %q", *paper)
+		}
+		if n > acct.Followers {
+			n = acct.Followers
+		}
+		layout = population.DeriveLayout(n, acct.FC.Mix(), acct.SB.Mix(), acct.SP.Mix())
+		fmt.Printf("layout derived from @%s (Table III)\n", acct.ScreenName)
+	} else {
+		genuine := 100 - *inactive - *fake
+		if genuine < 0 {
+			return fmt.Errorf("percentages exceed 100")
+		}
+		layout = population.Layout{{Width: 0, Mix: population.FromPercentages(*inactive, *fake, genuine)}}
+	}
+
+	target, err := gen.BuildTarget(population.TargetSpec{
+		ScreenName: "genpop_target",
+		Followers:  n,
+		Layout:     layout,
+	})
+	if err != nil {
+		return err
+	}
+	chrono, err := store.FollowersChronological(target)
+	if err != nil {
+		return err
+	}
+
+	total := store.ClassCounts(chrono)
+	fmt.Printf("\npopulation: %d followers\n", len(chrono))
+	fmt.Printf("ground truth: inactive %.1f%%  fake %.1f%%  genuine %.1f%%\n",
+		pct(total[twitter.ClassInactive], len(chrono)),
+		pct(total[twitter.ClassFake], len(chrono)),
+		pct(total[twitter.ClassGenuine], len(chrono)))
+
+	fmt.Println("\nclass distribution by position decile (1 = oldest, 10 = newest):")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "decile\tinactive\tfake\tgenuine")
+	for d := 0; d < 10; d++ {
+		lo := d * len(chrono) / 10
+		hi := (d + 1) * len(chrono) / 10
+		counts := store.ClassCounts(chrono[lo:hi])
+		size := hi - lo
+		fmt.Fprintf(tw, "%d\t%.1f%%\t%.1f%%\t%.1f%%\n", d+1,
+			pct(counts[twitter.ClassInactive], size),
+			pct(counts[twitter.ClassFake], size),
+			pct(counts[twitter.ClassGenuine], size))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating snapshot file: %w", err)
+		}
+		defer f.Close()
+		if err := store.WriteSnapshot(f); err != nil {
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsnapshot written to %s (%d bytes)\n", *out, info.Size())
+	}
+
+	fmt.Println("\nexample profiles:")
+	shown := map[twitter.Class]bool{}
+	for _, id := range chrono {
+		class, err := store.TrueClass(id)
+		if err != nil {
+			return err
+		}
+		if shown[class] {
+			continue
+		}
+		shown[class] = true
+		p, err := store.Profile(id)
+		if err != nil {
+			return err
+		}
+		last := "never"
+		if !p.LastTweetAt.IsZero() {
+			last = p.LastTweetAt.Format("2006-01-02")
+		}
+		fmt.Printf("  [%s] @%s: %d followers, %d friends, %d tweets (last %s), egg=%v, spam=%.0f%%\n",
+			class, p.ScreenName, p.FollowersCount, p.FriendsCount,
+			p.StatusesCount, last, p.DefaultProfileImage, 100*p.Behavior.SpamRatio)
+		if len(shown) == 3 {
+			break
+		}
+	}
+	return nil
+}
+
+func pct(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

@@ -1,0 +1,112 @@
+// Command twitterd serves the simulated Twitter API over HTTP on the real
+// clock, with the paper testbed (or a subset) as its population — a live
+// sandbox for exercising the rate-limited endpoints with curl or the
+// HTTPClient:
+//
+//	twitterd -addr :8080 -accounts davc,PC_Chiambretti
+//	curl -H 'Authorization: Bearer demo' \
+//	  'http://localhost:8080/1.1/followers/ids.json?screen_name=davc&cursor=-1'
+//
+// Rate limits follow Table I per bearer token; exhausted budgets return 429
+// with a Retry-After header, exactly like api.twitter.com/1.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/population"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "twitterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		accounts = flag.String("accounts", "davc,grossnasty,janrezab", "comma-separated paper accounts to build")
+		scale    = flag.Int("scale", 50000, "max materialised followers per account")
+		seed     = flag.Uint64("seed", 20140301, "population seed")
+		load     = flag.String("load", "", "serve a store snapshot (from genpop -out) instead of building accounts")
+	)
+	flag.Parse()
+
+	clock := simclock.Real{}
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return fmt.Errorf("opening snapshot: %w", err)
+		}
+		defer f.Close()
+		store, err := twitter.ReadSnapshot(f, clock)
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded snapshot with %d accounts\n", store.UserCount())
+		return serve(*addr, store, clock)
+	}
+
+	store := twitter.NewStore(clock, *seed)
+	gen := population.NewGenerator(store, *seed)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*accounts, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	built := 0
+	for _, acct := range core.PaperTestbed() {
+		if !want[acct.ScreenName] {
+			continue
+		}
+		n := acct.Followers
+		if n > *scale {
+			n = *scale
+		}
+		layout := population.DeriveLayout(n, acct.FC.Mix(), acct.SB.Mix(), acct.SP.Mix())
+		fmt.Fprintf(os.Stderr, "building @%s (%d followers)...\n", acct.ScreenName, n)
+		if _, err := gen.BuildTarget(population.TargetSpec{
+			ScreenName:       acct.ScreenName,
+			Followers:        n,
+			NominalFollowers: acct.Followers,
+			Layout:           layout,
+			Statuses:         1000,
+			CreatedAt:        time.Now().AddDate(-3, 0, 0),
+			LastTweet:        time.Now().Add(-24 * time.Hour),
+			FollowSpan:       2 * 365 * 24 * time.Hour,
+		}); err != nil {
+			return fmt.Errorf("building %s: %w", acct.ScreenName, err)
+		}
+		built++
+	}
+	if built == 0 {
+		return fmt.Errorf("no known accounts in %q (see the paper testbed)", *accounts)
+	}
+	fmt.Fprintf(os.Stderr, "built %d accounts\n", built)
+	return serve(*addr, store, clock)
+}
+
+func serve(addr string, store *twitter.Store, clock simclock.Clock) error {
+	server := twitterapi.NewServer(twitterapi.NewService(store), clock)
+	fmt.Fprintf(os.Stderr, "serving on http://%s/1.1/ (try followers/ids.json, users/lookup.json, users/show.json, statuses/user_timeline.json)\n",
+		addr)
+	httpServer := &http.Server{
+		Addr:         addr,
+		Handler:      server,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}

@@ -1,0 +1,86 @@
+// The auditcompare example builds a custom account with a known ground
+// truth, runs all four analytics on it, and scores every tool against the
+// truth — including the FC engine's confidence intervals. This is the
+// "downstream user" workflow: evaluating an analytics vendor before
+// trusting its numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fakeproject"
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/population"
+)
+
+func main() {
+	// A mid-sized account whose old base went dormant and who bought
+	// followers twice; ground truth: 52% inactive, 13% fake, 35% genuine
+	// overall, with the junk unevenly distributed along the timeline.
+	layout := population.Layout{
+		{Width: 3000, Mix: population.Mix{Inactive: 0.10, Fake: 0.45, Genuine: 0.45}}, // recent purchase
+		{Width: 20000, Mix: population.Mix{Inactive: 0.35, Fake: 0.10, Genuine: 0.55}},
+		{Width: 0, Mix: population.Mix{Inactive: 0.80, Fake: 0.05, Genuine: 0.15}}, // abandoned era
+	}
+	const followers = 60000
+	truth := layout.Truth(followers)
+
+	sim, err := fakeproject.NewSimulation(fakeproject.SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.Gen.BuildTarget(population.TargetSpec{
+		ScreenName: "custom_subject",
+		Followers:  followers,
+		Layout:     layout,
+		Statuses:   4000,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("custom account: %d followers, ground truth inactive %.1f%% fake %.1f%% genuine %.1f%%\n\n",
+		followers, 100*truth.Inactive, 100*truth.Fake, 100*truth.Genuine)
+
+	fmt.Printf("%-16s %9s %8s %9s %16s\n", "tool", "inactive", "fake", "genuine", "|err| vs truth")
+	for _, tool := range []string{
+		fakeproject.ToolFC, fakeproject.ToolTA, fakeproject.ToolSP, fakeproject.ToolSB,
+	} {
+		rep, err := sim.Auditor(tool).Audit("custom_subject")
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPts := absErr(rep, truth)
+		inactive := fmt.Sprintf("%8.1f%%", rep.InactivePct)
+		if !rep.HasInactiveClass {
+			inactive = "     n/a "
+		}
+		fmt.Printf("%-16s %s %7.1f%% %8.1f%% %13.1f pts\n",
+			rep.Tool, inactive, rep.FakePct, rep.GenuinePct, errPts)
+		if tool == experiments.ToolFC {
+			fmt.Printf("%-16s FC 95%% CIs: inactive [%.1f, %.1f]  fake [%.1f, %.1f]  genuine [%.1f, %.1f]\n", "",
+				100*rep.InactiveCI.Lo, 100*rep.InactiveCI.Hi,
+				100*rep.FakeCI.Lo, 100*rep.FakeCI.Hi,
+				100*rep.GenuineCI.Lo, 100*rep.GenuineCI.Hi)
+		}
+	}
+	fmt.Println("\n|err| is the mean absolute error across the three classes")
+	fmt.Println("(for twitteraudit, its fake bucket is compared with inactive+fake).")
+}
+
+func absErr(rep fakeproject.Report, truth population.Mix) float64 {
+	if !rep.HasInactiveClass {
+		junk := 100 * (truth.Inactive + truth.Fake)
+		return (abs(rep.FakePct-junk) + abs(rep.GenuinePct-100*truth.Genuine)) / 2
+	}
+	return (abs(rep.InactivePct-100*truth.Inactive) +
+		abs(rep.FakePct-100*truth.Fake) +
+		abs(rep.GenuinePct-100*truth.Genuine)) / 3
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+// The classifiertraining example reproduces the Section III methodology
+// study end to end: build a gold standard of a-priori-known accounts, score
+// the literature's single-rule classifiers against the spam-detection
+// feature sets, compare model families, and show the crawl-cost trade-off
+// behind the deployed "optimized" FC classifier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fakeproject"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/report"
+)
+
+func main() {
+	const perClass = 800
+	fmt.Printf("building a gold standard: %d genuine + %d fake accounts, a priori known...\n\n", perClass, perClass)
+	gold, err := fakeproject.BuildGoldStandard(perClass, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("1) single classification rules from the literature [13][14][15]:")
+	ruleResults, err := fc.EvaluateRuleSets(gold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.MethodResults(os.Stdout, ruleResults); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n2) feature sets from spam-detection research [8][9] and the FC sets:")
+	featResults, err := fc.EvaluateFeatureSets(gold, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.MethodResults(os.Stdout, featResults); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n3) model families on the deployed (lookup-cost) feature set:")
+	clsResults, err := fc.EvaluateClassifiers(gold, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.MethodResults(os.Stdout, clsResults); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfindings (mirroring Section III):")
+	fmt.Println("  - rule lists are evaded by fakes that dodge individual criteria;")
+	fmt.Println("  - spam-detection feature sets classify far better;")
+	fmt.Println("  - the lookup-only feature set keeps nearly all the accuracy at a")
+	fmt.Println("    hundredth of the crawl cost — that is the deployed FC classifier.")
+}

@@ -1,0 +1,55 @@
+// The samplingbias example demonstrates the paper's central mechanism in
+// isolation: an account with a large genuine base buys a batch of fake
+// followers, and because the Twitter API returns followers newest-first,
+// any tool that samples only the first pages sees almost nothing but the
+// purchased batch. It also prints the positional-bias diagnostics
+// (mean normalised rank, KS distance) for each sampling scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fakeproject"
+	"fakeproject/internal/drand"
+	"fakeproject/internal/sampling"
+)
+
+func main() {
+	const genuineBase = 100000
+	const bought = 10000
+
+	sim, err := fakeproject.NewSimulation(fakeproject.SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario (Section II-A): %d genuine followers, then %d bought\n", genuineBase, bought)
+	res, err := sim.RunAnecdote(genuineBase, bought)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  true junk share:        %5.1f%%\n", res.TruePct)
+	fmt.Printf("  Fakers (first pages):   %5.1f%%   <- \"could show a 100%% of fake\"\n", res.FakersJunkPct)
+	fmt.Printf("  FC (whole-list sample): %5.1f%%   <- \"the right percentage\"\n", res.FCJunkPct)
+
+	// Why: the positional geometry of each scheme.
+	fmt.Println("\nsampling-scheme diagnostics over the same 110,000-follower list")
+	fmt.Println("(rank 0 = newest; an unbiased scheme has mean rank 0.5 and KS ≈ 0):")
+	src := drand.New(42)
+	total := genuineBase + bought
+	schemes := []sampling.Strategy{
+		sampling.Uniform{},
+		sampling.NewestWindow{Window: 35000},
+		sampling.NewestWindow{Window: 5000},
+		sampling.FirstN{},
+	}
+	fmt.Printf("  %-14s %10s %8s %10s\n", "scheme", "mean rank", "KS", "coverage")
+	for _, s := range schemes {
+		idx := s.Sample(total, 1000, src)
+		b := sampling.Diagnose(idx, total)
+		fmt.Printf("  %-14s %10.3f %8.3f %10.3f\n", s.Name(), b.MeanNormRank, b.KS, b.Coverage)
+	}
+	fmt.Println("\nthe newest-window schemes never see more than a sliver of the list —")
+	fmt.Println("and after a purchase, that sliver is exactly the bought batch.")
+}

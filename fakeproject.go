@@ -1,0 +1,91 @@
+// Package fakeproject is the public facade of the reproduction of
+// "A Criticism to Society (as seen by Twitter analytics)" (Cresci, Di
+// Pietro, Petrocchi, Spognardi, Tesconi — ICDCS Workshops 2014).
+//
+// The library simulates the complete measurement environment of the paper:
+// a Twitter platform with chronologically ordered follow edges, the
+// rate-limited API v1.1 endpoints of Table I, synthetic follower
+// populations calibrated from the paper's own Table III, the three
+// commercial fake-follower analytics the paper surveys (StatusPeople
+// Fakers, Socialbakers Fake Follower Check, Twitteraudit) and the authors'
+// Fake Project classifier (FC) — plus runners that regenerate every table
+// and finding.
+//
+// Quick start:
+//
+//	sim, err := fakeproject.NewSimulation(fakeproject.SimConfig{
+//	    Only: []string{"PC_Chiambretti"},
+//	})
+//	if err != nil { ... }
+//	report, err := sim.Auditor(fakeproject.ToolFC).Audit("PC_Chiambretti")
+//
+// See the examples directory for runnable scenarios and cmd/experiments for
+// the full paper regeneration.
+package fakeproject
+
+import (
+	"fakeproject/internal/core"
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/population"
+	"fakeproject/internal/stats"
+)
+
+// Tool keys identifying the four analytics engines.
+const (
+	ToolFC = experiments.ToolFC
+	ToolTA = experiments.ToolTA
+	ToolSP = experiments.ToolSP
+	ToolSB = experiments.ToolSB
+)
+
+// Core audit types.
+type (
+	// Report is one tool's verdict on one target.
+	Report = core.Report
+	// Auditor is a fake-follower analytics engine.
+	Auditor = core.Auditor
+	// PaperAccount is one testbed account with the paper's published
+	// numbers.
+	PaperAccount = core.PaperAccount
+	// Simulation is a fully assembled reproduction environment.
+	Simulation = experiments.Simulation
+	// SimConfig configures NewSimulation.
+	SimConfig = experiments.SimConfig
+	// Mix is a ground-truth class distribution.
+	Mix = population.Mix
+	// Layout positions class mixes along the follower timeline.
+	Layout = population.Layout
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// GoldStandard is a labelled account reference set.
+	GoldStandard = fc.GoldStandard
+)
+
+// NewSimulation builds a reproduction environment: simulated platform,
+// calibrated populations, trained FC classifier and the four analytics.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	return experiments.NewSimulation(cfg)
+}
+
+// PaperTestbed returns the paper's 20-account testbed with every published
+// Table II and Table III value.
+func PaperTestbed() []PaperAccount { return core.PaperTestbed() }
+
+// SampleSize returns the sample size for a proportion estimate at the given
+// confidence level and margin; SampleSize(0.95, 0.01) is the FC engine's
+// 9,604.
+func SampleSize(level, margin float64) int { return stats.SampleSize(level, margin) }
+
+// EstimateFullCrawl computes the rate-limit-bound time to crawl a complete
+// follower base (IDs + every profile), the arithmetic behind the paper's
+// 27-day Obama crawl.
+func EstimateFullCrawl(followers, tokens int) experiments.CrawlEstimate {
+	return experiments.EstimateFullCrawl(followers, tokens)
+}
+
+// BuildGoldStandard synthesises a labelled gold standard with n accounts
+// per class, for training and evaluating detection methods.
+func BuildGoldStandard(n int, seed uint64) (*GoldStandard, error) {
+	return fc.BuildGoldStandard(n, seed)
+}

@@ -1,0 +1,79 @@
+package fakeproject_test
+
+import (
+	"math"
+	"testing"
+
+	"fakeproject"
+)
+
+func TestPublicFacadeSampleSize(t *testing.T) {
+	if n := fakeproject.SampleSize(0.95, 0.01); n != 9604 {
+		t.Fatalf("SampleSize = %d, want the paper's 9604", n)
+	}
+}
+
+func TestPublicFacadeCrawlEstimate(t *testing.T) {
+	est := fakeproject.EstimateFullCrawl(41000000, 1)
+	if d := est.Days(); math.Abs(d-29.4) > 1 {
+		t.Fatalf("Obama crawl = %.1f days, want ≈29 (paper: \"around 27 days\")", d)
+	}
+}
+
+func TestPublicFacadeTestbed(t *testing.T) {
+	testbed := fakeproject.PaperTestbed()
+	if len(testbed) != 20 {
+		t.Fatalf("testbed = %d accounts", len(testbed))
+	}
+}
+
+func TestPublicFacadeGoldStandard(t *testing.T) {
+	gold, err := fakeproject.BuildGoldStandard(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gold.Humans) != 50 || len(gold.Fakes) != 50 {
+		t.Fatalf("gold standard %d/%d", len(gold.Humans), len(gold.Fakes))
+	}
+}
+
+// TestPublicFacadeEndToEnd is the README quick-start, as a test.
+func TestPublicFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a population and trains a classifier")
+	}
+	sim, err := fakeproject.NewSimulation(fakeproject.SimConfig{
+		Only: []string{"davc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sim.Auditor(fakeproject.ToolFC).Audit("davc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Tool != fakeproject.ToolFC {
+		t.Fatalf("tool = %q", report.Tool)
+	}
+	if report.SampleSize != 2971 { // whole base for a small account
+		t.Fatalf("sample = %d", report.SampleSize)
+	}
+	sum := report.InactivePct + report.FakePct + report.GenuinePct
+	if math.Abs(sum-100) > 0.01 {
+		t.Fatalf("percentages sum to %v", sum)
+	}
+	if !report.InactiveCI.Contains(report.InactivePct / 100) {
+		t.Fatal("CI excludes its own point estimate")
+	}
+}
+
+func TestLayoutFacade(t *testing.T) {
+	l := fakeproject.Layout{
+		{Width: 100, Mix: fakeproject.Mix{Fake: 1}},
+		{Width: 0, Mix: fakeproject.Mix{Genuine: 1}},
+	}
+	truth := l.Truth(1000)
+	if math.Abs(truth.Fake-0.1) > 1e-9 {
+		t.Fatalf("layout truth = %+v", truth)
+	}
+}

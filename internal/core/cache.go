@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+// CachedAuditor wraps an Auditor with the result caching the paper observed
+// in the field (Section IV-C): repeated requests answer in seconds, some
+// tools pre-compute popular targets, and Twitteraudit serves reports
+// "assessed 7 months ago".
+type CachedAuditor struct {
+	inner Auditor
+	clock simclock.Clock
+	// ttl is how long a cached report stays served; zero means forever
+	// (Twitteraudit-style).
+	ttl time.Duration
+	// renderLatency is the time to serve a cached report (the "2 seconds"
+	// rows of Table II).
+	renderLatency time.Duration
+
+	mu    sync.Mutex
+	cache map[string]Report
+}
+
+var _ Auditor = (*CachedAuditor)(nil)
+
+// NewCachedAuditor wraps inner with a cache.
+func NewCachedAuditor(inner Auditor, clock simclock.Clock, ttl, renderLatency time.Duration) *CachedAuditor {
+	return &CachedAuditor{
+		inner:         inner,
+		clock:         clock,
+		ttl:           ttl,
+		renderLatency: renderLatency,
+		cache:         make(map[string]Report),
+	}
+}
+
+// Name implements Auditor.
+func (c *CachedAuditor) Name() string { return c.inner.Name() }
+
+// Audit implements Auditor: cached reports are served after only the render
+// latency; misses run the inner tool and populate the cache.
+func (c *CachedAuditor) Audit(screenName string) (Report, error) {
+	c.mu.Lock()
+	cached, ok := c.cache[screenName]
+	c.mu.Unlock()
+	now := c.clock.Now()
+	if ok && (c.ttl <= 0 || now.Sub(cached.AssessedAt) <= c.ttl) {
+		c.clock.Sleep(c.renderLatency)
+		cached.Cached = true
+		cached.Elapsed = c.renderLatency
+		cached.APICalls = 0
+		return cached, nil
+	}
+	report, err := c.inner.Audit(screenName)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: %w", c.inner.Name(), err)
+	}
+	c.mu.Lock()
+	c.cache[screenName] = report
+	c.mu.Unlock()
+	return report, nil
+}
+
+// Prewarm installs a ready result for screenName, as the tools do for
+// popular accounts ("it appears clear that some of the analytics have some
+// results already computed"). assessedAt backdates the analysis.
+func (c *CachedAuditor) Prewarm(screenName string, assessedAt time.Time) error {
+	report, err := c.inner.Audit(screenName)
+	if err != nil {
+		return fmt.Errorf("prewarming %s: %w", screenName, err)
+	}
+	report.AssessedAt = assessedAt
+	c.mu.Lock()
+	c.cache[screenName] = report
+	c.mu.Unlock()
+	return nil
+}
+
+// Forget drops the cache entry for screenName.
+func (c *CachedAuditor) Forget(screenName string) {
+	c.mu.Lock()
+	delete(c.cache, screenName)
+	c.mu.Unlock()
+}
+
+// Inner exposes the wrapped auditor (for tool-specific inspection).
+func (c *CachedAuditor) Inner() Auditor { return c.inner }

@@ -1,0 +1,186 @@
+package core
+
+import "fakeproject/internal/population"
+
+// MixPct is a Table III cell triple in percent. Twitteraudit rows have
+// Inactive < 0 (the tool has no inactive class).
+type MixPct struct {
+	Inactive, Fake, Genuine float64
+}
+
+// Mix converts the percentages to a population mix.
+func (m MixPct) Mix() population.Mix {
+	inactive := m.Inactive
+	if inactive < 0 {
+		inactive = 0
+	}
+	return population.FromPercentages(inactive, m.Fake, m.Genuine)
+}
+
+// AccountClass is the paper's size classification of targets (Section IV-A).
+type AccountClass string
+
+// The three size classes: "low (10K or less), average (>20K and <100K),
+// and high (>100K)".
+const (
+	ClassLow     AccountClass = "low"
+	ClassAverage AccountClass = "average"
+	ClassHigh    AccountClass = "high"
+)
+
+// ResponseTimes is one row of Table II, in seconds per tool.
+type ResponseTimes struct {
+	FC, TA, SP, SB float64
+}
+
+// PaperAccount is one account of the paper's testbed, carrying everything
+// the paper reports about it: the follower count, the Table III columns of
+// all four tools, and (for the 13 average-class accounts) the Table II
+// response times with the caching the authors detected.
+type PaperAccount struct {
+	ScreenName string
+	// Followers is the real-world follower count.
+	Followers int
+	Class     AccountClass
+
+	// Table III columns (percentages).
+	FC MixPct
+	TA MixPct // Inactive = -1: no inactive class
+	SP MixPct
+	SB MixPct
+
+	// TableII carries the response-time row for average-class accounts
+	// (nil for the low and high classes, which Table II does not cover).
+	TableII *ResponseTimes
+	// CachedBy lists the tools the paper caught serving pre-computed
+	// results for this account ("the reports of three accounts were
+	// displayed after 2 seconds only").
+	CachedBy []string
+}
+
+// rt is a ResponseTimes literal helper.
+func rt(fc, ta, sp, sb float64) *ResponseTimes {
+	return &ResponseTimes{FC: fc, TA: ta, SP: sp, SB: sb}
+}
+
+// PaperTestbed returns the paper's 20-account testbed with every number
+// Tables II and III report. This data is simultaneously (a) the calibration
+// input for the synthetic populations (via population.DeriveLayout) and
+// (b) the reference the measured outputs are compared against in
+// EXPERIMENTS.md.
+func PaperTestbed() []PaperAccount {
+	return []PaperAccount{
+		// Low class: the analytics developers' own accounts.
+		{ScreenName: "RobDWaller", Followers: 929, Class: ClassLow,
+			FC: MixPct{25, 1.4, 73.6}, TA: MixPct{-1, 7, 93},
+			SP: MixPct{28, 0, 72}, SB: MixPct{0, 0, 100}},
+		{ScreenName: "davc", Followers: 2971, Class: ClassLow,
+			FC: MixPct{13.5, 4.1, 82.4}, TA: MixPct{-1, 14, 86},
+			SP: MixPct{26, 3, 71}, SB: MixPct{0, 4, 96}},
+		{ScreenName: "grossnasty", Followers: 3344, Class: ClassLow,
+			FC: MixPct{12.9, 4, 83.1}, TA: MixPct{-1, 4, 96},
+			SP: MixPct{26, 3, 71}, SB: MixPct{0, 2, 98}},
+		{ScreenName: "janrezab", Followers: 10800, Class: ClassLow,
+			FC: MixPct{18.4, 2.2, 79.4}, TA: MixPct{-1, 11, 89},
+			SP: MixPct{27, 3, 70}, SB: MixPct{2, 2, 96}},
+
+		// Average class: thirteen individuals quite popular in Italy.
+		{ScreenName: "giovanniallevi", Followers: 13900, Class: ClassAverage,
+			FC: MixPct{44.3, 9.9, 45.8}, TA: MixPct{-1, 34, 66},
+			SP: MixPct{58, 18, 24}, SB: MixPct{5, 27, 68},
+			TableII: rt(187, 55, 27, 12)},
+		{ScreenName: "StefanoBollani", Followers: 22300, Class: ClassAverage,
+			FC: MixPct{27.8, 12.8, 59.4}, TA: MixPct{-1, 29, 71},
+			SP: MixPct{49, 11, 40}, SB: MixPct{12, 11, 77},
+			TableII: rt(188, 52, 22, 11)},
+		{ScreenName: "Federugby", Followers: 30300, Class: ClassAverage,
+			FC: MixPct{46.5, 15.5, 38}, TA: MixPct{-1, 42, 58},
+			SP: MixPct{51, 33, 16}, SB: MixPct{9, 33, 58},
+			TableII: rt(193, 40, 31, 13)},
+		{ScreenName: "Zerolandia", Followers: 33500, Class: ClassAverage,
+			FC: MixPct{69.2, 7.3, 23.5}, TA: MixPct{-1, 63, 37},
+			SP: MixPct{55, 35, 10}, SB: MixPct{24, 25, 51},
+			TableII: rt(193, 51, 32, 9)},
+		{ScreenName: "pinucciotwit", Followers: 35500, Class: ClassAverage,
+			FC: MixPct{30, 6.3, 63.7}, TA: MixPct{-1, 28, 72},
+			SP: MixPct{25, 13, 62}, SB: MixPct{7, 15, 78},
+			TableII: rt(192, 3, 2, 13), CachedBy: []string{"twitteraudit", "statuspeople"}},
+		{ScreenName: "mvbrambilla", Followers: 36900, Class: ClassAverage,
+			FC: MixPct{75.7, 6.5, 17.8}, TA: MixPct{-1, 47, 53},
+			SP: MixPct{42, 30, 28}, SB: MixPct{9, 34, 57},
+			TableII: rt(188, 45, 2, 8), CachedBy: []string{"statuspeople"}},
+		{ScreenName: "PChiambretti", Followers: 40500, Class: ClassAverage,
+			FC: MixPct{31.6, 21.7, 46.7}, TA: MixPct{-1, 36, 64},
+			SP: MixPct{56, 22, 22}, SB: MixPct{13, 19, 68},
+			TableII: rt(198, 45, 23, 9)},
+		{ScreenName: "pierofassino", Followers: 61500, Class: ClassAverage,
+			FC: MixPct{77.9, 4.6, 17.5}, TA: MixPct{-1, 46, 54},
+			SP: MixPct{39, 39, 22}, SB: MixPct{14, 31, 55},
+			TableII: rt(203, 52, 3, 10), CachedBy: []string{"statuspeople"}},
+		{ScreenName: "Lbarriales", Followers: 69900, Class: ClassAverage,
+			FC: MixPct{49.5, 20.6, 29.9}, TA: MixPct{-1, 48, 52},
+			SP: MixPct{57, 32, 11}, SB: MixPct{13, 21, 66},
+			TableII: rt(212, 50, 27, 9)},
+		{ScreenName: "PC_Chiambretti", Followers: 70900, Class: ClassAverage,
+			FC: MixPct{97, 1.2, 1.8}, TA: MixPct{-1, 55, 45},
+			SP: MixPct{48, 44, 8}, SB: MixPct{17, 35, 48},
+			TableII: rt(214, 43, 31, 9)},
+		{ScreenName: "herbertballeri", Followers: 72300, Class: ClassAverage,
+			FC: MixPct{46, 10.4, 43.6}, TA: MixPct{-1, 48, 52},
+			SP: MixPct{56, 22, 22}, SB: MixPct{14, 20, 66},
+			TableII: rt(217, 54, 24, 10)},
+		{ScreenName: "Flaviaventosole", Followers: 75400, Class: ClassAverage,
+			FC: MixPct{46.4, 12.8, 40.8}, TA: MixPct{-1, 39, 61},
+			SP: MixPct{46, 33, 21}, SB: MixPct{12, 29, 59},
+			TableII: rt(210, 49, 27, 9)},
+		{ScreenName: "RudyZerbi", Followers: 79700, Class: ClassAverage,
+			FC: MixPct{83.8, 5.9, 10.3}, TA: MixPct{-1, 35, 65},
+			SP: MixPct{44, 33, 23}, SB: MixPct{8, 26, 66},
+			TableII: rt(216, 49, 26, 10)},
+
+		// High class: three well-known politicians.
+		{ScreenName: "David_Cameron", Followers: 595000, Class: ClassHigh,
+			FC: MixPct{24, 11.7, 64.3}, TA: MixPct{-1, 19.5, 80.5},
+			SP: MixPct{17, 48, 35}, SB: MixPct{10, 14, 76}},
+		{ScreenName: "fhollande", Followers: 608000, Class: ClassHigh,
+			FC: MixPct{63.6, 5.3, 31.1}, TA: MixPct{-1, 64.3, 35.7},
+			SP: MixPct{35, 44, 21}, SB: MixPct{44, 14, 42}},
+		{ScreenName: "BarackObama", Followers: 41000000, Class: ClassHigh,
+			FC: MixPct{57.1, 8.5, 34.4}, TA: MixPct{-1, 51.2, 48.8},
+			SP: MixPct{40, 41, 19}, SB: MixPct{43, 12, 45}},
+	}
+}
+
+// DeepDiveCase is one account of the Section II-A Deep Dive anecdote: the
+// fake percentage reported by the public Fakers app versus the internal
+// Deep Dive re-assessment.
+type DeepDiveCase struct {
+	ScreenName string
+	Followers  int
+	// FakersPct and DeepDivePct are the published fake percentages.
+	FakersPct   float64
+	DeepDivePct float64
+}
+
+// DeepDiveCases returns the three accounts the StatusPeople blog re-scored:
+// "Barack Obama shifted from 70% fake to 45% fake, Lady Gaga from 71% to
+// 39%, Shakira from 79% to 49%".
+func DeepDiveCases() []DeepDiveCase {
+	return []DeepDiveCase{
+		{ScreenName: "BarackObama_dd", Followers: 41000000, FakersPct: 70, DeepDivePct: 45},
+		{ScreenName: "ladygaga_dd", Followers: 40500000, FakersPct: 71, DeepDivePct: 39},
+		{ScreenName: "shakira_dd", Followers: 23000000, FakersPct: 79, DeepDivePct: 49},
+	}
+}
+
+// AverageAccounts filters the testbed to the Table II rows, preserving the
+// paper's order.
+func AverageAccounts(testbed []PaperAccount) []PaperAccount {
+	var out []PaperAccount
+	for _, a := range testbed {
+		if a.Class == ClassAverage {
+			out = append(out, a)
+		}
+	}
+	return out
+}

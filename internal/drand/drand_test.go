@@ -1,0 +1,292 @@
+package drand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkIsStableAndIndependent(t *testing.T) {
+	root := New(7)
+	c1 := root.Fork("users")
+	// Consuming randomness from the parent must not change children.
+	for i := 0; i < 100; i++ {
+		root.Float64()
+	}
+	c2 := New(7).Fork("users")
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("fork stream not stable at draw %d", i)
+		}
+	}
+}
+
+func TestForkDifferentLabelsDiffer(t *testing.T) {
+	root := New(7)
+	a := root.Fork("alpha")
+	b := root.Fork("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct labels produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkNDistinctPerEntity(t *testing.T) {
+	root := New(99)
+	seen := make(map[uint64]bool)
+	for i := int64(0); i < 1000; i++ {
+		s := root.ForkN("user", i)
+		if seen[s.Seed()] {
+			t.Fatalf("duplicate child seed for entity %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if s.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !s.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %.4f, want ≈0.3", got)
+	}
+}
+
+func TestIntBetweenBoundsProperty(t *testing.T) {
+	s := New(11)
+	f := func(lo int8, span uint8) bool {
+		l, h := int(lo), int(lo)+int(span)
+		v := s.IntBetween(l, h)
+		return v >= l && v <= h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntBetweenPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on hi < lo")
+		}
+	}()
+	New(1).IntBetween(3, 2)
+}
+
+func TestNormClamped(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.NormClamped(0, 10, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("NormClamped out of bounds: %v", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(2, 1.5); v <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", v)
+		}
+	}
+}
+
+func TestParetoAtLeastXm(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		if v := s.Pareto(5, 1.2); v < 5 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(12)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(7)
+	}
+	mean := sum / n
+	if math.Abs(mean-7) > 0.2 {
+		t.Fatalf("Exp(7) sample mean = %.3f, want ≈7", mean)
+	}
+}
+
+func TestWeightedChoiceRespectsZeros(t *testing.T) {
+	s := New(6)
+	w := []float64{0, 3, 0, 1}
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.WeightedChoice(w)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("zero-weight index chosen: %v", counts)
+	}
+	ratio := float64(counts[1]) / float64(counts[3])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("weight ratio = %.2f, want ≈3", ratio)
+	}
+}
+
+func TestWeightedChoicePanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on zero total weight")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, 0})
+}
+
+func TestWeightedChoiceNegativeTreatedAsZero(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 1000; i++ {
+		if got := s.WeightedChoice([]float64{-5, 1}); got != 1 {
+			t.Fatalf("negative weight chosen, got index %d", got)
+		}
+	}
+}
+
+func TestSampleIntsProperties(t *testing.T) {
+	s := New(10)
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw) % (n + 1)
+		out := s.SampleInts(n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		prev := -1
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] || v <= prev {
+				return false
+			}
+			seen[v] = true
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIntsFullRange(t *testing.T) {
+	s := New(10)
+	out := s.SampleInts(10, 10)
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("SampleInts(10,10) = %v, want identity", out)
+		}
+	}
+}
+
+func TestSampleIntsUniformity(t *testing.T) {
+	// Each element of [0,20) should appear in a 5-element sample with
+	// probability 1/4.
+	s := New(21)
+	counts := make([]int, 20)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range s.SampleInts(20, 5) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.25) > 0.02 {
+			t.Fatalf("element %d inclusion freq %.3f, want ≈0.25", i, got)
+		}
+	}
+}
+
+func TestSampleIntsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for k > n")
+		}
+	}()
+	New(1).SampleInts(3, 4)
+}
+
+func TestScreenNameShape(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		name := s.ScreenName()
+		if len(name) < 6 || len(name) > 14 {
+			t.Fatalf("screen name length %d out of [6,14]: %q", len(name), name)
+		}
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("invalid character %q in screen name %q", c, name)
+			}
+		}
+		if name[0] >= '0' && name[0] <= '9' {
+			t.Fatalf("screen name starts with digit: %q", name)
+		}
+	}
+}
+
+func TestZipfInRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		if v := s.Zipf(1.5, 100); v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

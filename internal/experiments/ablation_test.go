@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestWindowSweepErrorShrinksWithWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 60K population")
+	}
+	sim, err := NewSimulation(SimConfig{Only: []string{"PC_Chiambretti"}, ScaleCap: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sim.RunWindowSweep("PC_Chiambretti", []int{2000, 5000, 35000, 0}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The whole-list point must be nearly exact.
+	last := points[len(points)-1]
+	if last.Window != 0 || last.AbsError() > 3 {
+		t.Fatalf("whole-list error = %.1f pts, want ≈0", last.AbsError())
+	}
+	// The smallest window must be the worst on this dormant-heavy account.
+	if points[0].AbsError() < 20 {
+		t.Fatalf("newest-2000 error = %.1f pts, want large", points[0].AbsError())
+	}
+	// Error must not increase as the window widens.
+	for i := 1; i < len(points); i++ {
+		if points[i].AbsError() > points[i-1].AbsError()+3 {
+			t.Fatalf("error grew with window: %+v", points)
+		}
+	}
+	// Truth is the same in every point.
+	for _, p := range points {
+		if p.TruthPct != points[0].TruthPct {
+			t.Fatal("truth changed between points")
+		}
+	}
+}
+
+func TestSamplingAblationBlamesTheWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier and audits four configurations")
+	}
+	sim, err := NewSimulation(SimConfig{Only: []string{"PC_Chiambretti"}, ScaleCap: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sim.RunSamplingAblation("PC_Chiambretti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	deployed := rows[0]
+	if deployed.Window != 0 {
+		t.Fatal("first row must be the deployed engine")
+	}
+	// Same classifier, whole-list sampling: near-zero error.
+	if deployed.AbsError() > 3 {
+		t.Fatalf("deployed FC error = %.1f pts", deployed.AbsError())
+	}
+	// Same classifier, tools' windows: error grows as the window shrinks
+	// (the junk on this account hides in the old base). The 35K window
+	// still covers most of this 60K population, so only the narrow
+	// windows show dramatic errors.
+	byWindow := map[int]AblationRow{}
+	for _, row := range rows {
+		byWindow[row.Window] = row
+		if row.Window > 0 && row.AbsError() < deployed.AbsError() {
+			t.Fatalf("%s error %.1f below the deployed engine's %.1f",
+				row.Label, row.AbsError(), deployed.AbsError())
+		}
+	}
+	if e := byWindow[2000].AbsError(); e < 25 {
+		t.Fatalf("Socialbakers-window error = %.1f pts, want > 25", e)
+	}
+	if e := byWindow[5000].AbsError(); e < 10 {
+		t.Fatalf("Twitteraudit-window error = %.1f pts, want > 10", e)
+	}
+	if byWindow[2000].AbsError() <= byWindow[35000].AbsError() {
+		t.Fatal("narrower window should err more")
+	}
+	// The whole-list crawl costs more API calls than any window.
+	for _, row := range rows[1:] {
+		if deployed.APICalls <= row.APICalls {
+			t.Fatalf("deployed calls %d should exceed %s calls %d",
+				deployed.APICalls, row.Label, row.APICalls)
+		}
+	}
+}
+
+func TestWindowSweepUnknownAccount(t *testing.T) {
+	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunWindowSweep("ghost", []int{100}, 10); err == nil {
+		t.Fatal("unknown account should fail")
+	}
+}

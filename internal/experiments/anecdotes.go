@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/population"
+	"fakeproject/internal/tools/statuspeople"
+)
+
+// AnecdoteResult is the outcome of the Section II-A bought-followers
+// thought experiment, run for real: "if an account with 100K genuine
+// followers buys 10K fake followers, the application could show a 100% of
+// fake, while the right percentage should be around 9%".
+type AnecdoteResult struct {
+	GenuineBase int
+	Bought      int
+	// TruePct is the real junk percentage (bought / total).
+	TruePct float64
+	// FakersJunkPct is what the Fakers app reports (fake + inactive, i.e.
+	// everything it does not consider a good active follower).
+	FakersJunkPct float64
+	// FCJunkPct is what the whole-list FC engine reports.
+	FCJunkPct float64
+}
+
+// RunAnecdote builds the anecdote's account — genuineBase organic followers
+// followed later by one purchased burst of bought fakes — and audits it
+// with both the Fakers app and the FC engine.
+func (s *Simulation) RunAnecdote(genuineBase, bought int) (AnecdoteResult, error) {
+	if genuineBase <= 0 || bought <= 0 {
+		return AnecdoteResult{}, fmt.Errorf("experiments: anecdote needs positive sizes")
+	}
+	name := s.nextProbeName("anecdote_buyer")
+	target, err := s.Gen.BuildTarget(population.TargetSpec{
+		ScreenName: name,
+		Followers:  genuineBase,
+		Layout:     population.Layout{{Width: 0, Mix: population.Mix{Genuine: 1}}},
+		Statuses:   5000,
+	})
+	if err != nil {
+		return AnecdoteResult{}, fmt.Errorf("building anecdote base: %w", err)
+	}
+	if err := s.Gen.BuyFollowers(target, bought); err != nil {
+		return AnecdoteResult{}, fmt.Errorf("buying followers: %w", err)
+	}
+
+	// The blog anecdote concerns the launch-era app, which assessed a
+	// sample from the first API pages only — a window smaller than the
+	// purchased batch, which is precisely why it "could show a 100% of
+	// fake" for a 9% problem.
+	fakers := statuspeople.New(s.NewToolClient(ToolSP), s.Clock,
+		statuspeople.Config{Window: 5000, Sample: 1000, Seed: s.cfg.Seed + 5})
+	spReport, err := fakers.Audit(name)
+	if err != nil {
+		return AnecdoteResult{}, fmt.Errorf("fakers audit: %w", err)
+	}
+	fcReport, err := s.fcEngine.Audit(name)
+	if err != nil {
+		return AnecdoteResult{}, fmt.Errorf("fc audit: %w", err)
+	}
+	total := float64(genuineBase + bought)
+	return AnecdoteResult{
+		GenuineBase:   genuineBase,
+		Bought:        bought,
+		TruePct:       100 * float64(bought) / total,
+		FakersJunkPct: spReport.FakePct + spReport.InactivePct,
+		FCJunkPct:     fcReport.FakePct + fcReport.InactivePct,
+	}, nil
+}
+
+// DeepDiveResult is one row of the Section II-A Deep Dive comparison.
+type DeepDiveResult struct {
+	Case core.DeepDiveCase
+	// MeasuredFakers and MeasuredDeepDive are the junk percentages
+	// (fake + inactive) of the two configurations.
+	MeasuredFakers   float64
+	MeasuredDeepDive float64
+}
+
+// Shift returns how many points the Deep Dive lowered the estimate.
+func (r DeepDiveResult) Shift() float64 { return r.MeasuredFakers - r.MeasuredDeepDive }
+
+// RunDeepDive reproduces the Fakers-vs-Deep-Dive comparison: the same three
+// mega accounts assessed by the public configuration (700 of the newest
+// 35K) and by the Deep Dive (33K of the first 1.25M). The simulation must
+// have been built WithDeepDive.
+func (s *Simulation) RunDeepDive() ([]DeepDiveResult, error) {
+	if !s.cfg.WithDeepDive {
+		return nil, fmt.Errorf("experiments: simulation built without WithDeepDive")
+	}
+	var out []DeepDiveResult
+	for _, c := range core.DeepDiveCases() {
+		public := statuspeople.New(s.NewToolClient(ToolSP), s.Clock, statuspeople.Config{
+			Window: 35000, Sample: 700, Seed: s.cfg.Seed + 6,
+		})
+		publicReport, err := public.Audit(c.ScreenName)
+		if err != nil {
+			return nil, fmt.Errorf("fakers on %s: %w", c.ScreenName, err)
+		}
+		deepCfg := statuspeople.DeepDive()
+		deepCfg.Seed = s.cfg.Seed + 7
+		deep := statuspeople.New(s.NewToolClient(ToolSP), s.Clock, deepCfg)
+		deepReport, err := deep.Audit(c.ScreenName)
+		if err != nil {
+			return nil, fmt.Errorf("deep dive on %s: %w", c.ScreenName, err)
+		}
+		out = append(out, DeepDiveResult{
+			Case:             c,
+			MeasuredFakers:   publicReport.FakePct + publicReport.InactivePct,
+			MeasuredDeepDive: deepReport.FakePct + deepReport.InactivePct,
+		})
+	}
+	return out, nil
+}

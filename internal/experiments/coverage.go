@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fakeproject/internal/fc"
+	"fakeproject/internal/population"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// CoverageResult is the outcome of the statistical-soundness check behind
+// the FC engine's "confidence level of 95%, with a confidence interval of
+// 1%" claim (Section IV-C): many independent audits of the same population,
+// scored on whether each 95% interval contains the ground truth.
+type CoverageResult struct {
+	// Trials is the number of independent audits.
+	Trials int
+	// Covered counts trials whose inactive-share interval contained the
+	// true inactive share.
+	Covered int
+	// TruthInactive is the population's ground-truth inactive share.
+	TruthInactive float64
+	// MaxAbsError is the largest |estimate - truth| observed, in
+	// percentage points (should stay near the ±1 margin).
+	MaxAbsError float64
+}
+
+// Rate returns the empirical coverage (target: ≈0.95).
+func (r CoverageResult) Rate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Trials)
+}
+
+// RunCoverage builds one population and audits it `trials` times with
+// independently seeded FC engines (same classifier, fresh sample draws),
+// then reports how often the 95% interval covered the truth. The classifier
+// is near-perfect on archetypes, so coverage failures would indicate a
+// broken estimator or sampler — this is the reproduction's self-test of the
+// paper's soundness argument.
+func (s *Simulation) RunCoverage(followers, trials int) (CoverageResult, error) {
+	if followers < 12000 || trials <= 0 {
+		return CoverageResult{}, fmt.Errorf("experiments: coverage needs followers >= 12000 (so 9,604 is a real sample) and trials > 0")
+	}
+	name := s.nextProbeName("coverage_probe")
+	target, err := s.Gen.BuildTarget(population.TargetSpec{
+		ScreenName: name,
+		Followers:  followers,
+		Layout: population.Layout{{Width: 0, Mix: population.Mix{
+			Inactive: 0.42, Fake: 0.13, Genuine: 0.45,
+		}}},
+	})
+	if err != nil {
+		return CoverageResult{}, fmt.Errorf("building coverage probe: %w", err)
+	}
+
+	// Ground truth from the store (evaluation-only access).
+	chrono, err := s.Store.FollowersChronological(target)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	counts := s.Store.ClassCounts(chrono)
+	truth := float64(counts[twitter.ClassInactive]) / float64(len(chrono))
+
+	model, set, err := fc.TrainDefault(s.cfg.Seed + 20)
+	if err != nil {
+		return CoverageResult{}, fmt.Errorf("training coverage classifier: %w", err)
+	}
+
+	result := CoverageResult{Trials: trials, TruthInactive: 100 * truth}
+	for trial := 0; trial < trials; trial++ {
+		client := twitterapi.NewDirectClient(s.Service, s.Clock, twitterapi.ClientConfig{Tokens: 1 << 16})
+		engine := fc.NewEngine(client, s.Clock, model, set, fc.EngineConfig{
+			Seed: s.cfg.Seed + 100 + uint64(trial),
+		})
+		report, err := engine.Audit(name)
+		if err != nil {
+			return CoverageResult{}, fmt.Errorf("coverage trial %d: %w", trial, err)
+		}
+		if report.InactiveCI.Contains(truth) {
+			result.Covered++
+		}
+		if e := abs(report.InactivePct - 100*truth); e > result.MaxAbsError {
+			result.MaxAbsError = e
+		}
+	}
+	return result, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

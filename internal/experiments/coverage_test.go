@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestCoverageNearNominal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 40 FC audits")
+	}
+	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunCoverage(30000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classifier is near-perfect on archetypes, so classification
+	// error consumes a little of the CI budget: empirical coverage should
+	// still sit near (or above, thanks to the conservative p=0.5 sizing)
+	// the nominal 95%.
+	if rate := res.Rate(); rate < 0.85 {
+		t.Fatalf("CI coverage = %.2f over %d trials, want >= 0.85", rate, res.Trials)
+	}
+	// The ±1% design margin should hold approximately even at the max.
+	if res.MaxAbsError > 2.5 {
+		t.Fatalf("max |error| = %.2f points, want within ≈ the 1%% margin", res.MaxAbsError)
+	}
+}
+
+func TestCoverageValidation(t *testing.T) {
+	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunCoverage(500, 3); err == nil {
+		t.Fatal("tiny population should be rejected")
+	}
+	if _, err := sim.RunCoverage(20000, 0); err == nil {
+		t.Fatal("zero trials should be rejected")
+	}
+}

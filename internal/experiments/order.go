@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fakeproject/internal/population"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// OrderResult is the outcome of the Section IV-B follower-order experiment:
+// daily snapshots of full follower lists, compared day over day.
+type OrderResult struct {
+	// Accounts is how many targets were monitored.
+	Accounts int
+	// Days is the number of daily snapshots per target.
+	Days int
+	// NewFollowers is the total number of arrivals observed.
+	NewFollowers int
+	// AppendViolations counts new arrivals that did NOT appear at the end
+	// of the chronological list (equivalently: not at the head of the
+	// API's newest-first output).
+	AppendViolations int
+	// PrefixViolations counts days where yesterday's list was not a
+	// suffix of today's chronological list.
+	PrefixViolations int
+}
+
+// Confirmed reports whether the experiment confirms the paper's thesis:
+// "all the new entries in all the lists of followers were always added at
+// the end".
+func (r OrderResult) Confirmed() bool {
+	return r.NewFollowers > 0 && r.AppendViolations == 0 && r.PrefixViolations == 0
+}
+
+// RunFollowerOrder monitors `accounts` fresh targets over `days` daily
+// snapshots with `perDay` organic arrivals per target per day, fetching the
+// complete follower list through the API each day (as the authors did for
+// their average-class testbed) and verifying where new entries appear.
+func (s *Simulation) RunFollowerOrder(accounts, days, perDay int) (OrderResult, error) {
+	if accounts <= 0 || days <= 1 || perDay <= 0 {
+		return OrderResult{}, fmt.Errorf("experiments: follower-order needs accounts>0, days>1, perDay>0")
+	}
+	client := twitterapi.NewDirectClient(s.Service, s.Clock, twitterapi.ClientConfig{Tokens: 64})
+
+	targets := make([]twitter.UserID, 0, accounts)
+	for i := 0; i < accounts; i++ {
+		id, err := s.Gen.BuildTarget(population.TargetSpec{
+			ScreenName: s.nextProbeName("order_probe"),
+			Followers:  500 + 250*i,
+			Layout: population.Layout{{Width: 0, Mix: population.Mix{
+				Inactive: 0.3, Fake: 0.1, Genuine: 0.6,
+			}}},
+		})
+		if err != nil {
+			return OrderResult{}, fmt.Errorf("building probe %d: %w", i, err)
+		}
+		targets = append(targets, id)
+	}
+
+	result := OrderResult{Accounts: accounts, Days: days}
+	prev := make(map[twitter.UserID][]twitter.UserID, accounts)
+	for day := 0; day < days; day++ {
+		for _, target := range targets {
+			// The API returns newest first; store chronologically for the
+			// suffix comparison ("we saved the whole list of followers,
+			// together with their position in the list, once per day").
+			newestFirst, err := twitterapi.AllFollowerIDs(client, target)
+			if err != nil {
+				return OrderResult{}, fmt.Errorf("snapshot day %d: %w", day, err)
+			}
+			chrono := reverse(newestFirst)
+			if yesterday, ok := prev[target]; ok {
+				arrived := len(chrono) - len(yesterday)
+				result.NewFollowers += arrived
+				// Yesterday's list must be an exact prefix of today's.
+				for i, id := range yesterday {
+					if chrono[i] != id {
+						result.PrefixViolations++
+						break
+					}
+				}
+				// Every new entry must sit at the end of the list.
+				known := make(map[twitter.UserID]struct{}, len(yesterday))
+				for _, id := range yesterday {
+					known[id] = struct{}{}
+				}
+				for i := 0; i < len(yesterday); i++ {
+					if _, existed := known[chrono[i]]; !existed {
+						result.AppendViolations++
+					}
+				}
+			}
+			prev[target] = chrono
+		}
+		if day < days-1 {
+			s.Clock.Advance(24 * time.Hour)
+			for _, target := range targets {
+				if err := s.Gen.GrowFollowers(target, perDay, population.Mix{
+					Inactive: 0.05, Fake: 0.1, Genuine: 0.85,
+				}); err != nil {
+					return OrderResult{}, fmt.Errorf("growing probes: %w", err)
+				}
+			}
+		}
+	}
+	return result, nil
+}
+
+func reverse(ids []twitter.UserID) []twitter.UserID {
+	out := make([]twitter.UserID, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = id
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package experiments assembles the full reproduction: a simulated Twitter
+// platform populated with the paper's 20-account testbed, the four
+// analytics engines with their field-observed latency and caching
+// behaviour, and one runner per experiment (Tables I-III, the follower-order
+// verification, the crawl-cost estimate and the Section II-A anecdotes).
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/population"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/tools/socialbakers"
+	"fakeproject/internal/tools/statuspeople"
+	"fakeproject/internal/tools/twitteraudit"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// Tool name keys used across runners and reports.
+const (
+	ToolFC = "fakeproject-fc"
+	ToolTA = "twitteraudit"
+	ToolSP = "statuspeople"
+	ToolSB = "socialbakers"
+)
+
+// ToolOrder is the column order the paper uses.
+var ToolOrder = []string{ToolFC, ToolTA, ToolSP, ToolSB}
+
+// SimConfig configures a simulation build.
+type SimConfig struct {
+	// Seed determines the whole simulation.
+	Seed uint64
+	// ScaleCap bounds the materialised follower count per account; larger
+	// real-world bases are body-scaled (default 120,000; see DESIGN.md).
+	ScaleCap int
+	// Only, when non-empty, restricts the testbed to these screen names
+	// (used by tests and focused benchmarks).
+	Only []string
+	// WithDeepDive additionally builds the three Section II-A mega
+	// accounts for the Deep Dive experiment.
+	WithDeepDive bool
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Seed == 0 {
+		c.Seed = 20140301
+	}
+	if c.ScaleCap <= 0 {
+		c.ScaleCap = 120000
+	}
+	return c
+}
+
+// Simulation is a fully assembled reproduction environment.
+type Simulation struct {
+	Clock   *simclock.Virtual
+	Store   *twitter.Store
+	Service *twitterapi.Service
+	Gen     *population.Generator
+
+	cfg     SimConfig
+	testbed []core.PaperAccount
+	// probeSeq numbers throwaway targets (crawl probes, anecdote buyers)
+	// so experiments can be re-run on one simulation.
+	probeSeq atomic.Int64
+
+	// The four analytics, cache-wrapped as deployed.
+	fcEngine *fc.Engine
+	auditors map[string]*core.CachedAuditor
+
+	// taInner/spInner retained for chart access and Deep Dive runs.
+	taInner *twitteraudit.Audit
+	spInner *statuspeople.Fakers
+}
+
+// Latency models per tool, calibrated once against Table II's shape (see
+// DESIGN.md §5 "Response-time model"): a tool's first-request time is its
+// API call count times its backend's per-call cost. Commercial tools run
+// large token pools (their windows never bind on mid-sized accounts); the
+// research prototype FC runs two tokens.
+var clientConfigs = map[string]twitterapi.ClientConfig{
+	ToolFC: {PerCallLatency: 1850 * time.Millisecond, LatencyJitter: 0.05, Tokens: 2, Seed: 11},
+	ToolTA: {PerCallLatency: 900 * time.Millisecond, LatencyJitter: 0.12, Tokens: 50, Seed: 22},
+	ToolSP: {PerCallLatency: 1700 * time.Millisecond, LatencyJitter: 0.15, Tokens: 50, Seed: 33},
+	ToolSB: {PerCallLatency: 430 * time.Millisecond, LatencyJitter: 0.15, Tokens: 50, Seed: 44},
+}
+
+// cacheConfigs model each tool's observed caching behaviour (Section IV-C).
+var cacheConfigs = map[string]struct {
+	ttl    time.Duration
+	render time.Duration
+}{
+	ToolFC: {ttl: 24 * time.Hour, render: 2 * time.Second},
+	// Twitteraudit reports "evaluated 7 months ago": effectively no expiry.
+	ToolTA: {ttl: 0, render: 3 * time.Second},
+	ToolSP: {ttl: 30 * 24 * time.Hour, render: 2 * time.Second},
+	ToolSB: {ttl: 24 * time.Hour, render: 2500 * time.Millisecond},
+}
+
+// NewSimulation builds the environment: platform, testbed populations,
+// trained FC classifier and the four analytics.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, cfg.Seed)
+	service := twitterapi.NewService(store)
+	gen := population.NewGenerator(store, cfg.Seed)
+
+	sim := &Simulation{
+		Clock:    clock,
+		Store:    store,
+		Service:  service,
+		Gen:      gen,
+		cfg:      cfg,
+		auditors: make(map[string]*core.CachedAuditor, 4),
+	}
+
+	only := make(map[string]bool, len(cfg.Only))
+	for _, name := range cfg.Only {
+		only[name] = true
+	}
+	nominal := make(map[string]int)
+	for _, acct := range core.PaperTestbed() {
+		if len(only) > 0 && !only[acct.ScreenName] {
+			continue
+		}
+		sim.testbed = append(sim.testbed, acct)
+		n := acct.Followers
+		if n > cfg.ScaleCap {
+			n = cfg.ScaleCap
+		}
+		layout := population.DeriveLayout(n, acct.FC.Mix(), acct.SB.Mix(), acct.SP.Mix())
+		if _, err := gen.BuildTarget(population.TargetSpec{
+			ScreenName:       acct.ScreenName,
+			Followers:        n,
+			NominalFollowers: acct.Followers,
+			Layout:           layout,
+			Statuses:         2500,
+		}); err != nil {
+			return nil, fmt.Errorf("building testbed account %s: %w", acct.ScreenName, err)
+		}
+		nominal[acct.ScreenName] = acct.Followers
+	}
+
+	if cfg.WithDeepDive {
+		if err := sim.buildDeepDiveTargets(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Train the FC classifier on its own gold standard (separate store).
+	model, set, err := fc.TrainDefault(cfg.Seed + 1)
+	if err != nil {
+		return nil, fmt.Errorf("training FC classifier: %w", err)
+	}
+	fcClient := twitterapi.NewDirectClient(service, clock, clientConfigs[ToolFC])
+	sim.fcEngine = fc.NewEngine(fcClient, clock, model, set, fc.EngineConfig{
+		Seed:             cfg.Seed + 2,
+		NominalFollowers: nominal,
+	})
+
+	taClient := twitterapi.NewDirectClient(service, clock, clientConfigs[ToolTA])
+	sim.taInner = twitteraudit.New(taClient, clock, cfg.Seed+3)
+	spClient := twitterapi.NewDirectClient(service, clock, clientConfigs[ToolSP])
+	sim.spInner = statuspeople.New(spClient, clock, statuspeople.Config{Seed: cfg.Seed + 4})
+	sbClient := twitterapi.NewDirectClient(service, clock, clientConfigs[ToolSB])
+	sbInner := socialbakers.New(sbClient, clock)
+
+	wrap := func(name string, inner core.Auditor) {
+		cc := cacheConfigs[name]
+		sim.auditors[name] = core.NewCachedAuditor(inner, clock, cc.ttl, cc.render)
+	}
+	wrap(ToolFC, sim.fcEngine)
+	wrap(ToolTA, sim.taInner)
+	wrap(ToolSP, sim.spInner)
+	wrap(ToolSB, sbInner)
+	return sim, nil
+}
+
+// Auditor returns the cache-wrapped analytics engine by tool key.
+func (s *Simulation) Auditor(name string) *core.CachedAuditor { return s.auditors[name] }
+
+// FCEngine returns the unwrapped FC engine.
+func (s *Simulation) FCEngine() *fc.Engine { return s.fcEngine }
+
+// Testbed returns the built subset of the paper testbed.
+func (s *Simulation) Testbed() []core.PaperAccount { return s.testbed }
+
+// nextProbeName mints a unique screen name for a throwaway target.
+func (s *Simulation) nextProbeName(prefix string) string {
+	return fmt.Sprintf("%s_%d", prefix, s.probeSeq.Add(1))
+}
+
+// NewToolClient creates an extra API client with the named tool's latency
+// profile (used by one-off experiment engines such as Deep Dive).
+func (s *Simulation) NewToolClient(tool string) *twitterapi.DirectClient {
+	return twitterapi.NewDirectClient(s.Service, s.Clock, clientConfigs[tool])
+}
+
+// buildDeepDiveTargets materialises the three Section II-A mega accounts.
+// Their layouts place the junk the Fakers app saw inside the newest-35K
+// window and the cleaner base the Deep Dive saw beyond it.
+func (s *Simulation) buildDeepDiveTargets() error {
+	for _, c := range core.DeepDiveCases() {
+		n := c.Followers
+		if n > s.cfg.ScaleCap {
+			n = s.cfg.ScaleCap
+		}
+		window := junkMixFor(c.FakersPct / 100)
+		body := bodyMixFor(c.DeepDivePct/100, c.FakersPct/100, n)
+		if _, err := s.Gen.BuildTarget(population.TargetSpec{
+			ScreenName:       c.ScreenName,
+			Followers:        n,
+			NominalFollowers: c.Followers,
+			Layout: population.Layout{
+				{Width: 35000, Mix: window},
+				{Width: 0, Mix: body},
+			},
+			Statuses: 10000,
+		}); err != nil {
+			return fmt.Errorf("building deep-dive account %s: %w", c.ScreenName, err)
+		}
+	}
+	return nil
+}
+
+// junkMixFor builds a ground-truth mix whose StatusPeople verdict is
+// approximately the given fake fraction: Fakers counts active spam bots and
+// dormant eggs (≈30% of the inactive archetype) as fake.
+func junkMixFor(spFake float64) population.Mix {
+	const inactive = 0.15
+	const eggShare = 0.3
+	fake := spFake - eggShare*inactive
+	if fake < 0 {
+		fake = 0
+	}
+	genuine := 1 - fake - inactive
+	if genuine < 0 {
+		genuine = 0
+	}
+	return population.Mix{Inactive: inactive, Fake: fake, Genuine: genuine}.Normalised()
+}
+
+// bodyMixFor solves the older-band mix so that the Deep Dive window
+// (everything, at the scaled size) averages to the published Deep Dive fake
+// percentage.
+func bodyMixFor(ddFake, fakersFake float64, n int) population.Mix {
+	rem := float64(n - 35000)
+	if rem <= 0 {
+		return junkMixFor(ddFake)
+	}
+	bodyFake := (ddFake*float64(n) - fakersFake*35000) / rem
+	return junkMixFor(bodyFake)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fakeproject/internal/core"
+)
+
+// TableIIRow is one measured row of Table II: response time to the first
+// analysis request per tool, plus the repeat-request time the paper reports
+// in prose ("for the subsequent requests ... all the tools output the
+// results in less than 5 seconds").
+type TableIIRow struct {
+	ScreenName string
+	Followers  int
+	// FirstSeconds is the first-request response time per tool key.
+	FirstSeconds map[string]float64
+	// RepeatSeconds is the immediately-repeated request time per tool key.
+	RepeatSeconds map[string]float64
+	// CachedTools lists tools that served the first request from cache.
+	CachedTools []string
+	// Paper is the published row for side-by-side comparison (nil if the
+	// account is not in Table II).
+	Paper *core.ResponseTimes
+}
+
+// RunTableII reproduces the response-time experiment of Section IV-C over
+// the average-class accounts: prewarm the caches the paper caught, then
+// issue a first and a repeat request per (account, tool).
+//
+// Measurements are spaced 30 virtual minutes apart, as the original
+// measurements were taken as separate interactive sessions; this also lets
+// each tool's rate-limit window roll between accounts, matching the field
+// conditions the commercial tools operate under.
+func (s *Simulation) RunTableII() ([]TableIIRow, error) {
+	if err := s.prewarmCaches(); err != nil {
+		return nil, err
+	}
+	var rows []TableIIRow
+	for _, acct := range core.AverageAccounts(s.testbed) {
+		row := TableIIRow{
+			ScreenName:    acct.ScreenName,
+			Followers:     acct.Followers,
+			FirstSeconds:  make(map[string]float64, 4),
+			RepeatSeconds: make(map[string]float64, 4),
+			Paper:         acct.TableII,
+		}
+		for _, tool := range ToolOrder {
+			auditor := s.auditors[tool]
+			first, err := auditor.Audit(acct.ScreenName)
+			if err != nil {
+				return nil, fmt.Errorf("table II, %s on %s: %w", tool, acct.ScreenName, err)
+			}
+			row.FirstSeconds[tool] = first.Elapsed.Seconds()
+			if first.Cached {
+				row.CachedTools = append(row.CachedTools, tool)
+			}
+			repeat, err := auditor.Audit(acct.ScreenName)
+			if err != nil {
+				return nil, fmt.Errorf("table II repeat, %s on %s: %w", tool, acct.ScreenName, err)
+			}
+			row.RepeatSeconds[tool] = repeat.Elapsed.Seconds()
+			if !repeat.Cached {
+				return nil, fmt.Errorf("table II: repeat request of %s on %s was not cached", tool, acct.ScreenName)
+			}
+			// Separate interactive sessions: let windows roll.
+			s.Clock.Advance(30 * time.Minute)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// prewarmCaches resets every tool cache to the paper's field conditions:
+// all entries flushed (Table II measures *first* requests), then the
+// pre-computed results the paper detected are installed — Twitteraudit had
+// assessed @pinucciotwit "7 months ago"; StatusPeople displayed
+// @pinucciotwit, @mvbrambilla and @pierofassino "after 2 seconds only".
+func (s *Simulation) prewarmCaches() error {
+	for _, acct := range s.testbed {
+		for _, auditor := range s.auditors {
+			auditor.Forget(acct.ScreenName)
+		}
+	}
+	sevenMonthsAgo := s.Clock.Now().AddDate(0, -7, 0)
+	monthAgo := s.Clock.Now().AddDate(0, -1, 0)
+	for _, acct := range s.testbed {
+		for _, tool := range acct.CachedBy {
+			auditor, ok := s.auditors[tool]
+			if !ok {
+				return fmt.Errorf("prewarm: unknown tool %q for %s", tool, acct.ScreenName)
+			}
+			assessedAt := monthAgo
+			if tool == ToolTA {
+				assessedAt = sevenMonthsAgo
+			}
+			if err := auditor.Prewarm(acct.ScreenName, assessedAt); err != nil {
+				return err
+			}
+			s.Clock.Advance(15 * time.Minute)
+		}
+	}
+	return nil
+}

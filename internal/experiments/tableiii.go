@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/stats"
+)
+
+// TableIIIRow is one measured row of Table III: the four tools' verdict
+// percentages for one target, next to the published values.
+type TableIIIRow struct {
+	Account core.PaperAccount
+	// Measured holds each tool's report, keyed by tool name.
+	Measured map[string]core.Report
+}
+
+// GenuineSpread returns the max-min spread of the genuine percentage across
+// tools — the per-account disagreement the paper discusses ("it seems that
+// the more followers a target has, the less the fake followers analytics
+// agree").
+func (r TableIIIRow) GenuineSpread() float64 {
+	var vals []float64
+	for _, rep := range r.Measured {
+		vals = append(vals, rep.GenuinePct)
+	}
+	return stats.MaxSpread(vals)
+}
+
+// GenuineDisagreement returns the mean absolute pairwise difference of the
+// genuine percentage across tools.
+func (r TableIIIRow) GenuineDisagreement() float64 {
+	var vals []float64
+	for _, rep := range r.Measured {
+		vals = append(vals, rep.GenuinePct)
+	}
+	return stats.PairwiseDisagreement(vals)
+}
+
+// RunTableIII reproduces the fake-follower analysis results of Section IV-D:
+// all four tools over every testbed account, caches bypassed (fresh
+// analyses), with rate-limit windows rolled between audits.
+func (s *Simulation) RunTableIII() ([]TableIIIRow, error) {
+	var rows []TableIIIRow
+	for _, acct := range s.testbed {
+		row := TableIIIRow{
+			Account:  acct,
+			Measured: make(map[string]core.Report, 4),
+		}
+		for _, tool := range ToolOrder {
+			auditor := s.auditors[tool]
+			auditor.Forget(acct.ScreenName) // Table III wants fresh verdicts
+			report, err := auditor.Audit(acct.ScreenName)
+			if err != nil {
+				return nil, fmt.Errorf("table III, %s on %s: %w", tool, acct.ScreenName, err)
+			}
+			row.Measured[tool] = report
+			s.Clock.Advance(30 * time.Minute)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DisagreementByClass aggregates the genuine-percentage disagreement per
+// account size class, the trend statistic behind the paper's "the more
+// followers, the less they agree" observation.
+func DisagreementByClass(rows []TableIIIRow) map[core.AccountClass]float64 {
+	sums := make(map[core.AccountClass]float64)
+	counts := make(map[core.AccountClass]int)
+	for _, row := range rows {
+		sums[row.Account.Class] += row.GenuineDisagreement()
+		counts[row.Account.Class]++
+	}
+	out := make(map[core.AccountClass]float64, len(sums))
+	for class, sum := range sums {
+		out[class] = sum / float64(counts[class])
+	}
+	return out
+}
+
+// InactiveUndercount reports, per tool, the mean (FC inactive − tool
+// inactive) over rows — positive values quantify the paper's finding that
+// newest-follower sampling systematically underestimates inactive
+// followers.
+func InactiveUndercount(rows []TableIIIRow) map[string]float64 {
+	sums := make(map[string]float64)
+	n := 0
+	for _, row := range rows {
+		fcRep, ok := row.Measured[ToolFC]
+		if !ok {
+			continue
+		}
+		n++
+		for tool, rep := range row.Measured {
+			if tool == ToolFC || !rep.HasInactiveClass {
+				continue
+			}
+			sums[tool] += fcRep.InactivePct - rep.InactivePct
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for tool, sum := range sums {
+		out[tool] = sum / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package fc
+
+import (
+	"fmt"
+
+	"fakeproject/internal/features"
+	"fakeproject/internal/ml"
+	"fakeproject/internal/rules"
+)
+
+// MethodResult is one row of the Section III evaluation: a detection method
+// scored on the gold standard, with its crawling cost.
+type MethodResult struct {
+	// Method is the algorithm's name.
+	Method string
+	// Kind distinguishes "rules" (single classification rules of
+	// [13],[14],[15]) from "features" (feature-set classifiers of [8],[9])
+	// and "fc" (the Fake Project's own classifiers).
+	Kind string
+	// Metrics is the pooled confusion matrix over cross-validation (for
+	// classifiers) or the whole gold standard (for static rule sets).
+	Metrics ml.ConfusionMatrix
+	// CrawlCost is the estimated API calls per assessed account.
+	CrawlCost float64
+}
+
+// EvaluateRuleSets scores the literature rule sets of [13], [14], [15] on
+// the gold standard — the experiment that led the authors to conclude that
+// "algorithms based on classification rules do not succeed in detecting the
+// fakes in our reference dataset".
+func EvaluateRuleSets(gold *GoldStandard) ([]MethodResult, error) {
+	var out []MethodResult
+	for _, set := range rules.AllSets() {
+		var m ml.ConfusionMatrix
+		for _, id := range gold.Humans {
+			ctx, err := gold.Context(id, true, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", set.Name, err)
+			}
+			m.Add(boolLabel(set.Fake(ctx)), ml.LabelHuman)
+		}
+		for _, id := range gold.Fakes {
+			ctx, err := gold.Context(id, true, false)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", set.Name, err)
+			}
+			m.Add(boolLabel(set.Fake(ctx)), ml.LabelFake)
+		}
+		out = append(out, MethodResult{
+			Method:    set.Name,
+			Kind:      "rules",
+			Metrics:   m,
+			CrawlCost: 1.01, // profile + one timeline page
+		})
+	}
+	return out, nil
+}
+
+func boolLabel(fake bool) int {
+	if fake {
+		return ml.LabelFake
+	}
+	return ml.LabelHuman
+}
+
+// EvaluateFeatureSets cross-validates classifiers over the literature
+// feature sets ([8] Stringhini, [9] Yang) and the Fake Project sets,
+// reproducing the finding that "better results were achieved by relying on
+// those features proposed by Academia for spam accounts detection".
+func EvaluateFeatureSets(gold *GoldStandard, seed uint64) ([]MethodResult, error) {
+	cases := []struct {
+		set           features.Set
+		kind          string
+		withTimeline  bool
+		withRelations bool
+	}{
+		{features.StringhiniSet(), "features", true, false},
+		{features.YangSet(), "features", true, true},
+		{features.ProfileSet(), "fc", false, false},
+		{features.LookupSet(), "fc", false, false},
+		{features.FullSet(), "fc", true, true},
+	}
+	var out []MethodResult
+	for _, c := range cases {
+		data, err := gold.Dataset(c.set, c.withTimeline, c.withRelations)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.set.Name, err)
+		}
+		trainer := func(d ml.Dataset) (ml.Classifier, error) {
+			return ml.TrainForest(d, ml.ForestConfig{Trees: 15, Seed: seed})
+		}
+		cv, err := ml.CrossValidate(5, trainer, data, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.set.Name, err)
+		}
+		out = append(out, MethodResult{
+			Method:    "forest/" + c.set.Name,
+			Kind:      c.kind,
+			Metrics:   cv.Pooled(),
+			CrawlCost: c.set.CrawlCost(),
+		})
+	}
+	return out, nil
+}
+
+// EvaluateClassifiers cross-validates the three model families on the
+// deployed (lookup-cost) feature set, the model-selection step behind
+// TrainDefault.
+func EvaluateClassifiers(gold *GoldStandard, seed uint64) ([]MethodResult, error) {
+	set := features.LookupSet()
+	data, err := gold.Dataset(set, false, false)
+	if err != nil {
+		return nil, err
+	}
+	trainers := []struct {
+		name    string
+		trainer ml.Trainer
+	}{
+		{"decision-tree", func(d ml.Dataset) (ml.Classifier, error) {
+			return ml.TrainTree(d, ml.TreeConfig{Seed: seed})
+		}},
+		{"random-forest", func(d ml.Dataset) (ml.Classifier, error) {
+			return ml.TrainForest(d, ml.ForestConfig{Trees: 21, Seed: seed})
+		}},
+		{"logistic-regression", func(d ml.Dataset) (ml.Classifier, error) {
+			return ml.TrainLogReg(d, ml.LogRegConfig{Seed: seed})
+		}},
+	}
+	var out []MethodResult
+	for _, tr := range trainers {
+		cv, err := ml.CrossValidate(5, tr.trainer, data, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tr.name, err)
+		}
+		out = append(out, MethodResult{
+			Method:    tr.name + "/" + set.Name,
+			Kind:      "fc",
+			Metrics:   cv.Pooled(),
+			CrawlCost: set.CrawlCost(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package ml
+
+import "testing"
+
+// BenchmarkTrainTree measures CART training on a 600-row, 3-feature
+// dataset (one fold of the Section III cross-validation).
+func BenchmarkTrainTree(b *testing.B) {
+	d := syntheticDataset(600, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainTree(d, TreeConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainForest measures 21-tree forest training (the deployed FC
+// configuration).
+func BenchmarkTrainForest(b *testing.B) {
+	d := syntheticDataset(600, 0.3, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainForest(d, ForestConfig{Trees: 21, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredict measures the per-account classification cost
+// inside an FC audit (9,604 predictions per audit).
+func BenchmarkForestPredict(b *testing.B) {
+	d := syntheticDataset(600, 0.3, 3)
+	f, err := TrainForest(d, ForestConfig{Trees: 21, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.4, 800, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(x)
+	}
+}
+
+// BenchmarkLogRegTrain measures SGD logistic-regression training.
+func BenchmarkLogRegTrain(b *testing.B) {
+	d := syntheticDataset(600, 0.3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainLogReg(d, LogRegConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossValidate measures the 5-fold CV loop of the methodology
+// evaluation.
+func BenchmarkCrossValidate(b *testing.B) {
+	d := syntheticDataset(400, 0.3, 6)
+	trainer := func(td Dataset) (Classifier, error) {
+		return TrainTree(td, TreeConfig{MaxDepth: 8})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(5, trainer, d, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

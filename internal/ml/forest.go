@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"fakeproject/internal/drand"
+)
+
+// ForestConfig tunes random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size; 0 means 31.
+	Trees int
+	// Tree configures the member trees. Tree.FeatureSubset of 0 defaults
+	// to sqrt(#features), the standard forest heuristic.
+	Tree TreeConfig
+	// Seed drives bootstrapping and per-tree randomness.
+	Seed uint64
+}
+
+func (c ForestConfig) withDefaults(nFeatures int) ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 31
+	}
+	if c.Tree.FeatureSubset <= 0 {
+		c.Tree.FeatureSubset = int(math.Sqrt(float64(nFeatures)))
+		if c.Tree.FeatureSubset < 1 {
+			c.Tree.FeatureSubset = 1
+		}
+	}
+	return c
+}
+
+// RandomForest is a bagged ensemble of CART trees; P(fake) is the mean of
+// the member probabilities.
+type RandomForest struct {
+	trees []*DecisionTree
+}
+
+var _ Classifier = (*RandomForest)(nil)
+
+// TrainForest fits a random forest with bootstrap resampling.
+func TrainForest(d Dataset, cfg ForestConfig) (*RandomForest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(d.X[0]))
+	root := drand.New(cfg.Seed)
+	forest := &RandomForest{trees: make([]*DecisionTree, 0, cfg.Trees)}
+	n := d.Len()
+	for b := 0; b < cfg.Trees; b++ {
+		src := root.ForkN("bootstrap", int64(b))
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = src.Intn(n)
+		}
+		treeCfg := cfg.Tree
+		treeCfg.Seed = src.Fork("tree").Seed()
+		tree, err := TrainTree(d.Subset(idx), treeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("training tree %d: %w", b, err)
+		}
+		forest.trees = append(forest.trees, tree)
+	}
+	return forest, nil
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "random-forest" }
+
+// Size reports the number of member trees.
+func (f *RandomForest) Size() int { return len(f.trees) }
+
+// PredictProba implements Classifier.
+func (f *RandomForest) PredictProba(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Predict implements Classifier.
+func (f *RandomForest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return LabelFake
+	}
+	return LabelHuman
+}

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"math"
+
+	"fakeproject/internal/drand"
+)
+
+// LogRegConfig tunes logistic-regression training.
+type LogRegConfig struct {
+	// Epochs is the number of SGD passes; 0 means 60.
+	Epochs int
+	// LearningRate is the SGD step size; 0 means 0.1.
+	LearningRate float64
+	// L2 is the ridge penalty; 0 means 1e-4.
+	L2 float64
+	// Seed drives example shuffling.
+	Seed uint64
+}
+
+func (c LogRegConfig) withDefaults() LogRegConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// LogisticRegression is an L2-regularised logistic model trained with SGD
+// on standardised features (the scaler is stored with the model).
+type LogisticRegression struct {
+	weights []float64
+	bias    float64
+	mean    []float64
+	scale   []float64
+}
+
+var _ Classifier = (*LogisticRegression)(nil)
+
+// TrainLogReg fits the model.
+func TrainLogReg(d Dataset, cfg LogRegConfig) (*LogisticRegression, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n, dim := d.Len(), len(d.X[0])
+
+	m := &LogisticRegression{
+		weights: make([]float64, dim),
+		mean:    make([]float64, dim),
+		scale:   make([]float64, dim),
+	}
+	// Standardise: z = (x - mean) / std.
+	for j := 0; j < dim; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += d.X[i][j]
+		}
+		m.mean[j] = s / float64(n)
+		v := 0.0
+		for i := 0; i < n; i++ {
+			diff := d.X[i][j] - m.mean[j]
+			v += diff * diff
+		}
+		std := math.Sqrt(v / float64(n))
+		if std < 1e-12 {
+			std = 1
+		}
+		m.scale[j] = std
+	}
+
+	src := drand.New(cfg.Seed).Fork("logreg")
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	z := make([]float64, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		src.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for _, i := range order {
+			for j := 0; j < dim; j++ {
+				z[j] = (d.X[i][j] - m.mean[j]) / m.scale[j]
+			}
+			p := sigmoid(m.raw(z))
+			grad := p - float64(d.Y[i])
+			for j := 0; j < dim; j++ {
+				m.weights[j] -= lr * (grad*z[j] + cfg.L2*m.weights[j])
+			}
+			m.bias -= lr * grad
+		}
+	}
+	return m, nil
+}
+
+// zClamp bounds standardised features so that pathological inputs (±Inf or
+// astronomically large raw values) cannot produce Inf-Inf = NaN in the
+// linear term; anything beyond ±1e8 standard deviations is saturated.
+const zClamp = 1e8
+
+func (m *LogisticRegression) raw(z []float64) float64 {
+	s := m.bias
+	for j, w := range m.weights {
+		v := z[j]
+		if v > zClamp {
+			v = zClamp
+		} else if v < -zClamp {
+			v = -zClamp
+		}
+		s += w * v
+	}
+	return s
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "logistic-regression" }
+
+// PredictProba implements Classifier.
+func (m *LogisticRegression) PredictProba(x []float64) float64 {
+	z := make([]float64, len(m.weights))
+	for j := range z {
+		z[j] = (x[j] - m.mean[j]) / m.scale[j]
+	}
+	return sigmoid(m.raw(z))
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x []float64) int {
+	if m.PredictProba(x) >= 0.5 {
+		return LabelFake
+	}
+	return LabelHuman
+}
+
+// Weights returns a copy of the learned weights (standardised space), for
+// inspection and feature-importance reporting.
+func (m *LogisticRegression) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}

@@ -1,0 +1,277 @@
+// Package ml implements the from-scratch machine-learning stack the Fake
+// Project classifier is built on (Section III): CART decision trees, bagged
+// random forests, logistic regression, stratified cross-validation and the
+// usual binary classification metrics. Only the standard library is used.
+//
+// Labels are binary: 1 = fake, 0 = human (genuine). Inactivity is not
+// learned — it is a deterministic rule (never tweeted / last tweet older
+// than 90 days) applied before classification, as in the paper.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fakeproject/internal/drand"
+)
+
+// LabelFake and LabelHuman are the two classes.
+const (
+	LabelHuman = 0
+	LabelFake  = 1
+)
+
+// Dataset is a design matrix with labels.
+type Dataset struct {
+	// X is the feature matrix, one row per example.
+	X [][]float64
+	// Y holds the binary labels, parallel to X.
+	Y []int
+	// FeatureNames documents the columns (optional but used in reports).
+	FeatureNames []string
+}
+
+// ErrEmptyDataset reports training on no data.
+var ErrEmptyDataset = errors.New("ml: empty dataset")
+
+// ErrRaggedDataset reports rows of inconsistent width or X/Y length skew.
+var ErrRaggedDataset = errors.New("ml: ragged dataset")
+
+// Validate checks structural invariants.
+func (d Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("%w: %d rows vs %d labels", ErrRaggedDataset, len(d.X), len(d.Y))
+	}
+	width := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != width {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrRaggedDataset, i, len(row), width)
+		}
+	}
+	for i, y := range d.Y {
+		if y != LabelHuman && y != LabelFake {
+			return fmt.Errorf("%w: label %d at row %d", ErrRaggedDataset, y, i)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Subset returns the dataset restricted to the given row indices (rows are
+// shared, not copied — treat subsets as read-only views).
+func (d Dataset) Subset(idx []int) Dataset {
+	out := Dataset{
+		X:            make([][]float64, len(idx)),
+		Y:            make([]int, len(idx)),
+		FeatureNames: d.FeatureNames,
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Positives counts fake-labelled rows.
+func (d Dataset) Positives() int {
+	n := 0
+	for _, y := range d.Y {
+		if y == LabelFake {
+			n++
+		}
+	}
+	return n
+}
+
+// Classifier is a trained binary model.
+type Classifier interface {
+	// Name identifies the model in reports.
+	Name() string
+	// PredictProba returns P(fake) for the feature vector.
+	PredictProba(x []float64) float64
+	// Predict returns the hard label at the 0.5 threshold.
+	Predict(x []float64) int
+}
+
+// PredictAt applies a custom probability threshold.
+func PredictAt(c Classifier, x []float64, threshold float64) int {
+	if c.PredictProba(x) >= threshold {
+		return LabelFake
+	}
+	return LabelHuman
+}
+
+// ConfusionMatrix tallies binary outcomes (positive class = fake).
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (predicted, actual) pair.
+func (m *ConfusionMatrix) Add(predicted, actual int) {
+	switch {
+	case predicted == LabelFake && actual == LabelFake:
+		m.TP++
+	case predicted == LabelFake && actual == LabelHuman:
+		m.FP++
+	case predicted == LabelHuman && actual == LabelHuman:
+		m.TN++
+	default:
+		m.FN++
+	}
+}
+
+// Total returns the number of recorded pairs.
+func (m ConfusionMatrix) Total() int { return m.TP + m.FP + m.TN + m.FN }
+
+// Accuracy is (TP+TN)/total.
+func (m ConfusionMatrix) Accuracy() float64 {
+	if m.Total() == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(m.Total())
+}
+
+// Precision is TP/(TP+FP).
+func (m ConfusionMatrix) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP/(TP+FN).
+func (m ConfusionMatrix) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m ConfusionMatrix) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MCC is the Matthews correlation coefficient, the metric the Fake Project
+// papers favour for imbalanced classes.
+func (m ConfusionMatrix) MCC() float64 {
+	tp, fp, tn, fn := float64(m.TP), float64(m.FP), float64(m.TN), float64(m.FN)
+	den := (tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / math.Sqrt(den)
+}
+
+// Evaluate runs the classifier over a dataset and tallies the confusion
+// matrix.
+func Evaluate(c Classifier, d Dataset) ConfusionMatrix {
+	var m ConfusionMatrix
+	for i, row := range d.X {
+		m.Add(c.Predict(row), d.Y[i])
+	}
+	return m
+}
+
+// Trainer builds a classifier from data (the unit of cross-validation).
+type Trainer func(Dataset) (Classifier, error)
+
+// CVResult aggregates per-fold metrics.
+type CVResult struct {
+	Folds []ConfusionMatrix
+}
+
+// MeanAccuracy averages fold accuracies.
+func (r CVResult) MeanAccuracy() float64 { return r.mean(ConfusionMatrix.Accuracy) }
+
+// MeanF1 averages fold F1 scores.
+func (r CVResult) MeanF1() float64 { return r.mean(ConfusionMatrix.F1) }
+
+// MeanMCC averages fold MCCs.
+func (r CVResult) MeanMCC() float64 { return r.mean(ConfusionMatrix.MCC) }
+
+func (r CVResult) mean(f func(ConfusionMatrix) float64) float64 {
+	if len(r.Folds) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range r.Folds {
+		s += f(m)
+	}
+	return s / float64(len(r.Folds))
+}
+
+// Pooled merges all folds into one confusion matrix.
+func (r CVResult) Pooled() ConfusionMatrix {
+	var out ConfusionMatrix
+	for _, m := range r.Folds {
+		out.TP += m.TP
+		out.FP += m.FP
+		out.TN += m.TN
+		out.FN += m.FN
+	}
+	return out
+}
+
+// CrossValidate runs stratified k-fold cross-validation: folds preserve the
+// class ratio, each fold serves once as the held-out test set.
+func CrossValidate(k int, train Trainer, d Dataset, seed uint64) (CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 || k > d.Len() {
+		return CVResult{}, fmt.Errorf("ml: invalid fold count %d for %d rows", k, d.Len())
+	}
+	folds := stratifiedFolds(d, k, seed)
+	var result CVResult
+	for f := 0; f < k; f++ {
+		var trainIdx, testIdx []int
+		for g := 0; g < k; g++ {
+			if g == f {
+				testIdx = append(testIdx, folds[g]...)
+			} else {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		model, err := train(d.Subset(trainIdx))
+		if err != nil {
+			return CVResult{}, fmt.Errorf("fold %d: %w", f, err)
+		}
+		result.Folds = append(result.Folds, Evaluate(model, d.Subset(testIdx)))
+	}
+	return result, nil
+}
+
+// stratifiedFolds partitions row indices into k folds preserving class
+// balance.
+func stratifiedFolds(d Dataset, k int, seed uint64) [][]int {
+	src := drand.New(seed).Fork("cv")
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == LabelFake {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	src.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	src.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}

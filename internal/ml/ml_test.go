@@ -1,0 +1,318 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fakeproject/internal/drand"
+)
+
+// syntheticDataset builds a separable-but-noisy two-class problem shaped
+// like the fake-follower domain: class 1 concentrates at low x0 (follower/
+// friend ratio) and low x1 (statuses), class 0 at high values; x2 is noise.
+func syntheticDataset(n int, noise float64, seed uint64) Dataset {
+	src := drand.New(seed)
+	d := Dataset{FeatureNames: []string{"ratio", "statuses", "noise"}}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		var ratio, statuses float64
+		if y == LabelFake {
+			ratio = src.NormClamped(0.05, 0.05+noise, 0, 10)
+			statuses = src.NormClamped(10, 20+100*noise, 0, 100000)
+		} else {
+			ratio = src.NormClamped(1.5, 0.8+noise, 0, 10)
+			statuses = src.NormClamped(2000, 1500+1000*noise, 0, 100000)
+		}
+		d.X = append(d.X, []float64{ratio, statuses, src.Float64()})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := (Dataset{}).Validate(); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := Dataset{X: [][]float64{{1}, {2, 3}}, Y: []int{0, 1}}
+	if err := bad.Validate(); !errors.Is(err, ErrRaggedDataset) {
+		t.Fatalf("err = %v", err)
+	}
+	skew := Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}
+	if err := skew.Validate(); !errors.Is(err, ErrRaggedDataset) {
+		t.Fatalf("err = %v", err)
+	}
+	badLabel := Dataset{X: [][]float64{{1}}, Y: []int{7}}
+	if err := badLabel.Validate(); !errors.Is(err, ErrRaggedDataset) {
+		t.Fatalf("err = %v", err)
+	}
+	ok := syntheticDataset(10, 0, 1)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestTreeLearnsSeparableData(t *testing.T) {
+	d := syntheticDataset(600, 0, 2)
+	tree, err := TrainTree(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(tree, d)
+	if acc := m.Accuracy(); acc < 0.98 {
+		t.Fatalf("tree training accuracy = %.3f, want >= 0.98 on separable data", acc)
+	}
+	if tree.Depth() < 1 {
+		t.Fatal("tree did not split at all")
+	}
+}
+
+func TestTreeGeneralises(t *testing.T) {
+	train := syntheticDataset(800, 0.3, 3)
+	test := syntheticDataset(400, 0.3, 99)
+	tree, err := TrainTree(train, TreeConfig{MaxDepth: 6, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(tree, test)
+	if acc := m.Accuracy(); acc < 0.9 {
+		t.Fatalf("tree test accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestTreePredictionDeterministic(t *testing.T) {
+	d := syntheticDataset(300, 0.2, 4)
+	a, _ := TrainTree(d, TreeConfig{Seed: 7})
+	b, _ := TrainTree(d, TreeConfig{Seed: 7})
+	f := func(r, s, n float64) bool {
+		x := []float64{math.Abs(r), math.Abs(s), math.Abs(n)}
+		return a.Predict(x) == b.Predict(x) && a.PredictProba(x) == b.PredictProba(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeProbaBounds(t *testing.T) {
+	d := syntheticDataset(300, 0.5, 5)
+	tree, _ := TrainTree(d, TreeConfig{})
+	f := func(r, s, n float64) bool {
+		p := tree.PredictProba([]float64{r, s, n})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	// All-one-class data must yield a single leaf.
+	d := Dataset{X: [][]float64{{1}, {2}, {3}, {4}}, Y: []int{0, 0, 0, 0}}
+	tree, err := TrainTree(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 1 {
+		t.Fatalf("pure dataset grew %d nodes, want 1", tree.Nodes())
+	}
+	if tree.Predict([]float64{2.5}) != LabelHuman {
+		t.Fatal("pure-human tree predicted fake")
+	}
+}
+
+func TestForestBeatsOrMatchesTreeOnNoisyData(t *testing.T) {
+	train := syntheticDataset(800, 0.6, 6)
+	test := syntheticDataset(400, 0.6, 77)
+	tree, err := TrainTree(train, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(train, ForestConfig{Trees: 21, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeAcc := Evaluate(tree, test).Accuracy()
+	forestAcc := Evaluate(forest, test).Accuracy()
+	if forestAcc < treeAcc-0.03 {
+		t.Fatalf("forest (%.3f) much worse than single tree (%.3f)", forestAcc, treeAcc)
+	}
+	if forestAcc < 0.85 {
+		t.Fatalf("forest accuracy = %.3f, want >= 0.85", forestAcc)
+	}
+	if forest.Size() != 21 {
+		t.Fatalf("forest size = %d", forest.Size())
+	}
+}
+
+func TestForestProbaIsMeanOfTrees(t *testing.T) {
+	d := syntheticDataset(200, 0.3, 9)
+	forest, _ := TrainForest(d, ForestConfig{Trees: 5, Seed: 10})
+	x := []float64{0.5, 500, 0.5}
+	p := forest.PredictProba(x)
+	if p < 0 || p > 1 {
+		t.Fatalf("forest proba out of bounds: %v", p)
+	}
+	s := 0.0
+	for _, tr := range forest.trees {
+		s += tr.PredictProba(x)
+	}
+	if math.Abs(p-s/5) > 1e-12 {
+		t.Fatalf("proba %v != mean of members %v", p, s/5)
+	}
+}
+
+func TestLogRegLearns(t *testing.T) {
+	train := syntheticDataset(800, 0.3, 11)
+	test := syntheticDataset(400, 0.3, 55)
+	lr, err := TrainLogReg(train, LogRegConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(lr, test).Accuracy(); acc < 0.9 {
+		t.Fatalf("logreg accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestLogRegProbaBounds(t *testing.T) {
+	d := syntheticDataset(200, 0.4, 12)
+	lr, _ := TrainLogReg(d, LogRegConfig{})
+	f := func(a, b, c float64) bool {
+		p := lr.PredictProba([]float64{a, b, c})
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Fatalf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+}
+
+func TestConfusionMatrixMetrics(t *testing.T) {
+	m := ConfusionMatrix{TP: 40, FP: 10, TN: 45, FN: 5}
+	if got := m.Accuracy(); got != 0.85 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := m.Precision(); got != 0.8 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := m.Recall(); math.Abs(got-8.0/9.0) > 1e-12 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := m.F1(); math.Abs(got-2*0.8*(8.0/9.0)/(0.8+8.0/9.0)) > 1e-12 {
+		t.Fatalf("F1 = %v", got)
+	}
+	if mcc := m.MCC(); mcc <= 0.6 || mcc >= 0.8 {
+		t.Fatalf("MCC = %v, want ≈0.70", mcc)
+	}
+}
+
+func TestConfusionMatrixDegenerate(t *testing.T) {
+	var m ConfusionMatrix
+	if m.Accuracy() != 0 || m.Precision() != 0 || m.Recall() != 0 || m.F1() != 0 || m.MCC() != 0 {
+		t.Fatal("zero matrix should yield zero metrics")
+	}
+}
+
+func TestPredictAt(t *testing.T) {
+	d := syntheticDataset(400, 0.2, 13)
+	lr, _ := TrainLogReg(d, LogRegConfig{})
+	x := []float64{0.05, 5, 0.5} // strongly fake-looking
+	if PredictAt(lr, x, 0.99) == LabelFake && lr.PredictProba(x) < 0.99 {
+		t.Fatal("threshold not honoured")
+	}
+	if PredictAt(lr, x, 0.0) != LabelFake {
+		t.Fatal("zero threshold must always predict fake")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := syntheticDataset(500, 0.4, 14)
+	trainer := func(td Dataset) (Classifier, error) {
+		return TrainTree(td, TreeConfig{MaxDepth: 6})
+	}
+	res, err := CrossValidate(5, trainer, d, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	if res.Pooled().Total() != d.Len() {
+		t.Fatalf("pooled total = %d, want %d (each row tested once)", res.Pooled().Total(), d.Len())
+	}
+	if acc := res.MeanAccuracy(); acc < 0.85 {
+		t.Fatalf("CV accuracy = %.3f", acc)
+	}
+	if res.MeanF1() <= 0 || res.MeanMCC() <= 0 {
+		t.Fatalf("degenerate CV metrics: F1=%v MCC=%v", res.MeanF1(), res.MeanMCC())
+	}
+}
+
+func TestCrossValidateStratification(t *testing.T) {
+	// Highly imbalanced data: every fold must still contain positives.
+	src := drand.New(16)
+	d := Dataset{}
+	for i := 0; i < 300; i++ {
+		y := 0
+		if i%10 == 0 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{src.Float64()})
+		d.Y = append(d.Y, y)
+	}
+	folds := stratifiedFolds(d, 5, 17)
+	for f, idx := range folds {
+		pos := 0
+		for _, i := range idx {
+			if d.Y[i] == LabelFake {
+				pos++
+			}
+		}
+		if pos != 6 {
+			t.Fatalf("fold %d has %d positives, want 6 (stratified)", f, pos)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := syntheticDataset(10, 0, 18)
+	trainer := func(td Dataset) (Classifier, error) { return TrainTree(td, TreeConfig{}) }
+	if _, err := CrossValidate(1, trainer, d, 1); err == nil {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := CrossValidate(11, trainer, d, 1); err == nil {
+		t.Fatal("k>n should error")
+	}
+	if _, err := CrossValidate(2, trainer, Dataset{}, 1); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	d := syntheticDataset(10, 0, 19)
+	s := d.Subset([]int{0, 2, 4})
+	if s.Len() != 3 {
+		t.Fatalf("subset len = %d", s.Len())
+	}
+	if &s.X[0][0] != &d.X[0][0] {
+		t.Fatal("subset should share row storage")
+	}
+}
+
+func TestPositives(t *testing.T) {
+	d := syntheticDataset(10, 0, 20)
+	if got := d.Positives(); got != 5 {
+		t.Fatalf("Positives = %d, want 5", got)
+	}
+}

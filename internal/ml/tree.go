@@ -1,0 +1,217 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"fakeproject/internal/drand"
+)
+
+// TreeConfig tunes CART training.
+type TreeConfig struct {
+	// MaxDepth bounds the tree height; 0 means a sensible default (12).
+	MaxDepth int
+	// MinLeaf is the minimum number of examples a leaf may hold; 0 means 3.
+	MinLeaf int
+	// FeatureSubset, when > 0, examines only that many randomly chosen
+	// features at each split (the random-forest trick). 0 means all.
+	FeatureSubset int
+	// Seed drives feature subsetting.
+	Seed uint64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 3
+	}
+	return c
+}
+
+// DecisionTree is a trained CART classifier (Gini impurity splits).
+type DecisionTree struct {
+	root   *treeNode
+	cfg    TreeConfig
+	nNodes int
+}
+
+var _ Classifier = (*DecisionTree)(nil)
+
+type treeNode struct {
+	// leaf fields
+	leaf bool
+	prob float64 // P(fake) among training rows at this node
+	// split fields
+	feature   int
+	threshold float64
+	left      *treeNode // rows with x[feature] <= threshold
+	right     *treeNode
+}
+
+// TrainTree fits a CART decision tree.
+func TrainTree(d Dataset, cfg TreeConfig) (*DecisionTree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &DecisionTree{cfg: cfg}
+	src := drand.New(cfg.Seed).Fork("tree")
+	t.root = t.grow(d, idx, 0, src)
+	return t, nil
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "decision-tree" }
+
+// Nodes reports the number of nodes in the trained tree.
+func (t *DecisionTree) Nodes() int { return t.nNodes }
+
+// Depth reports the height of the trained tree.
+func (t *DecisionTree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// PredictProba implements Classifier.
+func (t *DecisionTree) PredictProba(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	if t.PredictProba(x) >= 0.5 {
+		return LabelFake
+	}
+	return LabelHuman
+}
+
+func (t *DecisionTree) grow(d Dataset, idx []int, level int, src *drand.Source) *treeNode {
+	t.nNodes++
+	pos := 0
+	for _, i := range idx {
+		if d.Y[i] == LabelFake {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	// Stop when pure, too deep, or too small to split.
+	if pos == 0 || pos == len(idx) || level >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	feature, threshold, ok := t.bestSplit(d, idx, src)
+	if !ok {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.grow(d, left, level+1, src),
+		right:     t.grow(d, right, level+1, src),
+	}
+}
+
+// bestSplit scans (a possibly random subset of) features for the split with
+// the highest Gini gain.
+func (t *DecisionTree) bestSplit(d Dataset, idx []int, src *drand.Source) (int, float64, bool) {
+	nFeatures := len(d.X[0])
+	candidates := make([]int, nFeatures)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	if k := t.cfg.FeatureSubset; k > 0 && k < nFeatures {
+		src.Shuffle(nFeatures, func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+		candidates = candidates[:k]
+	}
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+	total := len(idx)
+	totalPos := 0
+	for _, i := range idx {
+		if d.Y[i] == LabelFake {
+			totalPos++
+		}
+	}
+	parentGini := gini(totalPos, total)
+
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, total)
+	for _, f := range candidates {
+		for j, i := range idx {
+			pairs[j] = pair{v: d.X[i][f], y: d.Y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		leftPos, leftN := 0, 0
+		for j := 0; j < total-1; j++ {
+			if pairs[j].y == LabelFake {
+				leftPos++
+			}
+			leftN++
+			if pairs[j].v == pairs[j+1].v {
+				continue // can only split between distinct values
+			}
+			rightPos := totalPos - leftPos
+			rightN := total - leftN
+			wGini := (float64(leftN)*gini(leftPos, leftN) + float64(rightN)*gini(rightPos, rightN)) / float64(total)
+			if gain := parentGini - wGini; gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (pairs[j].v + pairs[j+1].v) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, false
+	}
+	return bestFeature, bestThreshold, true
+}
+
+// gini returns the Gini impurity of a node with pos positives out of n.
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// String summarises the tree.
+func (t *DecisionTree) String() string {
+	return fmt.Sprintf("DecisionTree(nodes=%d, depth=%d)", t.Nodes(), t.Depth())
+}

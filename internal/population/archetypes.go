@@ -1,0 +1,218 @@
+package population
+
+import (
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+)
+
+// archetypes draws follower profiles per ground-truth class. Parameter
+// choices mirror the qualitative descriptions the vendors and the paper
+// give of each population:
+//
+//   - genuine accounts "engage with the platform - producing and sharing
+//     content" (StatusPeople's definition of active);
+//   - fake accounts "tend to follow a lot of people but don't have many
+//     followers" (Rob Waller, StatusPeople) and trip the Socialbakers
+//     criteria (spam phrases, repeated tweets, link/retweet saturation);
+//   - inactive accounts have "posted less than 3 tweets" or a last tweet
+//     "more than 90 days old" (Socialbakers), with an egg-like sub-flavour
+//     (default image, lopsided follow ratio) that fake-detectors tend to
+//     flag as fake instead.
+type archetypes struct {
+	src *drand.Source
+}
+
+func newArchetypes(src *drand.Source) *archetypes {
+	return &archetypes{src: src}
+}
+
+// drawClass samples a ground-truth class from a mix.
+func (a *archetypes) drawClass(m Mix) twitter.Class {
+	switch a.src.WeightedChoice([]float64{m.Inactive, m.Fake, m.Genuine}) {
+	case 0:
+		return twitter.ClassInactive
+	case 1:
+		return twitter.ClassFake
+	default:
+		return twitter.ClassGenuine
+	}
+}
+
+// draw materialises creation parameters for one follower of the given class.
+// now is the observation instant anchoring all relative times.
+func (a *archetypes) draw(class twitter.Class, now time.Time) twitter.UserParams {
+	switch class {
+	case twitter.ClassGenuine:
+		return a.genuine(now)
+	case twitter.ClassInactive:
+		return a.inactive(now)
+	case twitter.ClassFake:
+		return a.fake(now)
+	default:
+		return a.genuine(now)
+	}
+}
+
+func day(n float64) time.Duration { return time.Duration(n * 24 * float64(time.Hour)) }
+
+func (a *archetypes) genuine(now time.Time) twitter.UserParams {
+	src := a.src
+	ageDays := src.NormClamped(900, 500, 120, 2800)
+	created := now.Add(-day(ageDays))
+	// Active by construction: last tweet within the 90-day horizon.
+	lastTweet := now.Add(-day(src.Exp(12)))
+	if lastTweet.Before(created) {
+		lastTweet = created.Add(time.Hour)
+	}
+	if now.Sub(lastTweet) >= InactivityThreshold {
+		lastTweet = now.Add(-day(80))
+	}
+	statuses := int(src.LogNormal(6.3, 1.3))
+	if statuses < 3 {
+		statuses = 3
+	}
+	if statuses > 80000 {
+		statuses = 80000
+	}
+	friends := int(src.LogNormal(5.4, 0.9))
+	if friends < 15 {
+		friends = 15
+	}
+	followers := int(src.LogNormal(4.9, 1.2))
+	if followers < 5 {
+		followers = 5
+	}
+	return twitter.UserParams{
+		CreatedAt:           created,
+		LastTweet:           lastTweet,
+		Statuses:            statuses,
+		Friends:             friends,
+		Followers:           followers,
+		Bio:                 src.Bool(0.85),
+		Location:            src.Bool(0.65),
+		URL:                 src.Bool(0.3),
+		DefaultProfileImage: src.Bool(0.04),
+		Protected:           src.Bool(0.05),
+		Class:               twitter.ClassGenuine,
+		Behavior: twitter.Behavior{
+			RetweetRatio: src.NormClamped(0.22, 0.12, 0, 0.6),
+			LinkRatio:    src.NormClamped(0.28, 0.15, 0, 0.7),
+			// Genuine users occasionally utter a "spam phrase" (a diet
+			// tweet is not a crime) and rarely repeat themselves.
+			SpamRatio:      src.NormClamped(0.01, 0.015, 0, 0.08),
+			DuplicateRatio: src.NormClamped(0.005, 0.005, 0, 0.015),
+		},
+	}
+}
+
+func (a *archetypes) inactive(now time.Time) twitter.UserParams {
+	src := a.src
+	// Eggs: dormant bought followers — empty, lopsided, default image.
+	egg := src.Bool(0.3)
+	ageDays := src.NormClamped(1300, 600, 200, 3000)
+	if egg {
+		ageDays = src.NormClamped(400, 250, 70, 1200)
+	}
+	created := now.Add(-day(ageDays))
+
+	var statuses int
+	var lastTweet time.Time
+	// Accounts younger than the dormancy horizon cannot have a >90-day-old
+	// last tweet, so they must be of the never-tweeted flavour.
+	if src.Bool(0.45) || ageDays <= 95 {
+		statuses = 0 // never tweeted
+	} else {
+		statuses = src.IntBetween(1, 400)
+		// Dormant by construction: last tweet beyond the 90-day horizon.
+		gap := 91 + src.Exp(380)
+		if maxGap := ageDays - 1; gap > maxGap {
+			gap = maxGap
+		}
+		lastTweet = now.Add(-day(gap))
+	}
+
+	friends := int(src.LogNormal(4.4, 1.0))
+	followers := int(src.LogNormal(3.2, 1.1))
+	defaultImage := src.Bool(0.2)
+	bio := src.Bool(0.5)
+	location := src.Bool(0.4)
+	if egg {
+		friends = src.IntBetween(300, 3000)
+		followers = src.IntBetween(0, 25)
+		defaultImage = src.Bool(0.8)
+		bio = src.Bool(0.08)
+		location = src.Bool(0.05)
+	}
+	return twitter.UserParams{
+		CreatedAt:           created,
+		LastTweet:           lastTweet,
+		Statuses:            statuses,
+		Friends:             friends,
+		Followers:           followers,
+		Bio:                 bio,
+		Location:            location,
+		URL:                 src.Bool(0.08),
+		DefaultProfileImage: defaultImage,
+		Class:               twitter.ClassInactive,
+		Behavior: twitter.Behavior{
+			RetweetRatio:   src.NormClamped(0.2, 0.15, 0, 0.8),
+			LinkRatio:      src.NormClamped(0.2, 0.15, 0, 0.8),
+			SpamRatio:      src.NormClamped(0.01, 0.015, 0, 0.06),
+			DuplicateRatio: src.NormClamped(0.01, 0.01, 0, 0.03),
+		},
+	}
+}
+
+func (a *archetypes) fake(now time.Time) twitter.UserParams {
+	src := a.src
+	ageDays := src.NormClamped(240, 160, 20, 900)
+	created := now.Add(-day(ageDays))
+	// Active spam bots: they keep tweeting to look alive.
+	lastTweet := now.Add(-day(src.Exp(8)))
+	if now.Sub(lastTweet) >= InactivityThreshold {
+		lastTweet = now.Add(-day(45))
+	}
+	if lastTweet.Before(created) {
+		lastTweet = created.Add(time.Hour)
+	}
+	statuses := src.IntBetween(8, 600)
+	behavior := twitter.Behavior{
+		RetweetRatio:   src.NormClamped(0.5, 0.25, 0, 0.97),
+		LinkRatio:      src.NormClamped(0.75, 0.2, 0.2, 1),
+		SpamRatio:      src.NormClamped(0.55, 0.2, 0.2, 1),
+		DuplicateRatio: src.NormClamped(0.4, 0.2, 0.1, 0.95),
+	}
+	bio := src.Bool(0.15)
+	location := src.Bool(0.1)
+	defaultImage := src.Bool(0.45)
+	if src.Bool(0.15) {
+		// The "careful" flavour: evolved fakes that curate their content
+		// to dodge spam-phrase and duplication criteria (the evasion
+		// Yang et al. study); only the follow-graph geometry gives them
+		// away.
+		behavior = twitter.Behavior{
+			RetweetRatio:   src.NormClamped(0.3, 0.15, 0, 0.7),
+			LinkRatio:      src.NormClamped(0.35, 0.15, 0, 0.8),
+			SpamRatio:      src.NormClamped(0.03, 0.03, 0, 0.1),
+			DuplicateRatio: src.NormClamped(0.03, 0.03, 0, 0.1),
+		}
+		bio = src.Bool(0.6)
+		location = src.Bool(0.4)
+		defaultImage = src.Bool(0.1)
+	}
+	return twitter.UserParams{
+		CreatedAt:           created,
+		LastTweet:           lastTweet,
+		Statuses:            statuses,
+		Friends:             src.IntBetween(400, 4000),
+		Followers:           src.IntBetween(0, 60),
+		Bio:                 bio,
+		Location:            location,
+		URL:                 src.Bool(0.12),
+		DefaultProfileImage: defaultImage,
+		Class:               twitter.ClassFake,
+		Behavior:            behavior,
+	}
+}

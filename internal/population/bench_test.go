@@ -1,0 +1,45 @@
+package population
+
+import (
+	"fmt"
+	"testing"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// BenchmarkBuildTarget10K measures population synthesis throughput (the
+// simulation build's dominant cost: ~1.5M followers for the full testbed).
+func BenchmarkBuildTarget10K(b *testing.B) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	gen := NewGenerator(store, 1)
+	layout := Layout{
+		{Width: 2000, Mix: Mix{Inactive: 0.2, Fake: 0.3, Genuine: 0.5}},
+		{Width: 0, Mix: Mix{Inactive: 0.6, Fake: 0.05, Genuine: 0.35}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.BuildTarget(TargetSpec{
+			ScreenName: fmt.Sprintf("bench_%d", i),
+			Followers:  10000,
+			Layout:     layout,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(10000, "followers/op")
+}
+
+// BenchmarkDeriveLayout measures the Table III calibration solver.
+func BenchmarkDeriveLayout(b *testing.B) {
+	truth := FromPercentages(97, 1.2, 1.8)
+	sb := FromPercentages(17, 35, 48)
+	sp := FromPercentages(48, 44, 8)
+	for i := 0; i < b.N; i++ {
+		l := DeriveLayout(70900, truth, sb, sp)
+		if len(l) != 3 {
+			b.Fatal("bad layout")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package population
+
+// DeriveLayout reconstructs a positional class layout from the three
+// measurements the paper gives per account in Table III:
+//
+//   - truth: the FC column — a uniform whole-list sample, i.e. the overall
+//     ground truth (within FC's ±1% confidence interval);
+//   - sb: the Socialbakers column — the tool assesses "up to 2000 followers"
+//     taken from the newest end, so it measures the newest-2000 mix;
+//   - sp: the StatusPeople column — 700 records sampled "across a follower
+//     base of up to 35K" newest followers, so it measures the newest-35000
+//     mix, except that Fakers counts dormant egg accounts as fake rather
+//     than inactive, so part of its fake column is re-attributed to
+//     inactive before solving (eggShift).
+//
+// The three observations are not always mutually consistent — that
+// inconsistency is the paper's finding — so the solver prioritises:
+// (1) the FC truth, (2) the SB newest-2000 view, (3) the SP window view,
+// clamping the oldest band to the feasible simplex and re-solving the middle
+// band when the SP view cannot be honoured.
+//
+// Building the population from the derived layout makes the paper's numbers
+// emerge from the sampling geometry when the tools are re-run, instead of
+// being hard-coded outputs.
+//
+// n is the number of followers that will actually be materialised (the
+// store-side population size, possibly scaled down from the real account).
+func DeriveLayout(n int, truth, sb, sp Mix) Layout {
+	truth = truth.Normalised()
+	sb = sb.Normalised()
+	sp = sp.Normalised()
+
+	const sbWindow = 2000
+	const spWindow = 35000
+	// eggShift is the share of StatusPeople's "fake" verdicts attributed to
+	// dormant egg accounts (truly inactive by the FC definition).
+	const eggShift = 0.45
+
+	if n <= sbWindow {
+		// Every tool sees the whole list; the truth is the only band.
+		return Layout{{Width: 0, Mix: truth}}
+	}
+	if n <= spWindow {
+		// Two bands: the newest 2000 (SB's view) and the remainder, solved
+		// so the whole-list truth holds. If the SB observation contradicts
+		// the truth (the remainder would leave the simplex), truth wins:
+		// clamp the remainder and re-solve the newest band.
+		rest := solveRemainder(truth, float64(n), []bandObs{{width: sbWindow, mix: sb}})
+		newest := sb
+		if !feasible(rest) {
+			rest = clampSimplex(rest)
+			fn := float64(n)
+			rem := fn - sbWindow
+			newest = clampSimplex(Mix{
+				Inactive: (truth.Inactive*fn - rest.Inactive*rem) / sbWindow,
+				Fake:     (truth.Fake*fn - rest.Fake*rem) / sbWindow,
+				Genuine:  (truth.Genuine*fn - rest.Genuine*rem) / sbWindow,
+			})
+		} else {
+			rest = clampSimplex(rest)
+		}
+		return Layout{
+			{Width: sbWindow, Mix: newest},
+			{Width: 0, Mix: rest},
+		}
+	}
+
+	// Three bands. Re-attribute the egg share of SP's fake column, then
+	// solve the middle band from SP's window and the body from the truth.
+	spAdj := Mix{
+		Inactive: sp.Inactive + eggShift*sp.Fake,
+		Fake:     (1 - eggShift) * sp.Fake,
+		Genuine:  sp.Genuine,
+	}
+	mid := clampSimplex(solveWindow(spAdj, spWindow, bandObs{width: sbWindow, mix: sb}))
+	body := solveRemainder(truth, float64(n), []bandObs{
+		{width: sbWindow, mix: sb},
+		{width: spWindow - sbWindow, mix: mid},
+	})
+	if !feasible(body) {
+		// The SP view is inconsistent with the FC truth (the usual case on
+		// heavily dormant accounts). Truth wins: clamp the body and
+		// re-solve the middle band so the whole-list truth still holds.
+		body = clampSimplex(body)
+		// Re-solve the middle band for what the clamped body cannot absorb.
+		fn := float64(n)
+		rem := fn - spWindow
+		mid = Mix{
+			Inactive: (truth.Inactive*fn - sb.Inactive*sbWindow - body.Inactive*rem) / (spWindow - sbWindow),
+			Fake:     (truth.Fake*fn - sb.Fake*sbWindow - body.Fake*rem) / (spWindow - sbWindow),
+			Genuine:  (truth.Genuine*fn - sb.Genuine*sbWindow - body.Genuine*rem) / (spWindow - sbWindow),
+		}
+		mid = clampSimplex(mid)
+	}
+	return Layout{
+		{Width: sbWindow, Mix: sb},
+		{Width: spWindow - sbWindow, Mix: mid},
+		{Width: 0, Mix: clampSimplex(body)},
+	}
+}
+
+type bandObs struct {
+	width int
+	mix   Mix
+}
+
+// solveWindow solves for the unknown band of a window observation:
+// obs*window = known.width*known.mix + (window-known.width)*x.
+// The result is raw (possibly infeasible); callers clamp.
+func solveWindow(obs Mix, window int, known bandObs) Mix {
+	w := float64(window)
+	kw := float64(known.width)
+	rem := w - kw
+	return Mix{
+		Inactive: (obs.Inactive*w - known.mix.Inactive*kw) / rem,
+		Fake:     (obs.Fake*w - known.mix.Fake*kw) / rem,
+		Genuine:  (obs.Genuine*w - known.mix.Genuine*kw) / rem,
+	}
+}
+
+// solveRemainder solves for the oldest band so the whole-list truth holds:
+// truth*n = sum(band.width*band.mix) + (n - sum(widths))*x.
+// The result is raw (possibly infeasible); callers clamp.
+func solveRemainder(truth Mix, n float64, known []bandObs) Mix {
+	var kw float64
+	var acc Mix
+	for _, b := range known {
+		w := float64(b.width)
+		kw += w
+		acc.Inactive += b.mix.Inactive * w
+		acc.Fake += b.mix.Fake * w
+		acc.Genuine += b.mix.Genuine * w
+	}
+	rem := n - kw
+	return Mix{
+		Inactive: (truth.Inactive*n - acc.Inactive) / rem,
+		Fake:     (truth.Fake*n - acc.Fake) / rem,
+		Genuine:  (truth.Genuine*n - acc.Genuine) / rem,
+	}
+}
+
+// feasible reports whether all components lie in [0,1] up to slack.
+func feasible(m Mix) bool {
+	const slack = 0.02
+	within := func(v float64) bool { return v >= -slack && v <= 1+slack }
+	return within(m.Inactive) && within(m.Fake) && within(m.Genuine)
+}
+
+// clampSimplex projects a raw mix onto the probability simplex by flooring
+// negatives and renormalising.
+func clampSimplex(m Mix) Mix { return m.Normalised() }

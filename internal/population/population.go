@@ -1,0 +1,261 @@
+// Package population builds the synthetic follower populations the
+// reproduction audits. The generator is calibrated so that the ground truth
+// of each target matches what the paper's trusted reference (the FC engine,
+// which samples uniformly from the whole list) reported in Table III, while
+// the *positional layout* of classes matches what the window-limited tools
+// observed — the mechanism behind the paper's central finding.
+//
+// Ground-truth classes follow the FC engine's operational definitions
+// (Section III), because the paper uses FC as the reference instrument:
+//
+//   - inactive: never tweeted, or last tweet older than 90 days;
+//   - fake:     an *active* account fabricated to inflate follower counts
+//     (spam-bot behaviour profile);
+//   - genuine:  an active, authentic account.
+//
+// Dormant bought followers therefore land in "inactive" — exactly as FC
+// would count them — with an "egg-like" flavour that other tools tend to
+// count as fake instead, reproducing the FC/StatusPeople divergence the
+// paper reports.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+)
+
+// InactivityThreshold is the dormancy horizon shared by FC and Socialbakers:
+// "the last tweet is more than 90 days old".
+const InactivityThreshold = 90 * 24 * time.Hour
+
+// Mix is a class distribution. Components should sum to 1.
+type Mix struct {
+	Inactive float64
+	Fake     float64
+	Genuine  float64
+}
+
+// Sum returns the component total.
+func (m Mix) Sum() float64 { return m.Inactive + m.Fake + m.Genuine }
+
+// Normalised returns the mix scaled to sum to 1, with non-negative
+// components (negatives are clamped to a small floor first).
+func (m Mix) Normalised() Mix {
+	const floor = 0.002
+	if m.Inactive < floor {
+		m.Inactive = floor
+	}
+	if m.Fake < floor {
+		m.Fake = floor
+	}
+	if m.Genuine < floor {
+		m.Genuine = floor
+	}
+	s := m.Sum()
+	return Mix{Inactive: m.Inactive / s, Fake: m.Fake / s, Genuine: m.Genuine / s}
+}
+
+// FromPercentages builds a Mix from Table III-style percentage columns.
+func FromPercentages(inactive, fake, genuine float64) Mix {
+	return Mix{Inactive: inactive / 100, Fake: fake / 100, Genuine: genuine / 100}.Normalised()
+}
+
+// Segment assigns a class mix to a contiguous run of followers counted from
+// the *newest* end of the list (the part of the population each analytics
+// window actually sees).
+type Segment struct {
+	// Width is the number of followers in this segment. The final segment
+	// of a layout may use Width 0 meaning "everything older".
+	Width int
+	// Mix is the class distribution inside the segment.
+	Mix Mix
+}
+
+// Layout is a full positional class plan, newest segment first.
+type Layout []Segment
+
+// mixAt returns the mix governing the follower at the given distance from
+// the newest end.
+func (l Layout) mixAt(distFromNewest int) Mix {
+	acc := 0
+	for _, seg := range l {
+		if seg.Width <= 0 {
+			return seg.Mix
+		}
+		acc += seg.Width
+		if distFromNewest < acc {
+			return seg.Mix
+		}
+	}
+	if len(l) == 0 {
+		return Mix{Genuine: 1}
+	}
+	return l[len(l)-1].Mix
+}
+
+// Truth returns the expected overall mix for a population of n followers
+// under this layout.
+func (l Layout) Truth(n int) Mix {
+	if n <= 0 {
+		return Mix{}
+	}
+	var out Mix
+	for d := 0; d < n; d++ {
+		m := l.mixAt(d)
+		out.Inactive += m.Inactive
+		out.Fake += m.Fake
+		out.Genuine += m.Genuine
+	}
+	out.Inactive /= float64(n)
+	out.Fake /= float64(n)
+	out.Genuine /= float64(n)
+	return out
+}
+
+// TargetSpec describes one account to build.
+type TargetSpec struct {
+	// ScreenName is the account's handle (must be unique in the store).
+	ScreenName string
+	// Followers is the number of follower accounts to materialise.
+	Followers int
+	// NominalFollowers is the real-world follower count the account
+	// represents when Followers had to be scaled down for memory (0 means
+	// equal to Followers). Reports display the nominal value; the crawl
+	// cost model uses it too.
+	NominalFollowers int
+	// Layout positions the classes. Nil means all-genuine.
+	Layout Layout
+	// CreatedAt, Statuses, LastTweet describe the target's own profile.
+	CreatedAt time.Time
+	Statuses  int
+	LastTweet time.Time
+	// FollowSpan is the period over which the follower base accrued
+	// (defaults to 3 years ending now).
+	FollowSpan time.Duration
+}
+
+// ErrBadSpec reports an invalid target specification.
+var ErrBadSpec = errors.New("population: invalid target spec")
+
+// Generator builds populations into a twitter.Store.
+type Generator struct {
+	store *twitter.Store
+	src   *drand.Source
+}
+
+// NewGenerator creates a generator writing into store, seeded independently
+// of other consumers of the root seed.
+func NewGenerator(store *twitter.Store, seed uint64) *Generator {
+	return &Generator{store: store, src: drand.New(seed).Fork("population")}
+}
+
+// Store returns the generator's store.
+func (g *Generator) Store() *twitter.Store { return g.store }
+
+// BuildTarget materialises the target account and its follower base.
+// Followers are created and followed in chronological order: the layout's
+// last segment is the oldest part of the list and the first segment the
+// newest — so an API consumer paging "newest first" walks the layout in
+// order.
+func (g *Generator) BuildTarget(spec TargetSpec) (twitter.UserID, error) {
+	if spec.ScreenName == "" || spec.Followers < 0 {
+		return 0, fmt.Errorf("%w: %+v", ErrBadSpec, spec)
+	}
+	now := g.store.Now()
+	createdAt := spec.CreatedAt
+	if createdAt.IsZero() {
+		createdAt = now.Add(-3 * 365 * 24 * time.Hour)
+	}
+	lastTweet := spec.LastTweet
+	if lastTweet.IsZero() && spec.Statuses > 0 {
+		lastTweet = now.Add(-24 * time.Hour)
+	}
+	target, err := g.store.CreateUser(twitter.UserParams{
+		ScreenName: spec.ScreenName,
+		CreatedAt:  createdAt,
+		LastTweet:  lastTweet,
+		Statuses:   spec.Statuses,
+		Friends:    g.src.IntBetween(50, 900),
+		Bio:        true,
+		Location:   true,
+		URL:        true,
+		Verified:   spec.Followers > 100000,
+		Class:      twitter.ClassGenuine,
+		Behavior:   twitter.Behavior{RetweetRatio: 0.15, LinkRatio: 0.3},
+	})
+	if err != nil {
+		return 0, fmt.Errorf("creating target %s: %w", spec.ScreenName, err)
+	}
+	if spec.Followers == 0 {
+		return target, nil
+	}
+
+	span := spec.FollowSpan
+	if span <= 0 {
+		span = 3 * 365 * 24 * time.Hour
+	}
+	firstFollow := now.Add(-span)
+	if firstFollow.Before(createdAt) {
+		firstFollow = createdAt
+	}
+	// Leave headroom so "new followers arrive after build" stays monotonic.
+	window := now.Add(-time.Hour).Sub(firstFollow)
+	step := window / time.Duration(spec.Followers)
+	if step <= 0 {
+		step = time.Second
+	}
+
+	g.store.Grow(spec.Followers)
+	layout := spec.Layout
+	if layout == nil {
+		layout = Layout{{Width: 0, Mix: Mix{Genuine: 1}}}
+	}
+	arch := newArchetypes(g.src.Fork("arch:" + spec.ScreenName))
+	at := firstFollow
+	for i := 0; i < spec.Followers; i++ {
+		distFromNewest := spec.Followers - 1 - i
+		mix := layout.mixAt(distFromNewest)
+		class := arch.drawClass(mix)
+		params := arch.draw(class, now)
+		follower, err := g.store.CreateUser(params)
+		if err != nil {
+			return 0, fmt.Errorf("creating follower %d of %s: %w", i, spec.ScreenName, err)
+		}
+		if err := g.store.AddFollower(target, follower, at); err != nil {
+			return 0, fmt.Errorf("following %s: %w", spec.ScreenName, err)
+		}
+		at = at.Add(step)
+	}
+	return target, nil
+}
+
+// GrowFollowers appends n fresh followers (drawn from mix) to an existing
+// target at the store's current time — the daily organic growth used by the
+// Section IV-B snapshot experiment.
+func (g *Generator) GrowFollowers(target twitter.UserID, n int, mix Mix) error {
+	now := g.store.Now()
+	arch := newArchetypes(g.src.Fork("grow"))
+	for i := 0; i < n; i++ {
+		class := arch.drawClass(mix)
+		follower, err := g.store.CreateUser(arch.draw(class, now))
+		if err != nil {
+			return fmt.Errorf("growing target %d: %w", target, err)
+		}
+		if err := g.store.AddFollower(target, follower, now); err != nil {
+			return fmt.Errorf("growing target %d: %w", target, err)
+		}
+	}
+	return nil
+}
+
+// BuyFollowers appends a burst of n freshly created fake/egg followers — a
+// follower purchase, as in the StatusPeople blog anecdote of Section II-A
+// ("if an account with 100K genuine followers buys 10K fake followers...").
+func (g *Generator) BuyFollowers(target twitter.UserID, n int) error {
+	// Purchased batches are a blend of active spam bots and dormant eggs.
+	return g.GrowFollowers(target, n, Mix{Inactive: 0.35, Fake: 0.65})
+}

@@ -1,0 +1,184 @@
+package ratelimit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+func newLimiter(requests int, win time.Duration) (*Limiter, *simclock.Virtual) {
+	clock := simclock.NewVirtualAtEpoch()
+	l := New(clock, map[string]Limit{"ep": {Requests: requests, Window: win}})
+	return l, clock
+}
+
+func TestBurstWithinWindow(t *testing.T) {
+	l, _ := newLimiter(15, 15*time.Minute)
+	for i := 0; i < 15; i++ {
+		if wait := l.Reserve("ep"); wait != 0 {
+			t.Fatalf("call %d should be immediate, wait = %v", i, wait)
+		}
+	}
+	if wait := l.Reserve("ep"); wait != 15*time.Minute {
+		t.Fatalf("16th call wait = %v, want 15m", wait)
+	}
+}
+
+func TestWindowRolls(t *testing.T) {
+	l, clock := newLimiter(2, time.Minute)
+	l.Reserve("ep")
+	l.Reserve("ep")
+	clock.Advance(time.Minute)
+	if wait := l.Reserve("ep"); wait != 0 {
+		t.Fatalf("after window expiry wait = %v, want 0", wait)
+	}
+}
+
+func TestReserveSequenceMatchesRate(t *testing.T) {
+	// Booking 45 calls on a 15-per-15-minute limit must span exactly two
+	// extra windows: calls 16-30 wait to window 2, calls 31-45 to window 3.
+	l, clock := newLimiter(15, 15*time.Minute)
+	var total time.Duration
+	for i := 0; i < 45; i++ {
+		wait := l.Reserve("ep")
+		clock.Sleep(wait)
+		total += wait
+	}
+	if total != 30*time.Minute {
+		t.Fatalf("total wait = %v, want 30m", total)
+	}
+}
+
+func TestUnlimitedKey(t *testing.T) {
+	l, _ := newLimiter(1, time.Minute)
+	for i := 0; i < 100; i++ {
+		if wait := l.Reserve("other"); wait != 0 {
+			t.Fatalf("unlimited key waited %v", wait)
+		}
+	}
+}
+
+func TestAllowDoesNotBookWhenRejected(t *testing.T) {
+	l, clock := newLimiter(1, time.Minute)
+	ok, _ := l.Allow("ep")
+	if !ok {
+		t.Fatal("first call should be allowed")
+	}
+	ok, retry := l.Allow("ep")
+	if ok {
+		t.Fatal("second call should be rejected")
+	}
+	if retry != time.Minute {
+		t.Fatalf("retry = %v, want 1m", retry)
+	}
+	// After the advertised retry, the call must succeed.
+	clock.Advance(retry)
+	if ok, _ := l.Allow("ep"); !ok {
+		t.Fatal("call after retry-after should be allowed")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	l, clock := newLimiter(3, time.Minute)
+	if got := l.Remaining("ep"); got != 3 {
+		t.Fatalf("Remaining = %d, want 3", got)
+	}
+	l.Reserve("ep")
+	l.Reserve("ep")
+	if got := l.Remaining("ep"); got != 1 {
+		t.Fatalf("Remaining = %d, want 1", got)
+	}
+	clock.Advance(time.Minute)
+	if got := l.Remaining("ep"); got != 3 {
+		t.Fatalf("Remaining after roll = %d, want 3", got)
+	}
+	if got := l.Remaining("nolimit"); got != -1 {
+		t.Fatalf("Remaining unlimited = %d, want -1", got)
+	}
+}
+
+func TestPerMinute(t *testing.T) {
+	lim := Limit{Requests: 15, Window: 15 * time.Minute}
+	if got := lim.PerMinute(); got != 1 {
+		t.Fatalf("PerMinute = %v, want 1", got)
+	}
+	lim = Limit{Requests: 180, Window: 15 * time.Minute}
+	if got := lim.PerMinute(); got != 12 {
+		t.Fatalf("PerMinute = %v, want 12", got)
+	}
+	if (Limit{}).PerMinute() != 0 {
+		t.Fatal("zero limit PerMinute should be 0")
+	}
+}
+
+func TestSetLimitResetsState(t *testing.T) {
+	l, _ := newLimiter(1, time.Minute)
+	l.Reserve("ep")
+	l.SetLimit("ep", Limit{Requests: 2, Window: time.Minute})
+	if wait := l.Reserve("ep"); wait != 0 {
+		t.Fatalf("after SetLimit wait = %v, want 0 (state reset)", wait)
+	}
+	lim, ok := l.LimitFor("ep")
+	if !ok || lim.Requests != 2 {
+		t.Fatalf("LimitFor = %+v, %v", lim, ok)
+	}
+}
+
+func TestNeverExceedsBudgetProperty(t *testing.T) {
+	// Property: for any sequence of reserves with sleeps honoured, the
+	// number of calls that land inside any single window never exceeds
+	// the budget.
+	f := func(nCalls uint8, budgetRaw uint8) bool {
+		budget := int(budgetRaw%10) + 1
+		clock := simclock.NewVirtualAtEpoch()
+		l := New(clock, map[string]Limit{"k": {Requests: budget, Window: time.Hour}})
+		times := make([]time.Time, 0, nCalls)
+		for i := 0; i < int(nCalls); i++ {
+			clock.Sleep(l.Reserve("k"))
+			times = append(times, clock.Now())
+		}
+		// Count calls in each aligned window [t, t+1h) starting at each call.
+		for i := range times {
+			cutoff := times[i].Add(time.Hour)
+			in := 0
+			for j := i; j < len(times) && times[j].Before(cutoff); j++ {
+				in++
+			}
+			if in > budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlTimeMatchesAnalyticModel(t *testing.T) {
+	// The paper's 27-day Obama crawl rests on this arithmetic: k calls on a
+	// (r per window) budget take ceil(k/r - 1) windows of waiting.
+	l, clock := newLimiter(15, 15*time.Minute)
+	start := clock.Now()
+	const calls = 150
+	for i := 0; i < calls; i++ {
+		clock.Sleep(l.Reserve("ep"))
+	}
+	elapsed := clock.Now().Sub(start)
+	wantWindows := math.Ceil(float64(calls)/15) - 1
+	want := time.Duration(wantWindows) * 15 * time.Minute
+	if elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", elapsed, want)
+	}
+}
+
+func TestZeroRequestsLimitIsUnlimited(t *testing.T) {
+	// A non-positive budget is treated as "no limit" rather than deadlock.
+	l, _ := newLimiter(0, time.Minute)
+	if wait := l.Reserve("ep"); wait != 0 {
+		t.Fatalf("zero-budget reserve waited %v", wait)
+	}
+}

@@ -1,0 +1,240 @@
+// Package report renders experiment results as text tables mirroring the
+// paper's layouts (Tables I-III) plus CSV and JSON exports for downstream
+// analysis.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/twitterapi"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// TableI renders the API-limit table (Table I of the paper).
+func TableI(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "API type\telem.×request\tmax requests×min.")
+	for _, row := range twitterapi.TableI() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", row.Endpoint, row.ElementsPerRequest, row.RequestsPerMinute)
+	}
+	return tw.Flush()
+}
+
+// TableII renders the response-time comparison (Table II), paper versus
+// measured, with cache annotations.
+func TableII(w io.Writer, rows []experiments.TableIIRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Twitter profile\tfollowers\tFC\tTA\tSP\tSB\tpaper(FC/TA/SP/SB)\tcached")
+	for _, row := range rows {
+		paper := "-"
+		if row.Paper != nil {
+			paper = fmt.Sprintf("%.0f/%.0f/%.0f/%.0f",
+				row.Paper.FC, row.Paper.TA, row.Paper.SP, row.Paper.SB)
+		}
+		fmt.Fprintf(tw, "@%s\t%d\t%.0fs\t%.0fs\t%.0fs\t%.0fs\t%s\t%v\n",
+			row.ScreenName, row.Followers,
+			row.FirstSeconds[experiments.ToolFC],
+			row.FirstSeconds[experiments.ToolTA],
+			row.FirstSeconds[experiments.ToolSP],
+			row.FirstSeconds[experiments.ToolSB],
+			paper, row.CachedTools)
+	}
+	return tw.Flush()
+}
+
+// TableIII renders the verdict comparison (Table III), measured values with
+// the paper's next to them.
+func TableIII(w io.Writer, rows []experiments.TableIIIRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Twitter profile\tfollowers\tFC(in/fk/gd)\tTA(fk/gd)\tSP(in/fk/gd)\tSB(in/fk/gd)\tpaper FC\tpaper TA\tpaper SP\tpaper SB")
+	for _, row := range rows {
+		m := row.Measured
+		fcR := m[experiments.ToolFC]
+		taR := m[experiments.ToolTA]
+		spR := m[experiments.ToolSP]
+		sbR := m[experiments.ToolSB]
+		a := row.Account
+		fmt.Fprintf(tw, "@%s\t%d\t%.1f/%.1f/%.1f\t%.1f/%.1f\t%.0f/%.0f/%.0f\t%.0f/%.0f/%.0f\t%.1f/%.1f/%.1f\t%.1f/%.1f\t%.0f/%.0f/%.0f\t%.0f/%.0f/%.0f\n",
+			a.ScreenName, a.Followers,
+			fcR.InactivePct, fcR.FakePct, fcR.GenuinePct,
+			taR.FakePct, taR.GenuinePct,
+			spR.InactivePct, spR.FakePct, spR.GenuinePct,
+			sbR.InactivePct, sbR.FakePct, sbR.GenuinePct,
+			a.FC.Inactive, a.FC.Fake, a.FC.Genuine,
+			a.TA.Fake, a.TA.Genuine,
+			a.SP.Inactive, a.SP.Fake, a.SP.Genuine,
+			a.SB.Inactive, a.SB.Fake, a.SB.Genuine)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	byClass := experiments.DisagreementByClass(rows)
+	fmt.Fprintf(w, "\nmean pairwise disagreement on %%genuine: low=%.1f average=%.1f high=%.1f\n",
+		byClass["low"], byClass["average"], byClass["high"])
+	under := experiments.InactiveUndercount(rows)
+	fmt.Fprintf(w, "mean inactive undercount vs FC: SP=%.1f SB=%.1f\n",
+		under[experiments.ToolSP], under[experiments.ToolSB])
+	return nil
+}
+
+// FollowerOrder renders the Section IV-B verification outcome.
+func FollowerOrder(w io.Writer, res experiments.OrderResult) error {
+	_, err := fmt.Fprintf(w,
+		"follower-order experiment: %d accounts × %d daily snapshots, %d arrivals\n"+
+			"  append violations: %d\n  prefix violations: %d\n  thesis confirmed: %v\n",
+		res.Accounts, res.Days, res.NewFollowers,
+		res.AppendViolations, res.PrefixViolations, res.Confirmed())
+	return err
+}
+
+// CrawlEstimates renders full-crawl cost estimates.
+func CrawlEstimates(w io.Writer, ests []experiments.CrawlEstimate) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "followers\tids calls\tlookup calls\tcrawl time\tdays")
+	for _, e := range ests {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\t%.1f\n",
+			e.Followers, e.IDsCalls, e.LookupCalls, e.Duration, e.Days())
+	}
+	return tw.Flush()
+}
+
+// Anecdote renders the Section II-A bought-followers result.
+func Anecdote(w io.Writer, res experiments.AnecdoteResult) error {
+	_, err := fmt.Fprintf(w,
+		"bought-followers anecdote: %d genuine + %d bought\n"+
+			"  true junk:   %5.1f%%\n  Fakers says: %5.1f%%   (paper: \"could show a 100%% of fake\")\n"+
+			"  FC says:     %5.1f%%   (the right percentage)\n",
+		res.GenuineBase, res.Bought, res.TruePct, res.FakersJunkPct, res.FCJunkPct)
+	return err
+}
+
+// DeepDive renders the Fakers-vs-Deep-Dive comparison.
+func DeepDive(w io.Writer, results []experiments.DeepDiveResult) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "account\tfollowers\tFakers\tDeepDive\tshift\tpaper")
+	for _, r := range results {
+		fmt.Fprintf(tw, "@%s\t%d\t%.1f%%\t%.1f%%\t-%.1f\t%.0f%%→%.0f%%\n",
+			r.Case.ScreenName, r.Case.Followers,
+			r.MeasuredFakers, r.MeasuredDeepDive, r.Shift(),
+			r.Case.FakersPct, r.Case.DeepDivePct)
+	}
+	return tw.Flush()
+}
+
+// WindowSweep renders the sampling-window sweep series.
+func WindowSweep(w io.Writer, points []experiments.WindowPoint) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "window\tjunk estimate\ttruth\t|error|")
+	for _, p := range points {
+		window := "whole list"
+		if p.Window > 0 {
+			window = fmt.Sprintf("newest %d", p.Window)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f pts\n",
+			window, p.JunkPct, p.TruthPct, p.AbsError())
+	}
+	return tw.Flush()
+}
+
+// SamplingAblation renders the fixed-classifier, varying-window ablation.
+func SamplingAblation(w io.Writer, rows []experiments.AblationRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "configuration\tjunk estimate\ttruth\t|error|\tAPI calls")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f pts\t%d\n",
+			r.Label, r.JunkPct, r.TruthPct, r.AbsError(), r.APICalls)
+	}
+	return tw.Flush()
+}
+
+// MethodResults renders the Section III evaluation sweep.
+func MethodResults(w io.Writer, results []fc.MethodResult) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "method\tkind\taccuracy\tprecision\trecall\tF1\tMCC\tcrawl cost")
+	for _, r := range results {
+		m := r.Metrics
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\n",
+			r.Method, r.Kind, m.Accuracy(), m.Precision(), m.Recall(), m.F1(), m.MCC(), r.CrawlCost)
+	}
+	return tw.Flush()
+}
+
+// TableIIICSV exports measured Table III rows as CSV.
+func TableIIICSV(w io.Writer, rows []experiments.TableIIIRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"screen_name", "followers",
+		"fc_inactive", "fc_fake", "fc_genuine",
+		"ta_fake", "ta_genuine",
+		"sp_inactive", "sp_fake", "sp_genuine",
+		"sb_inactive", "sb_fake", "sb_genuine"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+	for _, row := range rows {
+		m := row.Measured
+		fcR := m[experiments.ToolFC]
+		taR := m[experiments.ToolTA]
+		spR := m[experiments.ToolSP]
+		sbR := m[experiments.ToolSB]
+		record := []string{
+			row.Account.ScreenName,
+			strconv.Itoa(row.Account.Followers),
+			f(fcR.InactivePct), f(fcR.FakePct), f(fcR.GenuinePct),
+			f(taR.FakePct), f(taR.GenuinePct),
+			f(spR.InactivePct), f(spR.FakePct), f(spR.GenuinePct),
+			f(sbR.InactivePct), f(sbR.FakePct), f(sbR.GenuinePct),
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TableIICSV exports measured Table II rows as CSV.
+func TableIICSV(w io.Writer, rows []experiments.TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"screen_name", "followers",
+		"fc_s", "ta_s", "sp_s", "sb_s",
+		"fc_repeat_s", "ta_repeat_s", "sp_repeat_s", "sb_repeat_s"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+	for _, row := range rows {
+		record := []string{
+			row.ScreenName, strconv.Itoa(row.Followers),
+			f(row.FirstSeconds[experiments.ToolFC]),
+			f(row.FirstSeconds[experiments.ToolTA]),
+			f(row.FirstSeconds[experiments.ToolSP]),
+			f(row.FirstSeconds[experiments.ToolSB]),
+			f(row.RepeatSeconds[experiments.ToolFC]),
+			f(row.RepeatSeconds[experiments.ToolTA]),
+			f(row.RepeatSeconds[experiments.ToolSP]),
+			f(row.RepeatSeconds[experiments.ToolSB]),
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes any result structure as indented JSON.
+func JSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,182 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/fc"
+	"fakeproject/internal/ml"
+)
+
+func sampleTableIIIRows() []experiments.TableIIIRow {
+	acct := core.PaperTestbed()[13] // PC_Chiambretti
+	return []experiments.TableIIIRow{{
+		Account: acct,
+		Measured: map[string]core.Report{
+			experiments.ToolFC: {InactivePct: 96.9, FakePct: 1.2, GenuinePct: 1.9, HasInactiveClass: true},
+			experiments.ToolTA: {FakePct: 56.3, GenuinePct: 43.7},
+			experiments.ToolSP: {InactivePct: 47.6, FakePct: 48.4, GenuinePct: 4, HasInactiveClass: true},
+			experiments.ToolSB: {InactivePct: 18.2, FakePct: 33.9, GenuinePct: 47.9, HasInactiveClass: true},
+		},
+	}}
+}
+
+func TestTableIText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GET followers/ids", "5000", "GET users/lookup", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIIText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableIII(&buf, sampleTableIIIRows()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@PC_Chiambretti", "70900", "96.9", "disagreement"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIText(t *testing.T) {
+	rows := []experiments.TableIIRow{{
+		ScreenName: "giovanniallevi",
+		Followers:  13900,
+		FirstSeconds: map[string]float64{
+			experiments.ToolFC: 187, experiments.ToolTA: 47,
+			experiments.ToolSP: 18, experiments.ToolSB: 9,
+		},
+		RepeatSeconds: map[string]float64{
+			experiments.ToolFC: 2, experiments.ToolTA: 3,
+			experiments.ToolSP: 2, experiments.ToolSB: 2.5,
+		},
+		Paper: &core.ResponseTimes{FC: 187, TA: 55, SP: 27, SB: 12},
+	}}
+	var buf bytes.Buffer
+	if err := TableII(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@giovanniallevi", "187s", "187/55/27/12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIICSVParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableIIICSV(&buf, sampleTableIIIRows()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("csv rows = %d, want header + 1", len(records))
+	}
+	if len(records[0]) != 13 || records[1][0] != "PC_Chiambretti" {
+		t.Fatalf("csv shape wrong: %v", records)
+	}
+}
+
+func TestTableIICSVParses(t *testing.T) {
+	rows := []experiments.TableIIRow{{
+		ScreenName:    "x",
+		Followers:     10,
+		FirstSeconds:  map[string]float64{experiments.ToolFC: 1},
+		RepeatSeconds: map[string]float64{experiments.ToolFC: 2},
+	}}
+	var buf bytes.Buffer
+	if err := TableIICSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("csv rows = %d", len(records))
+	}
+}
+
+func TestOtherRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FollowerOrder(&buf, experiments.OrderResult{
+		Accounts: 13, Days: 7, NewFollowers: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "confirmed: true") {
+		t.Fatalf("order output: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := CrawlEstimates(&buf, []experiments.CrawlEstimate{
+		{Followers: 41000000, IDsCalls: 8200, LookupCalls: 410000, Duration: 29 * 24 * time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "41000000") || !strings.Contains(buf.String(), "29.0") {
+		t.Fatalf("crawl output: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := Anecdote(&buf, experiments.AnecdoteResult{
+		GenuineBase: 100000, Bought: 10000,
+		TruePct: 9.1, FakersJunkPct: 99.5, FCJunkPct: 9.3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "9.1%") {
+		t.Fatalf("anecdote output: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := DeepDive(&buf, []experiments.DeepDiveResult{{
+		Case:           core.DeepDiveCases()[0],
+		MeasuredFakers: 68, MeasuredDeepDive: 44,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "70%→45%") {
+		t.Fatalf("deep dive output: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := MethodResults(&buf, []fc.MethodResult{{
+		Method: "forest/lookup", Kind: "fc",
+		Metrics:   ml.ConfusionMatrix{TP: 90, TN: 95, FP: 5, FN: 10},
+		CrawlCost: 0.01,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "forest/lookup") {
+		t.Fatalf("method output: %s", buf.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"a\": 1") {
+		t.Fatalf("json output: %s", buf.String())
+	}
+}

@@ -1,0 +1,185 @@
+// Package sampling implements the sampling schemes the paper contrasts in
+// Section II-D: the statistically sound uniform sample over the whole
+// follower list (the Fake Project engine) versus the commercial tools'
+// window-limited schemes that only ever consider the newest followers, plus
+// the diagnostics that quantify the resulting bias.
+//
+// All strategies operate on a *newest-first* follower list, because that is
+// the order the Twitter API hands out (Section IV-B) and therefore the only
+// order any consumer ever observes. Strategies return *indices* into that
+// list so that callers can both select the IDs and analyse the positional
+// distribution of the sample.
+package sampling
+
+import (
+	"fmt"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/stats"
+	"fakeproject/internal/twitter"
+)
+
+// Strategy draws a sample of positions from a newest-first follower list.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Sample returns up to n distinct indices into a list of the given
+	// length, in ascending index order (index 0 = newest follower).
+	Sample(listLen, n int, src *drand.Source) []int
+}
+
+// Uniform samples uniformly at random over the entire list — the scheme the
+// estimator theory of Section II-D assumes ("our engine uses the whole list
+// of followers to perform the sampling").
+type Uniform struct{}
+
+var _ Strategy = Uniform{}
+
+// Name implements Strategy.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements Strategy.
+func (Uniform) Sample(listLen, n int, src *drand.Source) []int {
+	if n >= listLen {
+		return identity(listLen)
+	}
+	return src.SampleInts(listLen, n)
+}
+
+// NewestWindow samples uniformly from only the newest Window entries — the
+// commercial tools' scheme ("a sample of your follower data, up to 1,000
+// records", drawn from the first pages the API returns). When Window >=
+// listLen it degenerates to Uniform over the whole list, which is why the
+// tools look accurate on small accounts and break on large ones.
+type NewestWindow struct {
+	// Window is the number of newest followers that are candidates.
+	Window int
+}
+
+var _ Strategy = NewestWindow{}
+
+// Name implements Strategy.
+func (w NewestWindow) Name() string { return fmt.Sprintf("newest-%d", w.Window) }
+
+// Sample implements Strategy.
+func (w NewestWindow) Sample(listLen, n int, src *drand.Source) []int {
+	window := w.Window
+	if window <= 0 || window > listLen {
+		window = listLen
+	}
+	if n >= window {
+		return identity(window)
+	}
+	return src.SampleInts(window, n)
+}
+
+// FirstN takes the newest n followers outright (no randomisation at all):
+// the degenerate scheme of tools that simply assess the first API pages.
+type FirstN struct{}
+
+var _ Strategy = FirstN{}
+
+// Name implements Strategy.
+func (FirstN) Name() string { return "first-n" }
+
+// Sample implements Strategy.
+func (FirstN) Sample(listLen, n int, _ *drand.Source) []int {
+	if n > listLen {
+		n = listLen
+	}
+	return identity(n)
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Select maps sampled indices back to follower IDs.
+func Select(newestFirst []twitter.UserID, indices []int) []twitter.UserID {
+	out := make([]twitter.UserID, len(indices))
+	for i, idx := range indices {
+		out[i] = newestFirst[idx]
+	}
+	return out
+}
+
+// Reservoir performs one-pass uniform reservoir sampling (algorithm R) over
+// a stream of follower IDs, for pipelines that cannot hold the full list.
+type Reservoir struct {
+	k    int
+	seen int
+	buf  []twitter.UserID
+	src  *drand.Source
+}
+
+// NewReservoir creates a reservoir of capacity k. It panics if k <= 0.
+func NewReservoir(k int, src *drand.Source) *Reservoir {
+	if k <= 0 {
+		panic("sampling: reservoir capacity must be positive")
+	}
+	return &Reservoir{k: k, buf: make([]twitter.UserID, 0, k), src: src}
+}
+
+// Add offers one element to the reservoir.
+func (r *Reservoir) Add(id twitter.UserID) {
+	r.seen++
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, id)
+		return
+	}
+	if j := r.src.Intn(r.seen); j < r.k {
+		r.buf[j] = id
+	}
+}
+
+// Seen reports how many elements have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns a copy of the current reservoir contents.
+func (r *Reservoir) Sample() []twitter.UserID {
+	return append([]twitter.UserID(nil), r.buf...)
+}
+
+// Bias quantifies how positionally skewed a sample is.
+type Bias struct {
+	// MeanNormRank is the mean of index/(listLen-1) over the sample:
+	// 0.5 for an unbiased sample, ≈0 for a sample of only the newest
+	// followers.
+	MeanNormRank float64
+	// KS is the Kolmogorov-Smirnov distance between the sample's
+	// normalised ranks and the Uniform(0,1) distribution: ≈0 when
+	// unbiased, →1 as the sample concentrates.
+	KS float64
+	// Coverage is the fraction of the list's positional range the sample
+	// spans: (max-min)/(listLen-1).
+	Coverage float64
+}
+
+// Diagnose computes bias diagnostics for sampled indices over a list of the
+// given length.
+func Diagnose(indices []int, listLen int) Bias {
+	if len(indices) == 0 || listLen <= 1 {
+		return Bias{}
+	}
+	ranks := make([]float64, len(indices))
+	lo, hi := indices[0], indices[0]
+	denom := float64(listLen - 1)
+	for i, idx := range indices {
+		ranks[i] = float64(idx) / denom
+		if idx < lo {
+			lo = idx
+		}
+		if idx > hi {
+			hi = idx
+		}
+	}
+	return Bias{
+		MeanNormRank: stats.Mean(ranks),
+		KS:           stats.KSUniform(ranks),
+		Coverage:     float64(hi-lo) / denom,
+	}
+}

@@ -1,0 +1,185 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+)
+
+func TestUniformCoversWholeList(t *testing.T) {
+	src := drand.New(1)
+	idx := Uniform{}.Sample(100000, 9604, src)
+	if len(idx) != 9604 {
+		t.Fatalf("sample size = %d", len(idx))
+	}
+	b := Diagnose(idx, 100000)
+	if math.Abs(b.MeanNormRank-0.5) > 0.02 {
+		t.Fatalf("uniform MeanNormRank = %.4f, want ≈0.5", b.MeanNormRank)
+	}
+	if b.KS > 0.02 {
+		t.Fatalf("uniform KS = %.4f, want ≈0", b.KS)
+	}
+	if b.Coverage < 0.99 {
+		t.Fatalf("uniform coverage = %.4f, want ≈1", b.Coverage)
+	}
+}
+
+func TestNewestWindowIsBiased(t *testing.T) {
+	// The paper's core argument: a 700-sample from the newest 35,000 of a
+	// 500,000-follower list never sees 93% of the population.
+	src := drand.New(2)
+	idx := NewestWindow{Window: 35000}.Sample(500000, 700, src)
+	if len(idx) != 700 {
+		t.Fatalf("sample size = %d", len(idx))
+	}
+	for _, i := range idx {
+		if i >= 35000 {
+			t.Fatalf("index %d escaped the window", i)
+		}
+	}
+	b := Diagnose(idx, 500000)
+	if b.MeanNormRank > 0.05 {
+		t.Fatalf("newest-window MeanNormRank = %.4f, want ≈0.035", b.MeanNormRank)
+	}
+	if b.KS < 0.9 {
+		t.Fatalf("newest-window KS = %.4f, want ≈0.93", b.KS)
+	}
+	if b.Coverage > 0.08 {
+		t.Fatalf("newest-window coverage = %.4f, want tiny", b.Coverage)
+	}
+}
+
+func TestNewestWindowDegeneratesToUniformOnSmallLists(t *testing.T) {
+	// "...since 97% of Twitter accounts have less than 5K followers, the
+	// analysis of the application should consider a sound sample": when the
+	// window exceeds the list, the scheme is unbiased.
+	src := drand.New(3)
+	idx := NewestWindow{Window: 35000}.Sample(3000, 700, src)
+	b := Diagnose(idx, 3000)
+	if math.Abs(b.MeanNormRank-0.5) > 0.05 {
+		t.Fatalf("MeanNormRank = %.4f, want ≈0.5 on small list", b.MeanNormRank)
+	}
+}
+
+func TestFirstN(t *testing.T) {
+	idx := FirstN{}.Sample(1000, 10, nil)
+	for i, v := range idx {
+		if v != i {
+			t.Fatalf("FirstN must return the newest prefix, got %v", idx)
+		}
+	}
+	idx = FirstN{}.Sample(5, 10, nil)
+	if len(idx) != 5 {
+		t.Fatalf("FirstN over short list = %d, want 5", len(idx))
+	}
+}
+
+func TestSampleLargerThanList(t *testing.T) {
+	src := drand.New(4)
+	for _, s := range []Strategy{Uniform{}, NewestWindow{Window: 50}, FirstN{}} {
+		idx := s.Sample(10, 100, src)
+		if len(idx) != 10 {
+			t.Fatalf("%s over-sampled: %d", s.Name(), len(idx))
+		}
+	}
+}
+
+func TestStrategyProperties(t *testing.T) {
+	src := drand.New(5)
+	strategies := []Strategy{Uniform{}, NewestWindow{Window: 500}, FirstN{}}
+	f := func(lenRaw, nRaw uint16) bool {
+		listLen := int(lenRaw%2000) + 1
+		n := int(nRaw % 1500)
+		for _, s := range strategies {
+			idx := s.Sample(listLen, n, src)
+			if len(idx) > listLen || (n <= listLen && s.Name() == "uniform" && len(idx) != n) {
+				return false
+			}
+			prev := -1
+			for _, v := range idx {
+				if v <= prev || v < 0 || v >= listLen {
+					return false
+				}
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	list := []twitter.UserID{10, 20, 30, 40}
+	got := Select(list, []int{0, 2})
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestReservoirExactWhenUnderCapacity(t *testing.T) {
+	r := NewReservoir(10, drand.New(6))
+	for i := twitter.UserID(1); i <= 5; i++ {
+		r.Add(i)
+	}
+	s := r.Sample()
+	if len(s) != 5 || r.Seen() != 5 {
+		t.Fatalf("reservoir = %v seen %d", s, r.Seen())
+	}
+}
+
+func TestReservoirUniformInclusion(t *testing.T) {
+	// Each of 100 elements should be included in a 10-slot reservoir with
+	// probability 0.1.
+	counts := make(map[twitter.UserID]int)
+	const trials = 20000
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(10, drand.New(uint64(trial+1)))
+		for i := twitter.UserID(1); i <= 100; i++ {
+			r.Add(i)
+		}
+		for _, id := range r.Sample() {
+			counts[id]++
+		}
+	}
+	for id := twitter.UserID(1); id <= 100; id++ {
+		freq := float64(counts[id]) / trials
+		if math.Abs(freq-0.1) > 0.015 {
+			t.Fatalf("element %d inclusion %.4f, want ≈0.1", id, freq)
+		}
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewReservoir(0, drand.New(1))
+}
+
+func TestDiagnoseEdgeCases(t *testing.T) {
+	if b := Diagnose(nil, 100); b != (Bias{}) {
+		t.Fatalf("empty diagnose = %+v", b)
+	}
+	if b := Diagnose([]int{0}, 1); b != (Bias{}) {
+		t.Fatalf("single-element list diagnose = %+v", b)
+	}
+}
+
+func TestSamplesAreDistinct(t *testing.T) {
+	src := drand.New(7)
+	idx := Uniform{}.Sample(10000, 9604, src)
+	seen := make(map[int]bool, len(idx))
+	for _, v := range idx {
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+}

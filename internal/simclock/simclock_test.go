@@ -1,0 +1,124 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2014, 1, 2, 3, 4, 5, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	v.Sleep(90 * time.Second)
+	want := Epoch.Add(90 * time.Second)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Sleep = %v, want %v", got, want)
+	}
+	if v.Sleeps() != 1 {
+		t.Fatalf("Sleeps() = %d, want 1", v.Sleeps())
+	}
+	if v.Slept() != 90*time.Second {
+		t.Fatalf("Slept() = %v, want 90s", v.Slept())
+	}
+}
+
+func TestVirtualSleepNonPositiveIsNoop(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want unchanged %v", got, Epoch)
+	}
+	if v.Sleeps() != 0 {
+		t.Fatalf("Sleeps() = %d, want 0", v.Sleeps())
+	}
+}
+
+func TestVirtualAdvanceDoesNotCountAsSleep(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	v.Advance(time.Hour)
+	if v.Sleeps() != 0 {
+		t.Fatalf("Advance must not count as a sleep")
+	}
+	if got := v.Now(); !got.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch.Add(time.Hour))
+	}
+}
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Advance(-1) should panic")
+		}
+	}()
+	NewVirtualAtEpoch().Advance(-1)
+}
+
+func TestVirtualSetNowForwardOnly(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	target := Epoch.Add(24 * time.Hour)
+	v.SetNow(target)
+	if got := v.Now(); !got.Equal(target) {
+		t.Fatalf("Now() = %v, want %v", got, target)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("SetNow backwards should panic")
+		}
+	}()
+	v.SetNow(Epoch)
+}
+
+func TestVirtualConcurrentSleepsAccumulate(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			v.Sleep(time.Second)
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); !got.Equal(Epoch.Add(n * time.Second)) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch.Add(n*time.Second))
+	}
+	if v.Sleeps() != n {
+		t.Fatalf("Sleeps() = %d, want %d", v.Sleeps(), n)
+	}
+}
+
+func TestStopwatchOnVirtualClock(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	sw := NewStopwatch(v)
+	v.Sleep(3 * time.Minute)
+	if got := sw.Elapsed(); got != 3*time.Minute {
+		t.Fatalf("Elapsed() = %v, want 3m", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed() after Restart = %v, want 0", got)
+	}
+	v.Advance(time.Second)
+	if got := sw.Elapsed(); got != time.Second {
+		t.Fatalf("Elapsed() = %v, want 1s", got)
+	}
+}
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,267 @@
+// Package stats implements the statistical machinery of Section II-D of the
+// paper: estimation of a population proportion from a sample, standard
+// errors, Wald confidence intervals, critical values, and the sample-size
+// computation that yields the Fake Project engine's n = 9,604 (95% confidence
+// level, ±1% confidence interval), plus the agreement metrics used to
+// quantify the disagreement between analytics in Table III.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadSample reports an estimation request with invalid sample parameters.
+var ErrBadSample = errors.New("stats: invalid sample parameters")
+
+// Proportion is the estimator p̂ = X/n for the share of a population that
+// holds a property, as recalled in Section II-D.
+type Proportion struct {
+	// PHat is the point estimate X/n.
+	PHat float64
+	// N is the sample size.
+	N int
+}
+
+// EstimateProportion builds the estimator from X positives out of n samples.
+func EstimateProportion(positives, n int) (Proportion, error) {
+	if n <= 0 || positives < 0 || positives > n {
+		return Proportion{}, fmt.Errorf("%w: positives=%d n=%d", ErrBadSample, positives, n)
+	}
+	return Proportion{PHat: float64(positives) / float64(n), N: n}, nil
+}
+
+// StdErr returns the standard error sqrt(p̂(1-p̂)/n) of the estimator.
+func (p Proportion) StdErr() float64 {
+	return math.Sqrt(p.PHat * (1 - p.PHat) / float64(p.N))
+}
+
+// StdErrFinite returns the standard error with the finite-population
+// correction applied, for a population of size N: se * sqrt((N-n)/(N-1)).
+// For n << N this is indistinguishable from StdErr.
+func (p Proportion) StdErrFinite(populationSize int) float64 {
+	if populationSize <= 1 || p.N >= populationSize {
+		return 0
+	}
+	fpc := math.Sqrt(float64(populationSize-p.N) / float64(populationSize-1))
+	return p.StdErr() * fpc
+}
+
+// Interval is a two-sided confidence interval for a proportion, clamped to
+// the feasible range [0,1].
+type Interval struct {
+	Lo, Hi float64
+	// Level is the confidence level the interval was built for, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// ConfidenceInterval returns the Wald interval p̂ ± Z_α·σ at the given
+// confidence level (Section II-D: Z=1.96 at 0.95, Z=2.58 at 0.99).
+func (p Proportion) ConfidenceInterval(level float64) Interval {
+	z := ZCritical(level)
+	se := p.StdErr()
+	return clampInterval(p.PHat-z*se, p.PHat+z*se, level)
+}
+
+// ConfidenceIntervalFinite is ConfidenceInterval with the finite-population
+// correction for a population of the given size.
+func (p Proportion) ConfidenceIntervalFinite(level float64, populationSize int) Interval {
+	z := ZCritical(level)
+	se := p.StdErrFinite(populationSize)
+	return clampInterval(p.PHat-z*se, p.PHat+z*se, level)
+}
+
+func clampInterval(lo, hi, level float64) Interval {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi, Level: level}
+}
+
+// ZCritical returns the two-sided critical value Z_α for the given confidence
+// level in (0,1): the (1+level)/2 quantile of the standard normal.
+// ZCritical(0.95) ≈ 1.96 and ZCritical(0.99) ≈ 2.58, the two values quoted in
+// the paper. It panics if level is outside (0,1).
+func ZCritical(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: confidence level %v outside (0,1)", level))
+	}
+	// Phi^-1(q) = sqrt(2) * erfinv(2q - 1), with q = (1+level)/2, so
+	// 2q-1 = level.
+	return math.Sqrt2 * math.Erfinv(level)
+}
+
+// SampleSize returns the sample size needed to estimate a proportion at the
+// given confidence level within ±margin, using the conservative p=0.5:
+// n = ceil(Z² · 0.25 / margin²).
+//
+// SampleSize(0.95, 0.01) = 9604, the Fake Project engine's sample size
+// (Section IV-C).
+func SampleSize(level, margin float64) int {
+	if margin <= 0 || margin >= 1 {
+		panic(fmt.Sprintf("stats: margin %v outside (0,1)", margin))
+	}
+	z := ZCritical(level)
+	n := z * z * 0.25 / (margin * margin)
+	return int(math.Ceil(n - 1e-9))
+}
+
+// SampleSizeFinite applies the finite-population correction to SampleSize
+// for a population of size N: n' = n / (1 + (n-1)/N).
+func SampleSizeFinite(level, margin float64, populationSize int) int {
+	n := SampleSize(level, margin)
+	if populationSize <= 0 {
+		return 0
+	}
+	adj := float64(n) / (1 + float64(n-1)/float64(populationSize))
+	out := int(math.Ceil(adj))
+	if out > populationSize {
+		out = populationSize
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (division by n), or 0 for
+// fewer than two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// MeanAbsoluteDeviation returns the mean |x_i - mean(xs)|, the spread metric
+// used to quantify per-account disagreement across tools in Table III.
+func MeanAbsoluteDeviation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += math.Abs(x - m)
+	}
+	return s / float64(len(xs))
+}
+
+// PairwiseDisagreement returns the mean absolute pairwise difference between
+// the values: mean over all i<j of |x_i - x_j|. It is 0 for fewer than two
+// values.
+func PairwiseDisagreement(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	s := 0.0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s += math.Abs(xs[i] - xs[j])
+			pairs++
+		}
+	}
+	return s / float64(pairs)
+}
+
+// MaxSpread returns max(xs) - min(xs), or 0 for an empty slice.
+func MaxSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}
+
+// KSUniform returns the one-sample Kolmogorov-Smirnov statistic of xs
+// against the Uniform(0,1) distribution: sup_x |F_n(x) - x|. The sampling
+// package uses it to quantify how far a sampling scheme's normalised-rank
+// distribution is from uniform (Section II-D's bias argument).
+func KSUniform(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	d := 0.0
+	for i, x := range cp {
+		// Empirical CDF steps from i/n to (i+1)/n at x.
+		lo := math.Abs(x - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - x)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// TwoProportionZ returns the z statistic for the difference between two
+// independent sample proportions (pooled standard error). A |z| above the
+// critical value at the desired level indicates the two analytics are
+// reporting statistically incompatible results for the same account.
+func TwoProportionZ(a, b Proportion) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	pool := (a.PHat*na + b.PHat*nb) / (na + nb)
+	se := math.Sqrt(pool * (1 - pool) * (1/na + 1/nb))
+	if se == 0 {
+		return 0
+	}
+	return (a.PHat - b.PHat) / se
+}

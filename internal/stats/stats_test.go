@@ -1,0 +1,311 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateProportion(t *testing.T) {
+	tests := []struct {
+		name      string
+		positives int
+		n         int
+		want      float64
+		wantErr   bool
+	}{
+		{"half", 50, 100, 0.5, false},
+		{"zero", 0, 10, 0, false},
+		{"all", 10, 10, 1, false},
+		{"bad n", 1, 0, 0, true},
+		{"neg positives", -1, 10, 0, true},
+		{"positives > n", 11, 10, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := EstimateProportion(tt.positives, tt.n)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && got.PHat != tt.want {
+				t.Fatalf("PHat = %v, want %v", got.PHat, tt.want)
+			}
+		})
+	}
+}
+
+func TestZCriticalMatchesPaper(t *testing.T) {
+	// Section II-D: "with a confidence level of 0.95 Zα = 1.96, while for
+	// 0.99 Zα = 2.58".
+	if z := ZCritical(0.95); math.Abs(z-1.96) > 0.005 {
+		t.Fatalf("ZCritical(0.95) = %v, want ≈1.96", z)
+	}
+	if z := ZCritical(0.99); math.Abs(z-2.576) > 0.005 {
+		t.Fatalf("ZCritical(0.99) = %v, want ≈2.58", z)
+	}
+	if z := ZCritical(0.90); math.Abs(z-1.645) > 0.005 {
+		t.Fatalf("ZCritical(0.90) = %v, want ≈1.645", z)
+	}
+}
+
+func TestZCriticalPanicsOutsideRange(t *testing.T) {
+	for _, level := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ZCritical(%v) should panic", level)
+				}
+			}()
+			ZCritical(level)
+		}()
+	}
+}
+
+func TestSampleSizeIs9604(t *testing.T) {
+	// Section IV-C: "the sample size is always 9604, to guarantee a
+	// confidence level of 95%, with a confidence interval of 1%".
+	if n := SampleSize(0.95, 0.01); n != 9604 {
+		t.Fatalf("SampleSize(0.95, 0.01) = %d, want 9604", n)
+	}
+}
+
+func TestSampleSizeOtherLevels(t *testing.T) {
+	// Common statistical reference values.
+	tests := []struct {
+		level, margin float64
+		want          int
+	}{
+		{0.95, 0.05, 385},
+		{0.95, 0.02, 2401},
+		{0.99, 0.01, 16588},
+	}
+	for _, tt := range tests {
+		got := SampleSize(tt.level, tt.margin)
+		if int(math.Abs(float64(got-tt.want))) > 10 {
+			t.Fatalf("SampleSize(%v,%v) = %d, want ≈%d", tt.level, tt.margin, got, tt.want)
+		}
+	}
+}
+
+func TestSampleSizeFinite(t *testing.T) {
+	// For a tiny population the corrected size cannot exceed the population.
+	if n := SampleSizeFinite(0.95, 0.01, 1000); n > 1000 {
+		t.Fatalf("finite sample size %d exceeds population", n)
+	}
+	// For a huge population it converges to the unadjusted value.
+	if n := SampleSizeFinite(0.95, 0.01, 100_000_000); n != 9604 && n != 9603 {
+		t.Fatalf("finite sample size for huge population = %d, want ≈9604", n)
+	}
+	if n := SampleSizeFinite(0.95, 0.01, 0); n != 0 {
+		t.Fatalf("zero population should need zero samples, got %d", n)
+	}
+}
+
+func TestConfidenceIntervalCoversTruth(t *testing.T) {
+	// With p̂ = 0.3 on n = 9604, the 95% CI must be ≈ ±1% wide (actually
+	// tighter, since 0.25 is the conservative variance bound).
+	p, err := EstimateProportion(2881, 9604)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := p.ConfidenceInterval(0.95)
+	if !iv.Contains(0.3) {
+		t.Fatalf("interval %+v does not contain 0.3", iv)
+	}
+	if iv.Width() > 0.02 {
+		t.Fatalf("interval width %v exceeds 2%%", iv.Width())
+	}
+}
+
+func TestConfidenceIntervalClamped(t *testing.T) {
+	p, _ := EstimateProportion(0, 10)
+	iv := p.ConfidenceInterval(0.95)
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Fatalf("interval not clamped: %+v", iv)
+	}
+	p, _ = EstimateProportion(10, 10)
+	iv = p.ConfidenceInterval(0.99)
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Fatalf("interval not clamped: %+v", iv)
+	}
+}
+
+func TestIntervalWidthShrinksWithN(t *testing.T) {
+	small, _ := EstimateProportion(30, 100)
+	large, _ := EstimateProportion(3000, 10000)
+	if small.ConfidenceInterval(0.95).Width() <= large.ConfidenceInterval(0.95).Width() {
+		t.Fatal("larger sample should give narrower interval")
+	}
+}
+
+func TestIntervalWidthGrowsWithLevel(t *testing.T) {
+	p, _ := EstimateProportion(300, 1000)
+	if p.ConfidenceInterval(0.99).Width() <= p.ConfidenceInterval(0.90).Width() {
+		t.Fatal("higher confidence should give wider interval")
+	}
+}
+
+func TestStdErrFinite(t *testing.T) {
+	p, _ := EstimateProportion(500, 1000)
+	if se := p.StdErrFinite(1000); se != 0 {
+		t.Fatalf("sampling the whole population should have zero SE, got %v", se)
+	}
+	if se := p.StdErrFinite(1_000_000); math.Abs(se-p.StdErr()) > 1e-5 {
+		t.Fatalf("FPC should be negligible for huge populations: %v vs %v", se, p.StdErr())
+	}
+	if se := p.StdErrFinite(2000); se >= p.StdErr() {
+		t.Fatalf("FPC must shrink the standard error: %v >= %v", se, p.StdErr())
+	}
+}
+
+func TestProportionProperties(t *testing.T) {
+	f := func(posRaw, extraRaw uint16) bool {
+		pos := int(posRaw % 1000)
+		n := pos + int(extraRaw%1000) + 1
+		p, err := EstimateProportion(pos, n)
+		if err != nil {
+			return false
+		}
+		if p.PHat < 0 || p.PHat > 1 {
+			return false
+		}
+		iv := p.ConfidenceInterval(0.95)
+		return iv.Contains(p.PHat) && iv.Lo >= 0 && iv.Hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptiveStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+	if md := Median(xs); md != 4.5 {
+		t.Fatalf("Median = %v, want 4.5", md)
+	}
+	if md := Median([]float64{3, 1, 2}); md != 2 {
+		t.Fatalf("Median odd = %v, want 2", md)
+	}
+}
+
+func TestDescriptiveStatsEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 ||
+		MeanAbsoluteDeviation(nil) != 0 || PairwiseDisagreement(nil) != 0 ||
+		MaxSpread(nil) != 0 || KSUniform(nil) != 0 {
+		t.Fatal("empty inputs must yield zero")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestPairwiseDisagreement(t *testing.T) {
+	// |10-20| + |10-40| + |20-40| = 10+30+20 = 60, / 3 pairs = 20.
+	if d := PairwiseDisagreement([]float64{10, 20, 40}); d != 20 {
+		t.Fatalf("PairwiseDisagreement = %v, want 20", d)
+	}
+	if d := PairwiseDisagreement([]float64{5, 5, 5}); d != 0 {
+		t.Fatalf("identical values should not disagree, got %v", d)
+	}
+}
+
+func TestMaxSpread(t *testing.T) {
+	if s := MaxSpread([]float64{17, 97, 48, 55}); s != 80 {
+		t.Fatalf("MaxSpread = %v, want 80", s)
+	}
+}
+
+func TestMeanAbsoluteDeviation(t *testing.T) {
+	if d := MeanAbsoluteDeviation([]float64{0, 10}); d != 5 {
+		t.Fatalf("MAD = %v, want 5", d)
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	// A perfectly spread sample should have a tiny KS statistic.
+	n := 1000
+	spread := make([]float64, n)
+	for i := range spread {
+		spread[i] = (float64(i) + 0.5) / float64(n)
+	}
+	if d := KSUniform(spread); d > 0.01 {
+		t.Fatalf("KS of near-uniform grid = %v, want < 0.01", d)
+	}
+	// A sample concentrated at the top (the newest-followers bias) should
+	// be far from uniform.
+	top := make([]float64, n)
+	for i := range top {
+		top[i] = 0.97 + 0.03*float64(i)/float64(n)
+	}
+	if d := KSUniform(top); d < 0.9 {
+		t.Fatalf("KS of concentrated sample = %v, want > 0.9", d)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	a, _ := EstimateProportion(500, 1000)
+	b, _ := EstimateProportion(500, 1000)
+	if z := TwoProportionZ(a, b); z != 0 {
+		t.Fatalf("identical proportions should give z=0, got %v", z)
+	}
+	c, _ := EstimateProportion(700, 1000)
+	z := TwoProportionZ(c, a)
+	if z < 8 {
+		t.Fatalf("0.7 vs 0.5 on n=1000 should be wildly significant, z=%v", z)
+	}
+	if z2 := TwoProportionZ(a, c); math.Abs(z+z2) > 1e-12 {
+		t.Fatalf("z should be antisymmetric: %v vs %v", z, z2)
+	}
+	// Degenerate pooled proportion (both zero) must not divide by zero.
+	d0, _ := EstimateProportion(0, 10)
+	if z := TwoProportionZ(d0, d0); z != 0 {
+		t.Fatalf("degenerate case z = %v, want 0", z)
+	}
+}
+
+func TestCICoverageSimulation(t *testing.T) {
+	// Empirical check that the 95% Wald interval covers the true p
+	// roughly 95% of the time for p=0.3, n=1000 (binomial via LCG).
+	// This validates the machinery the FC engine's guarantee rests on.
+	seed := uint64(12345)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	const trials = 2000
+	const n = 1000
+	const p = 0.3
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		pos := 0
+		for i := 0; i < n; i++ {
+			if next() < p {
+				pos++
+			}
+		}
+		est, err := EstimateProportion(pos, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.ConfidenceInterval(0.95).Contains(p) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.93 || rate > 0.97 {
+		t.Fatalf("empirical CI coverage %.3f, want ≈0.95", rate)
+	}
+}

@@ -1,0 +1,80 @@
+package twitter
+
+import (
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+func benchStore(b *testing.B, followers int) (*Store, UserID) {
+	b.Helper()
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 1)
+	store.Grow(followers + 1)
+	target := store.MustCreateUser(UserParams{ScreenName: "t"})
+	at := simclock.Epoch.AddDate(-1, 0, 0)
+	for i := 0; i < followers; i++ {
+		id := store.MustCreateUser(UserParams{
+			CreatedAt: simclock.Epoch.AddDate(-2, 0, 0),
+			LastTweet: simclock.Epoch.AddDate(0, 0, -5),
+			Statuses:  200, Friends: 150, Followers: 80,
+			Bio: true, Location: true,
+			Behavior: Behavior{RetweetRatio: 0.2, LinkRatio: 0.3, DuplicateRatio: 0.05},
+		})
+		if err := store.AddFollower(target, id, at); err != nil {
+			b.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	return store, target
+}
+
+// BenchmarkCreateUser measures procedural account creation (the population
+// build hot path: ~1.5M calls for the full testbed).
+func BenchmarkCreateUser(b *testing.B) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 1)
+	store.Grow(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.MustCreateUser(UserParams{Statuses: 10, Friends: 100})
+	}
+}
+
+// BenchmarkProfileMaterialise measures compact-record → Profile expansion
+// (the users/lookup hot path).
+func BenchmarkProfileMaterialise(b *testing.B) {
+	store, _ := benchStore(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Profile(UserID(2 + i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowersNewestFirst measures the API-order view of a 50K list.
+func BenchmarkFollowersNewestFirst(b *testing.B) {
+	store, target := benchStore(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := store.FollowersNewestFirst(target)
+		if err != nil || len(ids) != 50000 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthTimeline measures deterministic timeline synthesis
+// (200 tweets, the user_timeline page size).
+func BenchmarkSynthTimeline(b *testing.B) {
+	store, _ := benchStore(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl, err := store.Timeline(UserID(2+i%10), 200)
+		if err != nil || len(tl) == 0 {
+			b.Fatal(err)
+		}
+	}
+}

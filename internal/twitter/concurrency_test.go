@@ -1,0 +1,110 @@
+package twitter
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+// TestStoreConcurrentReadersAndWriters hammers the store with parallel
+// profile reads, timeline synthesis and follower appends; run with -race it
+// proves the locking discipline (several analytics engines share one store
+// in every simulation).
+func TestStoreConcurrentReadersAndWriters(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 77)
+	target := store.MustCreateUser(UserParams{ScreenName: "hub"})
+	for i := 0; i < 2000; i++ {
+		id := store.MustCreateUser(UserParams{
+			CreatedAt: simclock.Epoch.AddDate(-1, 0, 0),
+			LastTweet: simclock.Epoch.AddDate(0, 0, -1),
+			Statuses:  40,
+		})
+		if err := store.AddFollower(target, id, simclock.Epoch.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan error, 16)
+
+	// Readers: profiles, timelines, follower views.
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := UserID(2 + (i+r*7)%2000)
+				if _, err := store.Profile(id); err != nil {
+					fail <- err
+					return
+				}
+				if _, err := store.Timeline(id, 20); err != nil {
+					fail <- err
+					return
+				}
+				if _, err := store.FollowersNewestFirst(target); err != nil {
+					fail <- err
+					return
+				}
+			}
+		}(r)
+	}
+	// One writer appending followers (the growth generator's pattern).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at := simclock.Epoch.Add(3000 * time.Second)
+		for i := 0; i < 500; i++ {
+			id, err := store.CreateUser(UserParams{})
+			if err != nil {
+				fail <- err
+				return
+			}
+			if err := store.AddFollower(target, id, at); err != nil {
+				fail <- err
+				return
+			}
+			at = at.Add(time.Second)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let readers spin until the writer finishes, then stop them.
+	timer := time.NewTimer(5 * time.Second)
+	defer timer.Stop()
+	for {
+		select {
+		case err := <-fail:
+			close(stop)
+			t.Fatal(err)
+		case <-timer.C:
+			close(stop)
+			t.Fatal("writer did not finish in time")
+		default:
+		}
+		if n, _ := store.FollowerCount(target); n == 2500 {
+			close(stop)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+}

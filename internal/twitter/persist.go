@@ -1,0 +1,234 @@
+package twitter
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/simclock"
+)
+
+func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+// Snapshot persistence: a Store can be serialised and reloaded so that
+// expensive populations (the full testbed is ~1.5M accounts) can be built
+// once and reused across processes — e.g. `genpop -out pop.gob` feeding
+// `twitterd -load pop.gob`. The format is versioned gob.
+
+// snapshotVersion guards against loading snapshots from incompatible
+// builds.
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports a snapshot that cannot be loaded.
+var ErrBadSnapshot = errors.New("twitter: invalid snapshot")
+
+// persistRecord mirrors the unexported record struct with exported fields
+// for gob.
+type persistRecord struct {
+	CreatedAt   int64
+	LastTweetAt int64
+	Statuses    int32
+	Friends     int32
+	Followers   int32
+	Seed        uint32
+	Flags       uint8
+	Class       uint8
+	RetweetPct  uint8
+	LinkPct     uint8
+	SpamPct     uint8
+	DupPct      uint8
+}
+
+type persistFollow struct {
+	Follower int64
+	At       int64
+}
+
+type persistTweet struct {
+	ID        int64
+	CreatedAt int64
+	Text      string
+	IsRetweet bool
+	HasLink   bool
+	IsReply   bool
+	Mentions  int32
+	Hashtags  int32
+	Source    string
+}
+
+type persistTarget struct {
+	ID      int64
+	Follows []persistFollow
+	Tweets  []persistTweet
+	Friends []int64
+}
+
+type snapshot struct {
+	Version  int
+	NameSeed uint64
+	TweetSeq int64
+	Records  []persistRecord
+	Names    map[int64]string
+	Targets  []persistTarget
+}
+
+// WriteSnapshot serialises the full store state.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	snap := snapshot{
+		Version:  snapshotVersion,
+		NameSeed: s.nameSeed.Seed(),
+		TweetSeq: int64(s.tweetSeq),
+		Records:  make([]persistRecord, len(s.recs)),
+		Names:    make(map[int64]string, len(s.names)),
+	}
+	for i, r := range s.recs {
+		snap.Records[i] = persistRecord{
+			CreatedAt:   r.createdAt,
+			LastTweetAt: r.lastTweetAt,
+			Statuses:    r.statuses,
+			Friends:     r.friends,
+			Followers:   r.followers,
+			Seed:        r.seed,
+			Flags:       r.flags,
+			Class:       r.class,
+			RetweetPct:  r.retweetPct,
+			LinkPct:     r.linkPct,
+			SpamPct:     r.spamPct,
+			DupPct:      r.dupPct,
+		}
+	}
+	for id, name := range s.names {
+		snap.Names[int64(id)] = name
+	}
+	for id, td := range s.targets {
+		pt := persistTarget{ID: int64(id)}
+		pt.Follows = make([]persistFollow, len(td.follows))
+		for i, f := range td.follows {
+			pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix()}
+		}
+		pt.Tweets = make([]persistTweet, len(td.tweets))
+		for i, tw := range td.tweets {
+			pt.Tweets[i] = persistTweet{
+				ID:        int64(tw.ID),
+				CreatedAt: tw.CreatedAt.Unix(),
+				Text:      tw.Text,
+				IsRetweet: tw.IsRetweet,
+				HasLink:   tw.HasLink,
+				IsReply:   tw.IsReply,
+				Mentions:  int32(tw.Mentions),
+				Hashtags:  int32(tw.Hashtags),
+				Source:    tw.Source,
+			}
+		}
+		if td.friends != nil {
+			pt.Friends = make([]int64, len(td.friends))
+			for i, f := range td.friends {
+				pt.Friends[i] = int64(f)
+			}
+		}
+		snap.Targets = append(snap.Targets, pt)
+	}
+
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
+		return fmt.Errorf("encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a Store from a snapshot, bound to the given
+// clock.
+func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadSnapshot, snap.Version, snapshotVersion)
+	}
+	store := &Store{
+		clock:    clock,
+		nameSeed: drand.New(snap.NameSeed),
+		recs:     make([]record, len(snap.Records)),
+		names:    make(map[UserID]string, len(snap.Names)),
+		byName:   make(map[string]UserID, len(snap.Names)),
+		targets:  make(map[UserID]*targetData, len(snap.Targets)),
+		tweetSeq: TweetID(snap.TweetSeq),
+	}
+	for i, pr := range snap.Records {
+		store.recs[i] = record{
+			createdAt:   pr.CreatedAt,
+			lastTweetAt: pr.LastTweetAt,
+			statuses:    pr.Statuses,
+			friends:     pr.Friends,
+			followers:   pr.Followers,
+			seed:        pr.Seed,
+			flags:       pr.Flags,
+			class:       pr.Class,
+			retweetPct:  pr.RetweetPct,
+			linkPct:     pr.LinkPct,
+			spamPct:     pr.SpamPct,
+			dupPct:      pr.DupPct,
+		}
+	}
+	for id, name := range snap.Names {
+		uid := UserID(id)
+		if id < 1 || int(id) > len(store.recs) {
+			return nil, fmt.Errorf("%w: name %q for unknown user %d", ErrBadSnapshot, name, id)
+		}
+		if _, dup := store.byName[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate name %q", ErrBadSnapshot, name)
+		}
+		store.names[uid] = name
+		store.byName[name] = uid
+	}
+	for _, pt := range snap.Targets {
+		if pt.ID < 1 || int(pt.ID) > len(store.recs) {
+			return nil, fmt.Errorf("%w: target %d out of range", ErrBadSnapshot, pt.ID)
+		}
+		td := &targetData{}
+		var prev int64
+		for _, pf := range pt.Follows {
+			if pf.Follower < 1 || int(pf.Follower) > len(store.recs) {
+				return nil, fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, pf.Follower)
+			}
+			if pf.At < prev {
+				return nil, fmt.Errorf("%w: follow times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+			}
+			prev = pf.At
+			td.follows = append(td.follows, Follow{
+				Follower: UserID(pf.Follower),
+				At:       unixUTC(pf.At),
+			})
+		}
+		for _, ptw := range pt.Tweets {
+			td.tweets = append(td.tweets, Tweet{
+				ID:        TweetID(ptw.ID),
+				Author:    UserID(pt.ID),
+				CreatedAt: unixUTC(ptw.CreatedAt),
+				Text:      ptw.Text,
+				IsRetweet: ptw.IsRetweet,
+				HasLink:   ptw.HasLink,
+				IsReply:   ptw.IsReply,
+				Mentions:  int(ptw.Mentions),
+				Hashtags:  int(ptw.Hashtags),
+				Source:    ptw.Source,
+			})
+		}
+		if pt.Friends != nil {
+			td.friends = make([]UserID, len(pt.Friends))
+			for i, f := range pt.Friends {
+				td.friends[i] = UserID(f)
+			}
+		}
+		store.targets[UserID(pt.ID)] = td
+	}
+	return store, nil
+}

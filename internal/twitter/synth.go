@@ -1,0 +1,169 @@
+package twitter
+
+import (
+	"fmt"
+	"time"
+
+	"fakeproject/internal/drand"
+)
+
+// Deterministic content synthesis for procedurally stored accounts. The
+// generated artefacts only need to be *feature-faithful*: classifiers look at
+// spam phrases, duplicates, retweets, links, mention/hashtag counts and
+// timestamps, so the synthesiser guarantees those match the account's stored
+// behaviour ratios while the prose itself is boilerplate.
+
+// SpamPhrases are the indicative phrases Socialbakers lists in its public
+// methodology ("like diet, make money, work from home").
+var SpamPhrases = []string{
+	"diet", "make money", "work from home", "earn cash fast",
+	"free followers", "lose weight now",
+}
+
+var firstNames = []string{
+	"alessandro", "giulia", "marco", "francesca", "luca", "sara", "andrea",
+	"elena", "davide", "chiara", "john", "mary", "james", "linda", "robert",
+	"susan", "pierre", "amelie", "hans", "ingrid",
+}
+
+var lastNames = []string{
+	"rossi", "bianchi", "ferrari", "russo", "romano", "gallo", "costa",
+	"smith", "johnson", "brown", "wilson", "moore", "taylor", "martin",
+	"bernard", "dubois", "muller", "schmidt", "novak", "kovacs",
+}
+
+var locations = []string{
+	"Pisa, Italy", "Roma", "Milano", "London", "New York", "Paris",
+	"Berlin", "Madrid", "Tokyo", "Somewhere", "Internet", "Earth",
+}
+
+var bioTemplates = []string{
+	"love music and football",
+	"living the dream, one day at a time",
+	"official account. all opinions my own",
+	"coffee addict | runner | dreamer",
+	"student of life",
+	"digital marketing enthusiast",
+	"proud parent. amateur cook.",
+	"tweets about tech and cats",
+}
+
+var genuineTexts = []string{
+	"just watched the match, what a game",
+	"monday again... need coffee",
+	"great dinner with friends tonight",
+	"reading a fantastic book, recommendations welcome",
+	"this weather is unbelievable",
+	"happy birthday to my best friend!",
+	"new blog post is up, feedback welcome",
+	"can't believe the news today",
+	"finally finished that project",
+	"weekend plans: absolutely nothing, and it's great",
+}
+
+var spamTexts = []string{
+	"amazing diet trick doctors hate, click here",
+	"make money from home, ask me how",
+	"work from home and earn cash fast, limited spots",
+	"get free followers instantly, visit now",
+	"lose weight now with this one weird tip",
+}
+
+func humanName(src *drand.Source) string {
+	return firstNames[src.Intn(len(firstNames))] + " " + lastNames[src.Intn(len(lastNames))]
+}
+
+func synthBio(src *drand.Source) string {
+	return bioTemplates[src.Intn(len(bioTemplates))]
+}
+
+func synthLocation(src *drand.Source) string {
+	return locations[src.Intn(len(locations))]
+}
+
+var tweetSources = []string{"web", "mobile", "api"}
+
+// synthTimeline deterministically generates up to max most-recent-first
+// tweets for a compact record. The same (record, max) always yields the same
+// tweets. Feature guarantees:
+//
+//   - the newest tweet is at rec.lastTweetAt;
+//   - inter-tweet gaps are exponential with a mean derived from the account's
+//     lifetime and status count, so "tweets per day" features are coherent;
+//   - retweet/link/spam/duplicate flags appear with the stored ratios;
+//   - tweet IDs are unique per author and stable.
+func synthTimeline(id UserID, rec *record, max int) []Tweet {
+	total := int(rec.statuses)
+	if total == 0 || rec.lastTweetAt == 0 {
+		return nil
+	}
+	if max > total {
+		max = total
+	}
+	src := drand.New(uint64(rec.seed)).Fork("timeline")
+
+	// Mean gap spreads the account's statuses over its active life span.
+	lifeSeconds := float64(rec.lastTweetAt - rec.createdAt)
+	if lifeSeconds < 3600 {
+		lifeSeconds = 3600
+	}
+	meanGap := lifeSeconds / float64(total)
+	if meanGap < 30 {
+		meanGap = 30
+	}
+
+	dupText := spamTexts[src.Intn(len(spamTexts))]
+	retweetP := float64(rec.retweetPct) / 100
+	linkP := float64(rec.linkPct) / 100
+	spamP := float64(rec.spamPct) / 100
+	dupP := float64(rec.dupPct) / 100
+
+	out := make([]Tweet, 0, max)
+	at := rec.lastTweetAt
+	for i := 0; i < max; i++ {
+		var text string
+		isDup := src.Bool(dupP)
+		isSpam := src.Bool(spamP)
+		switch {
+		case isDup:
+			// Intentional duplicates repeat the exact same text — the
+			// signal the "same tweets are repeated" criterion looks for.
+			text = dupText
+		case isSpam:
+			// Non-duplicate tweets get a unique suffix so that template
+			// reuse never masquerades as the duplication signal.
+			text = fmt.Sprintf("%s %d", spamTexts[src.Intn(len(spamTexts))], total-i)
+		default:
+			text = fmt.Sprintf("%s %d", genuineTexts[src.Intn(len(genuineTexts))], total-i)
+		}
+		tw := Tweet{
+			// Per-author unique, stable ID: author in the high bits.
+			ID:        TweetID(int64(id)<<20 | int64(total-i)),
+			Author:    id,
+			CreatedAt: time.Unix(at, 0).UTC(),
+			Text:      text,
+			IsRetweet: src.Bool(retweetP),
+			HasLink:   isSpam || src.Bool(linkP),
+			IsReply:   src.Bool(0.15),
+			Mentions:  src.Intn(3),
+			Hashtags:  src.Intn(3),
+			Source:    tweetSources[src.Intn(len(tweetSources))],
+		}
+		if tw.IsRetweet {
+			tw.Text = "RT @" + src.ScreenName() + ": " + tw.Text
+		}
+		if tw.HasLink {
+			tw.Text += fmt.Sprintf(" http://t.co/%08x", src.Intn(1<<30))
+		}
+		out = append(out, tw)
+		gap := int64(src.Exp(meanGap))
+		if gap < 1 {
+			gap = 1
+		}
+		at -= gap
+		if at <= rec.createdAt {
+			at = rec.createdAt + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,680 @@
+// Package twitter implements the simulated Twitter platform the reproduction
+// runs against: users, tweets and chronologically ordered follow edges.
+//
+// Design constraints, in order of importance:
+//
+//  1. Follow edges of a target account are stored oldest-first and exposed
+//     newest-first through the API layer, reproducing the behaviour the paper
+//     verifies in Section IV-B ("all the new entries in all the lists of
+//     followers were always added at the end").
+//  2. Populations reach hundreds of thousands of follower accounts, so
+//     follower profiles are stored as compact fixed-size records (~40 bytes)
+//     and their screen names, bios and timelines are synthesised
+//     deterministically from a per-user seed on demand.
+//  3. Everything is reproducible from a single root seed and a virtual clock.
+//
+// The ground-truth archetype of every account (genuine / inactive / fake) is
+// retained in the store but deliberately NOT exposed through the API layer:
+// analytics must infer it from observable features, exactly like their
+// real-world counterparts. Evaluation code reads it via TrueClass.
+package twitter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/simclock"
+)
+
+// UserID identifies an account. IDs are dense, assigned sequentially from 1.
+type UserID int64
+
+// TweetID identifies a tweet.
+type TweetID int64
+
+// Class is the ground-truth archetype of an account, used to build synthetic
+// populations and to score classifiers. It is never exposed via the API.
+type Class uint8
+
+// Account archetypes. Start at 1 so the zero value is distinguishable as
+// "unclassified" (Uber style guide: start enums at one).
+const (
+	// ClassGenuine is an authentic, engaged account ("someone who is
+	// engaging with the platform - producing and sharing content").
+	ClassGenuine Class = iota + 1
+	// ClassInactive is an authentic but dormant account: never tweeted or
+	// last tweet older than 90 days (the definition shared by the Fake
+	// Project engine and Socialbakers).
+	ClassInactive
+	// ClassFake is an account created to inflate follower counts.
+	ClassFake
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassGenuine:
+		return "genuine"
+	case ClassInactive:
+		return "inactive"
+	case ClassFake:
+		return "fake"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Behavior summarises the timeline of an account as coarse ratios in [0,1].
+// Timelines are synthesised to match these ratios; the API's extended lookup
+// payload exposes them (see DESIGN.md §5 "Extended lookup payloads").
+type Behavior struct {
+	// RetweetRatio is the fraction of the account's tweets that are retweets.
+	RetweetRatio float64
+	// LinkRatio is the fraction of tweets carrying a URL.
+	LinkRatio float64
+	// SpamRatio is the fraction of tweets containing spam phrases
+	// ("diet", "make money", "work from home", ...).
+	SpamRatio float64
+	// DuplicateRatio is the fraction of tweets that are exact duplicates of
+	// another tweet of the same account.
+	DuplicateRatio float64
+}
+
+// User carries the profile fields of an account as the API exposes them.
+type User struct {
+	ID         UserID
+	ScreenName string
+	Name       string
+	CreatedAt  time.Time
+	Bio        string
+	Location   string
+	URL        string
+	// DefaultProfileImage reports whether the account still shows the
+	// default "egg" avatar (a Socialbakers fake criterion).
+	DefaultProfileImage bool
+	Protected           bool
+	Verified            bool
+}
+
+// Profile is the denormalised view of an account returned by users/lookup:
+// profile fields plus counters plus the last-tweet timestamp (real Twitter
+// embeds the last status in the user object) plus behaviour ratios.
+type Profile struct {
+	User
+	FollowersCount int
+	FriendsCount   int
+	StatusesCount  int
+	// LastTweetAt is the time of the most recent tweet; zero if the account
+	// has never tweeted.
+	LastTweetAt time.Time
+	Behavior    Behavior
+}
+
+// HasNeverTweeted reports whether the account has no statuses at all.
+func (p Profile) HasNeverTweeted() bool { return p.StatusesCount == 0 }
+
+// FollowerFriendRatio returns followers/friends, the signal StatusPeople's
+// founder calls the most meaningful one ("fake accounts tend to follow a lot
+// of people but don't have many followers"). Returns +Inf-free semantics:
+// if friends is zero, returns float64(followers).
+func (p Profile) FollowerFriendRatio() float64 {
+	if p.FriendsCount == 0 {
+		return float64(p.FollowersCount)
+	}
+	return float64(p.FollowersCount) / float64(p.FriendsCount)
+}
+
+// Tweet is a single status.
+type Tweet struct {
+	ID        TweetID
+	Author    UserID
+	CreatedAt time.Time
+	Text      string
+	IsRetweet bool
+	HasLink   bool
+	// IsReply reports whether the tweet is a reply to another account.
+	IsReply  bool
+	Mentions int
+	Hashtags int
+	// Source is the posting client ("web", "mobile", "api").
+	Source string
+}
+
+// Follow is a directed follow edge with its creation time.
+type Follow struct {
+	Follower UserID
+	At       time.Time
+}
+
+// flag bits packed into record.flags.
+const (
+	flagDefaultImage = 1 << iota
+	flagHasBio
+	flagHasLocation
+	flagProtected
+	flagVerified
+	flagHasURL
+)
+
+// record is the compact storage form of a synthetic account (~40 bytes).
+type record struct {
+	createdAt   int64 // unix seconds
+	lastTweetAt int64 // unix seconds; 0 = never tweeted
+	statuses    int32
+	friends     int32
+	followers   int32 // synthetic count for non-target accounts
+	seed        uint32
+	flags       uint8
+	class       uint8
+	retweetPct  uint8 // 0..100
+	linkPct     uint8
+	spamPct     uint8
+	dupPct      uint8
+}
+
+func (r *record) has(flag uint8) bool { return r.flags&flag != 0 }
+
+// targetData is the rich state kept only for target accounts (the handful of
+// accounts whose follower lists are actually materialised).
+type targetData struct {
+	follows []Follow // chronological: oldest first
+	tweets  []Tweet  // chronological: oldest first
+	friends []UserID // materialised friend list, newest first (optional)
+}
+
+// UserParams configures account creation. Zero values are meaningful
+// (no bio, no tweets, zero friends...).
+type UserParams struct {
+	ScreenName string // empty = synthesised deterministically from the ID
+	Name       string
+	CreatedAt  time.Time
+	LastTweet  time.Time // zero = never tweeted
+	Statuses   int
+	Friends    int
+	// Followers is the *synthetic* follower count for non-target accounts;
+	// for targets the materialised edge list overrides it.
+	Followers           int
+	Bio                 bool // whether the account filled in a bio
+	Location            bool // whether the account filled in a location
+	URL                 bool
+	DefaultProfileImage bool
+	Protected           bool
+	Verified            bool
+	Class               Class
+	Behavior            Behavior
+}
+
+// Store is the platform state. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	clock    simclock.Clock
+	nameSeed *drand.Source
+	recs     []record // recs[i] holds UserID(i+1)
+	names    map[UserID]string
+	byName   map[string]UserID
+	targets  map[UserID]*targetData
+	tweetSeq TweetID
+}
+
+// NewStore creates an empty platform using the given clock and root seed
+// (the seed drives name/bio/timeline synthesis).
+func NewStore(clock simclock.Clock, seed uint64) *Store {
+	return &Store{
+		clock:    clock,
+		nameSeed: drand.New(seed),
+		names:    make(map[UserID]string),
+		byName:   make(map[string]UserID),
+		targets:  make(map[UserID]*targetData),
+	}
+}
+
+// Grow pre-allocates capacity for n additional accounts.
+func (s *Store) Grow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if need := len(s.recs) + n; need > cap(s.recs) {
+		recs := make([]record, len(s.recs), need)
+		copy(recs, s.recs)
+		s.recs = recs
+	}
+}
+
+// ErrUnknownUser reports an operation on a user ID that does not exist.
+var ErrUnknownUser = errors.New("twitter: unknown user")
+
+// ErrUnknownName reports a screen-name lookup miss.
+var ErrUnknownName = errors.New("twitter: unknown screen name")
+
+// ErrNotMonotonic reports a follow edge older than the current newest edge.
+var ErrNotMonotonic = errors.New("twitter: follow time must be monotonically non-decreasing")
+
+// ErrDuplicateName reports a screen name registered twice.
+var ErrDuplicateName = errors.New("twitter: duplicate screen name")
+
+func pct(f float64) uint8 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 100
+	}
+	return uint8(f*100 + 0.5)
+}
+
+// CreateUser adds an account and returns its ID.
+func (s *Store) CreateUser(p UserParams) (UserID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := UserID(len(s.recs) + 1)
+	var flags uint8
+	if p.DefaultProfileImage {
+		flags |= flagDefaultImage
+	}
+	if p.Bio {
+		flags |= flagHasBio
+	}
+	if p.Location {
+		flags |= flagHasLocation
+	}
+	if p.Protected {
+		flags |= flagProtected
+	}
+	if p.Verified {
+		flags |= flagVerified
+	}
+	if p.URL {
+		flags |= flagHasURL
+	}
+	var lastTweet int64
+	if !p.LastTweet.IsZero() {
+		lastTweet = p.LastTweet.Unix()
+	}
+	created := p.CreatedAt
+	if created.IsZero() {
+		created = s.clock.Now()
+	}
+	rec := record{
+		createdAt:   created.Unix(),
+		lastTweetAt: lastTweet,
+		statuses:    int32(p.Statuses),
+		friends:     int32(p.Friends),
+		followers:   int32(p.Followers),
+		seed:        uint32(s.nameSeed.ForkN("user", int64(id)).Seed()),
+		flags:       flags,
+		class:       uint8(p.Class),
+		retweetPct:  pct(p.Behavior.RetweetRatio),
+		linkPct:     pct(p.Behavior.LinkRatio),
+		spamPct:     pct(p.Behavior.SpamRatio),
+		dupPct:      pct(p.Behavior.DuplicateRatio),
+	}
+	s.recs = append(s.recs, rec)
+	if p.ScreenName != "" {
+		if _, dup := s.byName[p.ScreenName]; dup {
+			s.recs = s.recs[:len(s.recs)-1]
+			return 0, fmt.Errorf("%w: %q", ErrDuplicateName, p.ScreenName)
+		}
+		s.names[id] = p.ScreenName
+		s.byName[p.ScreenName] = id
+	}
+	return id, nil
+}
+
+// MustCreateUser is CreateUser for generator code paths where the only
+// possible error is a programmer mistake (duplicate explicit name).
+func (s *Store) MustCreateUser(p UserParams) UserID {
+	id, err := s.CreateUser(p)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// UserCount returns the number of accounts in the store.
+func (s *Store) UserCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+func (s *Store) recordOf(id UserID) (*record, error) {
+	if id < 1 || int(id) > len(s.recs) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
+	}
+	return &s.recs[id-1], nil
+}
+
+// ScreenName returns the screen name of id, synthesising one if the account
+// was created without an explicit name.
+func (s *Store) ScreenName(id UserID) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.screenNameLocked(id)
+}
+
+func (s *Store) screenNameLocked(id UserID) (string, error) {
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return "", err
+	}
+	if name, ok := s.names[id]; ok {
+		return name, nil
+	}
+	return drand.New(uint64(rec.seed)).Fork("name").ScreenName(), nil
+}
+
+// LookupName resolves an explicit screen name to a user ID.
+// Synthetic (auto-generated) names are not indexed.
+func (s *Store) LookupName(name string) (UserID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	return id, nil
+}
+
+// TrueClass returns the ground-truth archetype of id (evaluation only).
+func (s *Store) TrueClass(id UserID) (Class, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return Class(rec.class), nil
+}
+
+// Profile materialises the full lookup view of an account.
+func (s *Store) Profile(id UserID) (Profile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.profileLocked(id)
+}
+
+func (s *Store) profileLocked(id UserID) (Profile, error) {
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return Profile{}, err
+	}
+	name, err := s.screenNameLocked(id)
+	if err != nil {
+		return Profile{}, err
+	}
+	followers := int(rec.followers)
+	if td, isTarget := s.targets[id]; isTarget {
+		followers = len(td.follows)
+	}
+	var lastTweet time.Time
+	if rec.lastTweetAt != 0 {
+		lastTweet = time.Unix(rec.lastTweetAt, 0).UTC()
+	}
+	p := Profile{
+		User: User{
+			ID:                  id,
+			ScreenName:          name,
+			CreatedAt:           time.Unix(rec.createdAt, 0).UTC(),
+			DefaultProfileImage: rec.has(flagDefaultImage),
+			Protected:           rec.has(flagProtected),
+			Verified:            rec.has(flagVerified),
+		},
+		FollowersCount: followers,
+		FriendsCount:   int(rec.friends),
+		StatusesCount:  int(rec.statuses),
+		LastTweetAt:    lastTweet,
+		Behavior: Behavior{
+			RetweetRatio:   float64(rec.retweetPct) / 100,
+			LinkRatio:      float64(rec.linkPct) / 100,
+			SpamRatio:      float64(rec.spamPct) / 100,
+			DuplicateRatio: float64(rec.dupPct) / 100,
+		},
+	}
+	src := drand.New(uint64(rec.seed))
+	p.Name = humanName(src.Fork("fullname"))
+	if rec.has(flagHasBio) {
+		p.Bio = synthBio(src.Fork("bio"))
+	}
+	if rec.has(flagHasLocation) {
+		p.Location = synthLocation(src.Fork("loc"))
+	}
+	if rec.has(flagHasURL) {
+		p.URL = "http://example.com/" + name
+	}
+	return p, nil
+}
+
+// Profiles materialises several accounts at once (the users/lookup shape).
+// Unknown IDs are skipped, mirroring the real API's behaviour of silently
+// dropping unknown users from the response.
+func (s *Store) Profiles(ids []UserID) []Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Profile, 0, len(ids))
+	for _, id := range ids {
+		p, err := s.profileLocked(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AddFollower appends a follow edge (follower -> target) at time at.
+// Edges must arrive in non-decreasing time order; this is the invariant the
+// Section IV-B experiment verifies from the outside.
+func (s *Store) AddFollower(target, follower UserID, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.recordOf(target); err != nil {
+		return err
+	}
+	if _, err := s.recordOf(follower); err != nil {
+		return err
+	}
+	td := s.targets[target]
+	if td == nil {
+		td = &targetData{}
+		s.targets[target] = td
+	}
+	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
+		return fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
+	}
+	td.follows = append(td.follows, Follow{Follower: follower, At: at})
+	return nil
+}
+
+// FollowerCount returns the number of followers of id: the materialised edge
+// count for targets, the synthetic counter otherwise.
+func (s *Store) FollowerCount(id UserID) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return 0, err
+	}
+	if td, ok := s.targets[id]; ok {
+		return len(td.follows), nil
+	}
+	return int(rec.followers), nil
+}
+
+// FollowersChronological returns a copy of the follower IDs of target in
+// follow order (oldest first). Non-target accounts yield an empty list.
+func (s *Store) FollowersChronological(target UserID) ([]UserID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.recordOf(target); err != nil {
+		return nil, err
+	}
+	td := s.targets[target]
+	if td == nil {
+		return nil, nil
+	}
+	out := make([]UserID, len(td.follows))
+	for i, f := range td.follows {
+		out[i] = f.Follower
+	}
+	return out, nil
+}
+
+// FollowersNewestFirst returns a copy of the follower IDs of target with the
+// most recent follower first — the order the Twitter API exposes.
+func (s *Store) FollowersNewestFirst(target UserID) ([]UserID, error) {
+	chrono, err := s.FollowersChronological(target)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(chrono)-1; i < j; i, j = i+1, j-1 {
+		chrono[i], chrono[j] = chrono[j], chrono[i]
+	}
+	return chrono, nil
+}
+
+// FollowEdges returns a copy of the raw follow edges of target, oldest first.
+func (s *Store) FollowEdges(target UserID) ([]Follow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.recordOf(target); err != nil {
+		return nil, err
+	}
+	td := s.targets[target]
+	if td == nil {
+		return nil, nil
+	}
+	return append([]Follow(nil), td.follows...), nil
+}
+
+// IsTarget reports whether id has a materialised follower list.
+func (s *Store) IsTarget(id UserID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.targets[id]
+	return ok
+}
+
+// AppendTweet records an explicit tweet for a target account and updates its
+// counters. Tweets must be appended in chronological order.
+func (s *Store) AppendTweet(author UserID, tw Tweet) (Tweet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, err := s.recordOf(author)
+	if err != nil {
+		return Tweet{}, err
+	}
+	td := s.targets[author]
+	if td == nil {
+		td = &targetData{}
+		s.targets[author] = td
+	}
+	if n := len(td.tweets); n > 0 && tw.CreatedAt.Before(td.tweets[n-1].CreatedAt) {
+		return Tweet{}, fmt.Errorf("%w: tweet at %v before %v", ErrNotMonotonic, tw.CreatedAt, td.tweets[n-1].CreatedAt)
+	}
+	s.tweetSeq++
+	tw.ID = s.tweetSeq
+	tw.Author = author
+	td.tweets = append(td.tweets, tw)
+	rec.statuses++
+	if tw.CreatedAt.Unix() > rec.lastTweetAt {
+		rec.lastTweetAt = tw.CreatedAt.Unix()
+	}
+	return tw, nil
+}
+
+// Timeline returns up to max tweets of the account, most recent first.
+// Target accounts return their stored tweets; synthetic accounts get a
+// deterministic timeline generated from their behaviour record. max <= 0
+// returns an empty slice.
+func (s *Store) Timeline(id UserID, max int) ([]Tweet, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	if td, ok := s.targets[id]; ok && len(td.tweets) > 0 {
+		n := len(td.tweets)
+		if max > n {
+			max = n
+		}
+		out := make([]Tweet, max)
+		for i := 0; i < max; i++ {
+			out[i] = td.tweets[n-1-i] // newest first
+		}
+		return out, nil
+	}
+	return synthTimeline(id, rec, max), nil
+}
+
+// SetFriends materialises the friend list of an account (newest first, the
+// order friends/ids exposes) and updates its friends counter. Only a handful
+// of accounts (targets, gold-standard members) carry materialised lists;
+// for all others the API layer synthesises a deterministic list matching the
+// synthetic friends counter.
+func (s *Store) SetFriends(id UserID, friends []UserID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return err
+	}
+	td := s.targets[id]
+	if td == nil {
+		td = &targetData{}
+		s.targets[id] = td
+	}
+	td.friends = append([]UserID(nil), friends...)
+	rec.friends = int32(len(friends))
+	return nil
+}
+
+// Friends returns the materialised friend list of id (newest first) and
+// whether one exists.
+func (s *Store) Friends(id UserID) ([]UserID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	td, ok := s.targets[id]
+	if !ok || td.friends == nil {
+		return nil, false
+	}
+	return append([]UserID(nil), td.friends...), true
+}
+
+// FriendsCount returns the friends (following) count of id.
+func (s *Store) FriendsCount(id UserID) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, err := s.recordOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return int(rec.friends), nil
+}
+
+// Now exposes the store's clock time (convenience for generators).
+func (s *Store) Now() time.Time { return s.clock.Now() }
+
+// Clock returns the clock the store was built with.
+func (s *Store) Clock() simclock.Clock { return s.clock }
+
+// ClassCounts tallies the ground-truth classes of the given accounts,
+// used by evaluation and the genpop CLI.
+func (s *Store) ClassCounts(ids []UserID) map[Class]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Class]int, 4)
+	for _, id := range ids {
+		rec, err := s.recordOf(id)
+		if err != nil {
+			continue
+		}
+		out[Class(rec.class)]++
+	}
+	return out
+}

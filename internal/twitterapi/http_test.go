@@ -1,0 +1,171 @@
+package twitterapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// newHTTPFixture serves a 12K-follower target over a real HTTP server and
+// returns a client wired to the same virtual clock.
+func newHTTPFixture(t *testing.T) (*HTTPClient, twitter.UserID, []twitter.UserID, *simclock.Virtual) {
+	t.Helper()
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	target, err := store.CreateUser(twitter.UserParams{
+		ScreenName: "target",
+		CreatedAt:  simclock.Epoch.AddDate(-2, 0, 0),
+		LastTweet:  simclock.Epoch.AddDate(0, 0, -3),
+		Statuses:   300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrono := make([]twitter.UserID, 0, 12000)
+	at := simclock.Epoch.AddDate(-1, 0, 0)
+	for i := 0; i < 12000; i++ {
+		id := store.MustCreateUser(twitter.UserParams{
+			Statuses: 5, LastTweet: at, Friends: 10, Bio: true,
+		})
+		if err := store.AddFollower(target, id, at); err != nil {
+			t.Fatal(err)
+		}
+		chrono = append(chrono, id)
+		at = at.Add(time.Minute)
+	}
+	srv := httptest.NewServer(NewServer(NewService(store), clock))
+	t.Cleanup(srv.Close)
+	return NewHTTPClient(srv.URL, "test-token", clock), target, chrono, clock
+}
+
+func TestHTTPFollowerIDsRoundTrip(t *testing.T) {
+	client, target, chrono, _ := newHTTPFixture(t)
+	ids, err := AllFollowerIDs(client, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(chrono) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(chrono))
+	}
+	for i := range ids {
+		if ids[i] != chrono[len(chrono)-1-i] {
+			t.Fatalf("newest-first order violated over HTTP at %d", i)
+		}
+	}
+}
+
+func TestHTTPUserByScreenName(t *testing.T) {
+	client, _, _, _ := newHTTPFixture(t)
+	p, err := client.UserByScreenName("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScreenName != "target" || p.FollowersCount != 12000 || p.StatusesCount != 300 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.LastTweetAt.IsZero() {
+		t.Fatal("last_tweet_at lost in transit")
+	}
+	if _, err := client.UserByScreenName("ghost"); err == nil {
+		t.Fatal("expected error for unknown user")
+	} else if !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+func TestHTTPUsersLookupRoundTrip(t *testing.T) {
+	client, _, chrono, _ := newHTTPFixture(t)
+	profiles, err := client.UsersLookup(chrono[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 100 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	p := profiles[0]
+	if p.ID != chrono[0] || p.StatusesCount != 5 || p.FriendsCount != 10 {
+		t.Fatalf("profile fields lost in transit: %+v", p)
+	}
+	if p.Bio == "" {
+		t.Fatal("bio lost in transit")
+	}
+	if p.LastTweetAt.IsZero() {
+		t.Fatal("last tweet lost in transit")
+	}
+}
+
+func TestHTTPTimelineRoundTrip(t *testing.T) {
+	client, target, _, _ := newHTTPFixture(t)
+	tweets, err := client.UserTimeline(target, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tweets) != 50 {
+		t.Fatalf("got %d tweets", len(tweets))
+	}
+	for i := 1; i < len(tweets); i++ {
+		if tweets[i].CreatedAt.After(tweets[i-1].CreatedAt) {
+			t.Fatal("timeline order lost in transit")
+		}
+	}
+}
+
+func TestHTTPRateLimit429AndRecovery(t *testing.T) {
+	client, target, _, clock := newHTTPFixture(t)
+	// Burn the followers/ids budget (15/window) plus one: the 16th call
+	// must transparently back off using Retry-After on the shared virtual
+	// clock and then succeed.
+	start := clock.Now()
+	for i := 0; i < 16; i++ {
+		if _, err := client.FollowerIDs(target, CursorFirst); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if elapsed := clock.Now().Sub(start); elapsed < RateWindow {
+		t.Fatalf("virtual clock advanced only %v, want >= %v", elapsed, RateWindow)
+	}
+	// The retried calls are also counted (one retry for call 16).
+	if client.Calls() != 17 {
+		t.Fatalf("Calls = %d, want 17 (16 + 1 retry)", client.Calls())
+	}
+}
+
+func TestHTTPRateLimitPerToken(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	target, _ := store.CreateUser(twitter.UserParams{ScreenName: "t"})
+	srv := httptest.NewServer(NewServer(NewService(store), clock))
+	t.Cleanup(srv.Close)
+
+	a := NewHTTPClient(srv.URL, "token-a", clock)
+	b := NewHTTPClient(srv.URL, "token-b", clock)
+	// Token A burns its window.
+	for i := 0; i < 15; i++ {
+		if _, err := a.FollowerIDs(target, CursorFirst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Token B must still be free: no clock advance.
+	start := clock.Now()
+	if _, err := b.FollowerIDs(target, CursorFirst); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != start {
+		t.Fatal("token B was throttled by token A's usage")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	client, _, _, _ := newHTTPFixture(t)
+	if _, err := client.FollowerIDs(99999, CursorFirst); err == nil {
+		t.Fatal("unknown target should error")
+	}
+	big := make([]twitter.UserID, 101)
+	if _, err := client.UsersLookup(big); err == nil {
+		t.Fatal("oversized lookup should error client-side")
+	}
+}

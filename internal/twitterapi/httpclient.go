@@ -1,0 +1,202 @@
+package twitterapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// HTTPClient implements Client over a real HTTP connection to a Server,
+// honouring 429 Retry-After back-offs on the supplied clock. When the server
+// runs in-process on the same virtual clock (as in the test suite and
+// cmd/twitterd demos), a Retry-After sleep advances the shared clock and the
+// retry succeeds immediately in real time.
+type HTTPClient struct {
+	base   string
+	token  string
+	clock  simclock.Clock
+	client *http.Client
+	// maxRetries bounds consecutive 429 retries per logical call.
+	maxRetries int
+
+	mu    sync.Mutex
+	calls map[string]int
+	total int
+}
+
+var _ Client = (*HTTPClient)(nil)
+
+// NewHTTPClient creates a client for the API server at base (e.g.
+// "http://127.0.0.1:8080"), authenticating with the given bearer token.
+func NewHTTPClient(base, token string, clock simclock.Clock) *HTTPClient {
+	return &HTTPClient{
+		base:       strings.TrimSuffix(base, "/"),
+		token:      token,
+		clock:      clock,
+		client:     &http.Client{Timeout: 30 * time.Second},
+		maxRetries: 100,
+		calls:      make(map[string]int),
+	}
+}
+
+func (c *HTTPClient) count(endpoint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls[endpoint]++
+	c.total++
+}
+
+// get performs a GET with 429 retry handling and decodes JSON into out.
+func (c *HTTPClient) get(endpoint, path string, params url.Values, out any) error {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodGet, c.base+path+"?"+params.Encode(), nil)
+		if err != nil {
+			return fmt.Errorf("building request: %w", err)
+		}
+		req.Header.Set("Authorization", "Bearer "+c.token)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", endpoint, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		closeErr := resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: reading body: %w", endpoint, err)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("%s: closing body: %w", endpoint, closeErr)
+		}
+		c.count(endpoint)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("%s: decoding response: %w", endpoint, err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries:
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if secs <= 0 {
+				secs = 60
+			}
+			c.clock.Sleep(time.Duration(secs) * time.Second)
+		default:
+			var apiErr errorJSON
+			if json.Unmarshal(body, &apiErr) == nil && len(apiErr.Errors) > 0 {
+				return fmt.Errorf("%s: HTTP %d: %s", endpoint, resp.StatusCode, apiErr.Errors[0].Message)
+			}
+			return fmt.Errorf("%s: HTTP %d", endpoint, resp.StatusCode)
+		}
+	}
+}
+
+// UserByScreenName implements Client.
+func (c *HTTPClient) UserByScreenName(name string) (twitter.Profile, error) {
+	params := url.Values{"screen_name": {name}}
+	var u userJSON
+	if err := c.get(EndpointUsersShow, "/1.1/users/show.json", params, &u); err != nil {
+		return twitter.Profile{}, err
+	}
+	return decodeUser(u)
+}
+
+// FollowerIDs implements Client.
+func (c *HTTPClient) FollowerIDs(target twitter.UserID, cursor int64) (IDPage, error) {
+	return c.idsCall(EndpointFollowerIDs, "/1.1/followers/ids.json", target, cursor)
+}
+
+// FriendIDs implements Client.
+func (c *HTTPClient) FriendIDs(id twitter.UserID, cursor int64) (IDPage, error) {
+	return c.idsCall(EndpointFriendIDs, "/1.1/friends/ids.json", id, cursor)
+}
+
+func (c *HTTPClient) idsCall(endpoint, path string, id twitter.UserID, cursor int64) (IDPage, error) {
+	params := url.Values{
+		"user_id": {strconv.FormatInt(int64(id), 10)},
+		"cursor":  {strconv.FormatInt(cursor, 10)},
+	}
+	var page idPageJSON
+	if err := c.get(endpoint, path, params, &page); err != nil {
+		return IDPage{}, err
+	}
+	ids := make([]twitter.UserID, len(page.IDs))
+	for i, v := range page.IDs {
+		ids[i] = twitter.UserID(v)
+	}
+	return IDPage{IDs: ids, NextCursor: page.NextCursor}, nil
+}
+
+// UsersLookup implements Client.
+func (c *HTTPClient) UsersLookup(ids []twitter.UserID) ([]twitter.Profile, error) {
+	if len(ids) > UsersLookupBatchSize {
+		return nil, fmt.Errorf("%w: %d", ErrBatchTooLarge, len(ids))
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatInt(int64(id), 10)
+	}
+	params := url.Values{"user_id": {strings.Join(parts, ",")}}
+	var users []userJSON
+	if err := c.get(EndpointUsersLookup, "/1.1/users/lookup.json", params, &users); err != nil {
+		return nil, err
+	}
+	out := make([]twitter.Profile, 0, len(users))
+	for _, u := range users {
+		p, err := decodeUser(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// UserTimeline implements Client.
+func (c *HTTPClient) UserTimeline(id twitter.UserID, count int, maxID twitter.TweetID) ([]twitter.Tweet, error) {
+	params := url.Values{
+		"user_id": {strconv.FormatInt(int64(id), 10)},
+		"count":   {strconv.Itoa(count)},
+	}
+	if maxID != 0 {
+		params.Set("max_id", strconv.FormatInt(int64(maxID), 10))
+	}
+	var tweets []tweetJSON
+	if err := c.get(EndpointUserTimeline, "/1.1/statuses/user_timeline.json", params, &tweets); err != nil {
+		return nil, err
+	}
+	out := make([]twitter.Tweet, 0, len(tweets))
+	for _, t := range tweets {
+		tw, err := decodeTweet(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tw)
+	}
+	return out, nil
+}
+
+// Calls implements Client.
+func (c *HTTPClient) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// CallsByEndpoint implements Client.
+func (c *HTTPClient) CallsByEndpoint() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.calls))
+	for k, v := range c.calls {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+// Package twitterapi implements the simulated Twitter REST API v1.1 surface
+// the paper's analytics depend on: the four endpoints of Table I with their
+// page sizes, cursor pagination, rate limits and the 3,200-tweet timeline
+// cap, exposed both in-process and over HTTP (JSON), together with clients
+// that account for API calls and model per-call latency on a virtual clock.
+package twitterapi
+
+import (
+	"time"
+
+	"fakeproject/internal/ratelimit"
+)
+
+// Endpoint names, used as rate-limit keys and HTTP routes.
+const (
+	EndpointFollowerIDs  = "followers/ids"
+	EndpointFriendIDs    = "friends/ids"
+	EndpointUsersLookup  = "users/lookup"
+	EndpointUserTimeline = "statuses/user_timeline"
+	EndpointUsersShow    = "users/show"
+)
+
+// Page-size and cap constants of API v1.1.
+const (
+	// FollowerIDsPageSize is the number of IDs per followers/ids request.
+	FollowerIDsPageSize = 5000
+	// FriendIDsPageSize is the number of IDs per friends/ids request.
+	FriendIDsPageSize = 5000
+	// UsersLookupBatchSize is the number of profiles per users/lookup call.
+	UsersLookupBatchSize = 100
+	// TimelinePageSize is the number of tweets per user_timeline request.
+	TimelinePageSize = 200
+	// TimelineCap is the hard limit on retrievable tweets per account
+	// ("restricted however to the last 3200 tweets of an account").
+	TimelineCap = 3200
+	// RateWindow is the length of Twitter's rate-limit window.
+	RateWindow = 15 * time.Minute
+)
+
+// EndpointLimit is one row of Table I.
+type EndpointLimit struct {
+	Endpoint string
+	// ElementsPerRequest is the page/batch size of the endpoint.
+	ElementsPerRequest int
+	// RequestsPerMinute is the average request budget per minute.
+	RequestsPerMinute int
+}
+
+// TableI returns the rows of Table I of the paper: "Twitter APIs: type and
+// limitations to API calls".
+func TableI() []EndpointLimit {
+	return []EndpointLimit{
+		{Endpoint: "GET " + EndpointFollowerIDs, ElementsPerRequest: FollowerIDsPageSize, RequestsPerMinute: 1},
+		{Endpoint: "GET " + EndpointFriendIDs, ElementsPerRequest: FriendIDsPageSize, RequestsPerMinute: 1},
+		{Endpoint: "GET " + EndpointUsersLookup, ElementsPerRequest: UsersLookupBatchSize, RequestsPerMinute: 12},
+		{Endpoint: "GET " + EndpointUserTimeline, ElementsPerRequest: TimelinePageSize, RequestsPerMinute: 12},
+	}
+}
+
+// DefaultLimits returns the per-endpoint budgets implementing Table I with
+// Twitter's 15-minute window semantics (1/min average = 15 per window burst).
+func DefaultLimits() map[string]ratelimit.Limit {
+	out := make(map[string]ratelimit.Limit, 5)
+	for _, row := range TableI() {
+		key := row.Endpoint[len("GET "):]
+		out[key] = ratelimit.Limit{
+			Requests: row.RequestsPerMinute * int(RateWindow/time.Minute),
+			Window:   RateWindow,
+		}
+	}
+	// users/show shares the lookup budget class (180/15min on v1.1).
+	out[EndpointUsersShow] = ratelimit.Limit{Requests: 180, Window: RateWindow}
+	return out
+}

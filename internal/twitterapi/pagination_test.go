@@ -1,0 +1,84 @@
+package twitterapi
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// TestPaginationCompletenessProperty: for any follower count, paging with
+// the returned cursors yields every follower exactly once, newest first.
+func TestPaginationCompletenessProperty(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw % 13000)
+		clock := simclock.NewVirtualAtEpoch()
+		store := twitter.NewStore(clock, 1)
+		store.Grow(n + 1)
+		target := store.MustCreateUser(twitter.UserParams{})
+		at := simclock.Epoch.AddDate(-1, 0, 0)
+		for i := 0; i < n; i++ {
+			id := store.MustCreateUser(twitter.UserParams{})
+			if err := store.AddFollower(target, id, at); err != nil {
+				return false
+			}
+			at = at.Add(time.Second)
+		}
+		svc := NewService(store)
+		seen := make(map[twitter.UserID]bool, n)
+		cursor := CursorFirst
+		prev := twitter.UserID(1 << 62)
+		for {
+			page, err := svc.FollowerIDs(target, cursor)
+			if err != nil {
+				return false
+			}
+			for _, id := range page.IDs {
+				if seen[id] {
+					return false // duplicate across pages
+				}
+				seen[id] = true
+				// IDs were created in follow order, so newest-first means
+				// strictly decreasing IDs in this construction.
+				if id >= prev {
+					return false
+				}
+				prev = id
+			}
+			if page.NextCursor == CursorDone {
+				break
+			}
+			cursor = page.NextCursor
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRateLimitWaitEqualsAnalyticModel: the DirectClient's total virtual
+// time for k page fetches must equal the closed-form window arithmetic the
+// crawl-cost experiment relies on.
+func TestRateLimitWaitEqualsAnalyticModel(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	target := store.MustCreateUser(twitter.UserParams{})
+	svc := NewService(store)
+	for _, calls := range []int{1, 15, 16, 30, 31, 100} {
+		start := clock.Now()
+		c := NewDirectClient(svc, clock, ClientConfig{})
+		for i := 0; i < calls; i++ {
+			if _, err := c.FollowerIDs(target, CursorFirst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		windows := (calls+14)/15 - 1
+		want := time.Duration(windows) * RateWindow
+		if got := clock.Now().Sub(start); got != want {
+			t.Fatalf("%d calls: elapsed %v, want %v", calls, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package twitterapi
+
+import (
+	"errors"
+	"fmt"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+)
+
+// CursorFirst is the cursor value requesting the first page, and CursorDone
+// is the next-cursor value signalling the end of pagination, mirroring the
+// real API's -1 / 0 convention.
+const (
+	CursorFirst int64 = -1
+	CursorDone  int64 = 0
+)
+
+// ErrBadCursor reports a cursor that does not belong to the paged list.
+var ErrBadCursor = errors.New("twitterapi: invalid cursor")
+
+// ErrBatchTooLarge reports a users/lookup batch above the 100-profile cap.
+var ErrBatchTooLarge = errors.New("twitterapi: lookup batch exceeds 100 ids")
+
+// Service exposes the endpoint logic over a twitter.Store. It performs no
+// rate limiting or latency modelling — that is the transport clients' job —
+// so that the same logic backs both the in-process client and the HTTP
+// server.
+type Service struct {
+	store *twitter.Store
+}
+
+// NewService wraps a store.
+func NewService(store *twitter.Store) *Service {
+	return &Service{store: store}
+}
+
+// Store returns the underlying store (used by evaluation code, never by the
+// simulated analytics).
+func (s *Service) Store() *twitter.Store { return s.store }
+
+// IDPage is one page of an ids endpoint.
+type IDPage struct {
+	IDs        []twitter.UserID
+	NextCursor int64
+}
+
+// FollowerIDs returns one page of the target's follower IDs, newest follower
+// first — the ordering property the paper verifies in Section IV-B. The
+// cursor encodes the offset from the newest follower; pass CursorFirst to
+// start and continue until NextCursor == CursorDone.
+func (s *Service) FollowerIDs(target twitter.UserID, cursor int64) (IDPage, error) {
+	newest, err := s.store.FollowersNewestFirst(target)
+	if err != nil {
+		return IDPage{}, err
+	}
+	return paginate(newest, cursor, FollowerIDsPageSize)
+}
+
+// FriendIDs returns one page of the account's friend list (accounts it
+// follows), newest first. Accounts without a materialised friend list get a
+// deterministic synthetic list consistent with their friends counter (see
+// DESIGN.md: the full follow graph is not materialised).
+func (s *Service) FriendIDs(id twitter.UserID, cursor int64) (IDPage, error) {
+	if friends, ok := s.store.Friends(id); ok {
+		return paginate(friends, cursor, FriendIDsPageSize)
+	}
+	count, err := s.store.FriendsCount(id)
+	if err != nil {
+		return IDPage{}, err
+	}
+	return paginate(s.synthFriends(id, count), cursor, FriendIDsPageSize)
+}
+
+// synthFriends deterministically fabricates a friend list for a
+// procedurally-stored account: `count` distinct existing user IDs drawn from
+// the account's seed stream.
+func (s *Service) synthFriends(id twitter.UserID, count int) []twitter.UserID {
+	n := s.store.UserCount()
+	if count <= 0 || n <= 1 {
+		return nil
+	}
+	if count > n-1 {
+		count = n - 1
+	}
+	src := drand.New(uint64(id) * 2654435761).Fork("friends")
+	out := make([]twitter.UserID, 0, count)
+	seen := make(map[twitter.UserID]struct{}, count)
+	for len(out) < count {
+		cand := twitter.UserID(src.Int63n(int64(n)) + 1)
+		if cand == id {
+			continue
+		}
+		if _, dup := seen[cand]; dup {
+			continue
+		}
+		seen[cand] = struct{}{}
+		out = append(out, cand)
+	}
+	return out
+}
+
+func paginate(list []twitter.UserID, cursor int64, pageSize int) (IDPage, error) {
+	start := int64(0)
+	if cursor != CursorFirst {
+		start = cursor
+	}
+	if start < 0 || start > int64(len(list)) {
+		return IDPage{}, fmt.Errorf("%w: %d over %d items", ErrBadCursor, cursor, len(list))
+	}
+	end := start + int64(pageSize)
+	if end > int64(len(list)) {
+		end = int64(len(list))
+	}
+	page := append([]twitter.UserID(nil), list[start:end]...)
+	next := CursorDone
+	if end < int64(len(list)) {
+		next = end
+	}
+	return IDPage{IDs: page, NextCursor: next}, nil
+}
+
+// UsersLookup returns the profiles of up to 100 accounts. Unknown IDs are
+// silently dropped, as the real endpoint does.
+func (s *Service) UsersLookup(ids []twitter.UserID) ([]twitter.Profile, error) {
+	if len(ids) > UsersLookupBatchSize {
+		return nil, fmt.Errorf("%w: %d", ErrBatchTooLarge, len(ids))
+	}
+	return s.store.Profiles(ids), nil
+}
+
+// UsersShow resolves a single account by screen name.
+func (s *Service) UsersShow(screenName string) (twitter.Profile, error) {
+	id, err := s.store.LookupName(screenName)
+	if err != nil {
+		return twitter.Profile{}, err
+	}
+	return s.store.Profile(id)
+}
+
+// UserTimeline returns up to count most-recent tweets of the account, newest
+// first. count is capped at the 200-per-request page size. A non-zero maxID
+// restricts the page to tweets with ID <= maxID (the real API's max_id
+// pagination; per-author tweet IDs decrease with age). Across pages, at most
+// the newest TimelineCap (3,200) tweets are reachable.
+func (s *Service) UserTimeline(id twitter.UserID, count int, maxID twitter.TweetID) ([]twitter.Tweet, error) {
+	if count <= 0 || count > TimelinePageSize {
+		count = TimelinePageSize
+	}
+	all, err := s.store.Timeline(id, TimelineCap)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]twitter.Tweet, 0, count)
+	for _, tw := range all {
+		if maxID != 0 && tw.ID > maxID {
+			continue
+		}
+		out = append(out, tw)
+		if len(out) == count {
+			break
+		}
+	}
+	return out, nil
+}

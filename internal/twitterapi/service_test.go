@@ -1,0 +1,298 @@
+package twitterapi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// buildTarget creates a store with one target that has n followers, following
+// in strict chronological order, and returns (store, target, chronological
+// follower IDs).
+func buildTarget(t *testing.T, n int) (*twitter.Store, twitter.UserID, []twitter.UserID) {
+	t.Helper()
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	target, err := store.CreateUser(twitter.UserParams{ScreenName: "target"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrono := make([]twitter.UserID, 0, n)
+	for i := 0; i < n; i++ {
+		id := store.MustCreateUser(twitter.UserParams{Statuses: 1, LastTweet: clock.Now()})
+		if err := store.AddFollower(target, id, clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+		chrono = append(chrono, id)
+		clock.Advance(time.Second)
+	}
+	return store, target, chrono
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(rows))
+	}
+	want := map[string][2]int{
+		"GET followers/ids":          {5000, 1},
+		"GET friends/ids":            {5000, 1},
+		"GET users/lookup":           {100, 12},
+		"GET statuses/user_timeline": {200, 12},
+	}
+	for _, row := range rows {
+		w, ok := want[row.Endpoint]
+		if !ok {
+			t.Fatalf("unexpected endpoint %q", row.Endpoint)
+		}
+		if row.ElementsPerRequest != w[0] || row.RequestsPerMinute != w[1] {
+			t.Fatalf("row %q = %+v, want %v", row.Endpoint, row, w)
+		}
+	}
+}
+
+func TestDefaultLimitsMatchTableI(t *testing.T) {
+	limits := DefaultLimits()
+	for _, row := range TableI() {
+		key := row.Endpoint[len("GET "):]
+		lim, ok := limits[key]
+		if !ok {
+			t.Fatalf("no limit for %q", key)
+		}
+		if got := lim.PerMinute(); got != float64(row.RequestsPerMinute) {
+			t.Fatalf("%s PerMinute = %v, want %d", key, got, row.RequestsPerMinute)
+		}
+	}
+}
+
+func TestFollowerIDsNewestFirstAcrossPages(t *testing.T) {
+	store, target, chrono := buildTarget(t, 12000)
+	svc := NewService(store)
+
+	var got []twitter.UserID
+	cursor := CursorFirst
+	pages := 0
+	for {
+		page, err := svc.FollowerIDs(target, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page.IDs...)
+		pages++
+		if page.NextCursor == CursorDone {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if pages != 3 {
+		t.Fatalf("12000 followers should page in 3 calls, got %d", pages)
+	}
+	if len(got) != len(chrono) {
+		t.Fatalf("got %d ids, want %d", len(got), len(chrono))
+	}
+	// The API must return the newest follower first (Section IV-B).
+	for i, id := range got {
+		if id != chrono[len(chrono)-1-i] {
+			t.Fatalf("order violated at position %d", i)
+		}
+	}
+}
+
+func TestFollowerIDsPageSizes(t *testing.T) {
+	store, target, _ := buildTarget(t, 12000)
+	svc := NewService(store)
+	page, err := svc.FollowerIDs(target, CursorFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.IDs) != FollowerIDsPageSize {
+		t.Fatalf("first page = %d ids, want %d", len(page.IDs), FollowerIDsPageSize)
+	}
+	last, err := svc.FollowerIDs(target, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last.IDs) != 2000 || last.NextCursor != CursorDone {
+		t.Fatalf("last page = %d ids next=%d", len(last.IDs), last.NextCursor)
+	}
+}
+
+func TestFollowerIDsBadCursor(t *testing.T) {
+	store, target, _ := buildTarget(t, 10)
+	svc := NewService(store)
+	if _, err := svc.FollowerIDs(target, 99999); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("err = %v, want ErrBadCursor", err)
+	}
+	if _, err := svc.FollowerIDs(target, -5); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("err = %v, want ErrBadCursor", err)
+	}
+}
+
+func TestFollowerIDsEmptyTarget(t *testing.T) {
+	store, _, _ := buildTarget(t, 0)
+	svc := NewService(store)
+	page, err := svc.FollowerIDs(1, CursorFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.IDs) != 0 || page.NextCursor != CursorDone {
+		t.Fatalf("empty target page = %+v", page)
+	}
+}
+
+func TestUsersLookupBatchLimit(t *testing.T) {
+	store, _, chrono := buildTarget(t, 150)
+	svc := NewService(store)
+	if _, err := svc.UsersLookup(chrono); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+	got, err := svc.UsersLookup(chrono[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("lookup returned %d, want 100", len(got))
+	}
+}
+
+func TestUsersLookupDropsUnknown(t *testing.T) {
+	store, _, chrono := buildTarget(t, 5)
+	svc := NewService(store)
+	got, err := svc.UsersLookup([]twitter.UserID{chrono[0], 99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("lookup returned %d, want 1", len(got))
+	}
+}
+
+func TestUsersShow(t *testing.T) {
+	store, _, _ := buildTarget(t, 3)
+	svc := NewService(store)
+	p, err := svc.UsersShow("target")
+	if err != nil || p.ScreenName != "target" {
+		t.Fatalf("UsersShow = %+v, %v", p, err)
+	}
+	if p.FollowersCount != 3 {
+		t.Fatalf("FollowersCount = %d, want 3", p.FollowersCount)
+	}
+	if _, err := svc.UsersShow("missing"); err == nil {
+		t.Fatal("UsersShow of unknown name should fail")
+	}
+}
+
+func TestFriendIDsSynthetic(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	for i := 0; i < 500; i++ {
+		store.MustCreateUser(twitter.UserParams{Friends: 120})
+	}
+	svc := NewService(store)
+	page, err := svc.FriendIDs(7, CursorFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.IDs) != 120 {
+		t.Fatalf("synthetic friends = %d, want 120", len(page.IDs))
+	}
+	seen := make(map[twitter.UserID]bool)
+	for _, id := range page.IDs {
+		if id == 7 {
+			t.Fatal("synthetic friend list contains self")
+		}
+		if id < 1 || int(id) > store.UserCount() {
+			t.Fatalf("synthetic friend %d outside user space", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate synthetic friend %d", id)
+		}
+		seen[id] = true
+	}
+	// Deterministic.
+	again, _ := svc.FriendIDs(7, CursorFirst)
+	for i := range page.IDs {
+		if page.IDs[i] != again.IDs[i] {
+			t.Fatal("synthetic friend list not deterministic")
+		}
+	}
+}
+
+func TestFriendIDsMaterialised(t *testing.T) {
+	store, target, chrono := buildTarget(t, 5)
+	if err := store.SetFriends(target, chrono[:3]); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(store)
+	page, err := svc.FriendIDs(target, CursorFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.IDs) != 3 {
+		t.Fatalf("materialised friends = %d, want 3", len(page.IDs))
+	}
+}
+
+func TestUserTimelinePagination(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	id := store.MustCreateUser(twitter.UserParams{
+		CreatedAt: simclock.Epoch.AddDate(-2, 0, 0),
+		LastTweet: simclock.Epoch.AddDate(0, 0, -1),
+		Statuses:  450,
+	})
+	svc := NewService(store)
+	first, err := svc.UserTimeline(id, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 200 {
+		t.Fatalf("first page = %d, want 200", len(first))
+	}
+	second, err := svc.UserTimeline(id, 200, first[len(first)-1].ID-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 200 {
+		t.Fatalf("second page = %d, want 200", len(second))
+	}
+	third, err := svc.UserTimeline(id, 200, second[len(second)-1].ID-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != 50 {
+		t.Fatalf("third page = %d, want 50", len(third))
+	}
+	// No overlap across pages.
+	seen := make(map[twitter.TweetID]bool)
+	for _, page := range [][]twitter.Tweet{first, second, third} {
+		for _, tw := range page {
+			if seen[tw.ID] {
+				t.Fatalf("tweet %d appears twice across pages", tw.ID)
+			}
+			seen[tw.ID] = true
+		}
+	}
+}
+
+func TestUserTimelineCapAt3200(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	id := store.MustCreateUser(twitter.UserParams{
+		CreatedAt: simclock.Epoch.AddDate(-5, 0, 0),
+		LastTweet: simclock.Epoch.AddDate(0, 0, -1),
+		Statuses:  10000,
+	})
+	svc := NewService(store)
+	client := NewDirectClient(svc, clock, ClientConfig{})
+	all, err := FullTimeline(client, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != TimelineCap {
+		t.Fatalf("FullTimeline = %d tweets, want cap %d", len(all), TimelineCap)
+	}
+}
