@@ -1,0 +1,181 @@
+// Command auditd serves fake-follower audits as a service, the deployment
+// shape of the analytics the paper studies: audit jobs are accepted over an
+// HTTP JSON API, scheduled on a bounded worker pool, and repeated requests
+// answer from a TTL'd result cache (the "cached" column of Table II).
+//
+// Three backends are supported:
+//
+//	auditd -accounts davc,grossnasty              # in-process simulation
+//	auditd -load pop.gob                          # genpop store snapshot
+//	auditd -twitterd http://127.0.0.1:8080        # remote twitterd API
+//
+// Submit and poll:
+//
+//	curl -s -X POST localhost:8081/v1/audits?wait=60s \
+//	  -d '{"target":"davc","tools":["socialbakers"]}'
+//	curl -s localhost:8081/v1/audits/j00000001
+//	curl -s localhost:8081/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fakeproject/internal/auditd"
+	"fakeproject/internal/core"
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "auditd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8081", "listen address")
+		workers  = flag.Int("workers", 4, "worker pool size")
+		queueCap = flag.Int("queue", 256, "pending-queue capacity (backpressure bound)")
+		cacheTTL = flag.Duration("cache-ttl", 24*time.Hour, "result cache TTL (0 = never expires, negative = disabled)")
+		accounts = flag.String("accounts", "davc,grossnasty,janrezab", "paper accounts to build (simulation backend)")
+		scale    = flag.Int("scale", 50000, "max materialised followers per account (simulation backend)")
+		seed     = flag.Uint64("seed", 20140301, "simulation / engine seed")
+		load     = flag.String("load", "", "serve a store snapshot (from genpop -out) instead of building accounts")
+		remote   = flag.String("twitterd", "", "front a remote twitterd API at this base URL instead of an in-process store")
+	)
+	flag.Parse()
+
+	svc, err := buildService(*accounts, *load, *remote, *scale, *seed, *workers, *queueCap, *cacheTTL)
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:         *addr,
+		Handler:      auditd.NewHandler(svc),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Minute, // long-poll ?wait= support
+	}
+
+	// Graceful shutdown: stop intake, drain the pool, then exit.
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "auditd serving on http://%s/v1/ (tools: %s)\n",
+			*addr, strings.Join(svc.Tools(), ", "))
+		errc <- httpServer.ListenAndServe()
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "auditd: %v, draining...\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "auditd: http shutdown: %v\n", err)
+	}
+	return svc.Shutdown(ctx)
+}
+
+// buildService assembles the audit service over one of the three backends.
+func buildService(accounts, load, remote string, scale int, seed uint64, workers, queueCap int, cacheTTL time.Duration) (*auditd.Service, error) {
+	base := auditd.Config{
+		Workers:   workers,
+		QueueCap:  queueCap,
+		CacheTTL:  cacheTTL,
+		ToolOrder: auditd.StandardToolOrder,
+	}
+
+	switch {
+	case remote != "":
+		// Remote twitterd: engines crawl over HTTP, one bearer token per
+		// (tool, worker) so budgets scale with the pool.
+		clock := simclock.Real{}
+		newClient := func(tool string, worker int) twitterapi.Client {
+			token := fmt.Sprintf("auditd-%s-w%d", tool, worker)
+			return twitterapi.NewHTTPClient(remote, token, clock)
+		}
+		base.Clock = clock
+		base.Tools = auditd.StandardFactories(newClient, auditd.ToolSetConfig{Clock: clock, Seed: seed})
+		fmt.Fprintf(os.Stderr, "backend: remote twitterd at %s\n", remote)
+		return auditd.New(base)
+
+	case load != "":
+		// Snapshot: in-process store, latency-free direct clients (rate
+		// limits still apply per worker token set). genpop builds its
+		// populations on the virtual epoch clock, so the loaded store is
+		// bound to the same epoch — otherwise every 2014-era account would
+		// read as dormant against the real wall clock.
+		clock := simclock.NewVirtualAtEpoch()
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, fmt.Errorf("opening snapshot: %w", err)
+		}
+		defer f.Close()
+		store, err := twitter.ReadSnapshot(f, clock)
+		if err != nil {
+			return nil, fmt.Errorf("loading snapshot: %w", err)
+		}
+		apiSvc := twitterapi.NewService(store)
+		newClient := func(tool string, worker int) twitterapi.Client {
+			return twitterapi.NewDirectClient(apiSvc, clock, twitterapi.ClientConfig{
+				Tokens: 50,
+				Seed:   seed + uint64(worker),
+			})
+		}
+		base.Clock = clock
+		base.Tools = auditd.StandardFactories(newClient, auditd.ToolSetConfig{Clock: clock, Seed: seed})
+		fmt.Fprintf(os.Stderr, "backend: snapshot %s (%d accounts)\n", load, store.UserCount())
+		return auditd.New(base)
+
+	default:
+		// In-process simulation on the virtual clock: Table II latency
+		// modelling stays virtual, so the service itself answers fast.
+		want := splitAccounts(accounts)
+		var only []string
+		for _, acct := range core.PaperTestbed() {
+			if want[acct.ScreenName] {
+				only = append(only, acct.ScreenName)
+			}
+		}
+		if len(only) == 0 {
+			return nil, fmt.Errorf("no known accounts in %q (see the paper testbed)", accounts)
+		}
+		fmt.Fprintf(os.Stderr, "backend: building simulation for %s...\n", strings.Join(only, ", "))
+		sim, err := experiments.NewSimulation(experiments.SimConfig{
+			Seed:     seed,
+			ScaleCap: scale,
+			Only:     only,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building simulation: %w", err)
+		}
+		return sim.NewAuditService(base)
+	}
+}
+
+func splitAccounts(list string) map[string]bool {
+	want := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	return want
+}

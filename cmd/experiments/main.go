@@ -47,9 +47,10 @@ func run() error {
 		fceval   = flag.Bool("fceval", false, "run the FC methodology evaluation")
 		ablation = flag.Bool("ablation", false, "run the sampling-window ablation")
 		coverage = flag.Bool("coverage", false, "run the FC confidence-interval coverage check")
-		seed     = flag.Uint64("seed", 20140301, "simulation seed")
-		scale    = flag.Int("scale", 120000, "max materialised followers per account")
-		csvdir   = flag.String("csvdir", "", "directory for CSV exports (optional)")
+		seed        = flag.Uint64("seed", 20140301, "simulation seed")
+		scale       = flag.Int("scale", 120000, "max materialised followers per account")
+		csvdir      = flag.String("csvdir", "", "directory for CSV exports (optional)")
+		concurrency = flag.Int("concurrency", 1, "run Table III audits through the auditd scheduler with this many workers (1 = serial)")
 	)
 	flag.Parse()
 
@@ -98,7 +99,16 @@ func run() error {
 	}
 	if *table3 {
 		section(out, "Table III: Fake follower analysis results")
-		rows, err := sim.RunTableIII()
+		var (
+			rows []experiments.TableIIIRow
+			err  error
+		)
+		if *concurrency > 1 {
+			fmt.Fprintf(os.Stderr, "running Table III through auditd (%d workers)...\n", *concurrency)
+			rows, err = sim.RunTableIIIConcurrent(*concurrency)
+		} else {
+			rows, err = sim.RunTableIII()
+		}
 		if err != nil {
 			return err
 		}

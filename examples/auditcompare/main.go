@@ -3,9 +3,14 @@
 // truth — including the FC engine's confidence intervals. This is the
 // "downstream user" workflow: evaluating an analytics vendor before
 // trusting its numbers.
+//
+// With -concurrency N (N > 1) the four audits run through the auditd
+// scheduler's worker pool instead of the serial loop.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +20,8 @@ import (
 )
 
 func main() {
+	concurrency := flag.Int("concurrency", 1, "run the audits through the auditd scheduler with this many workers (1 = serial)")
+	flag.Parse()
 	// A mid-sized account whose old base went dormant and who bought
 	// followers twice; ground truth: 52% inactive, 13% fake, 35% genuine
 	// overall, with the junk unevenly distributed along the timeline.
@@ -42,13 +49,42 @@ func main() {
 	fmt.Printf("custom account: %d followers, ground truth inactive %.1f%% fake %.1f%% genuine %.1f%%\n\n",
 		followers, 100*truth.Inactive, 100*truth.Fake, 100*truth.Genuine)
 
+	// With -concurrency, route the audits through the auditd worker pool:
+	// one job, all four tools, fanned out across workers.
+	var serviceReports map[string]fakeproject.Report
+	if *concurrency > 1 {
+		svc, err := fakeproject.NewAuditService(sim, *concurrency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Shutdown(context.Background())
+		job, err := fakeproject.Audit(context.Background(), svc, "custom_subject")
+		if err != nil {
+			log.Fatal(err)
+		}
+		serviceReports = make(map[string]fakeproject.Report, len(job.Results))
+		for tool, res := range job.Results {
+			if res.Err != "" {
+				log.Fatalf("%s: %s", tool, res.Err)
+			}
+			serviceReports[tool] = res.Report
+		}
+		fmt.Printf("audits scheduled on auditd (%d workers)\n\n", *concurrency)
+	}
+
 	fmt.Printf("%-16s %9s %8s %9s %16s\n", "tool", "inactive", "fake", "genuine", "|err| vs truth")
 	for _, tool := range []string{
 		fakeproject.ToolFC, fakeproject.ToolTA, fakeproject.ToolSP, fakeproject.ToolSB,
 	} {
-		rep, err := sim.Auditor(tool).Audit("custom_subject")
-		if err != nil {
-			log.Fatal(err)
+		var rep fakeproject.Report
+		if serviceReports != nil {
+			rep = serviceReports[tool]
+		} else {
+			var err error
+			rep, err = sim.Auditor(tool).Audit("custom_subject")
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		errPts := absErr(rep, truth)
 		inactive := fmt.Sprintf("%8.1f%%", rep.InactivePct)

@@ -24,6 +24,9 @@
 package fakeproject
 
 import (
+	"context"
+
+	"fakeproject/internal/auditd"
 	"fakeproject/internal/core"
 	"fakeproject/internal/experiments"
 	"fakeproject/internal/fc"
@@ -62,10 +65,57 @@ type (
 	GoldStandard = fc.GoldStandard
 )
 
+// Audit-service types (the auditd serving layer).
+type (
+	// AuditService is a concurrent audit-as-a-service scheduler: a worker
+	// pool behind a priority/dedup queue with a shared TTL'd result cache.
+	AuditService = auditd.Service
+	// AuditConfig tunes an AuditService (workers, queue bound, cache TTL).
+	AuditConfig = auditd.Config
+	// AuditJobSpec is one audit request: target × tools × priority.
+	AuditJobSpec = auditd.JobSpec
+	// AuditJob is a point-in-time view of a submitted job.
+	AuditJob = auditd.JobSnapshot
+	// AuditStats summarises a service's operational counters.
+	AuditStats = auditd.Stats
+)
+
 // NewSimulation builds a reproduction environment: simulated platform,
 // calibrated populations, trained FC classifier and the four analytics.
 func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	return experiments.NewSimulation(cfg)
+}
+
+// NewAuditService starts a concurrent audit service over the simulation
+// with the given worker-pool size; shut it down with
+// svc.Shutdown(context.Background()) when done.
+func NewAuditService(sim *Simulation, workers int) (*AuditService, error) {
+	return sim.NewAuditService(auditd.Config{Workers: workers})
+}
+
+// SubmitAudit enqueues an audit of target on svc; empty tools means all
+// four analytics. The returned job may already be terminal (cache fast
+// path).
+func SubmitAudit(svc *AuditService, target string, tools ...string) (AuditJob, error) {
+	return svc.Submit(auditd.JobSpec{Target: target, Tools: tools})
+}
+
+// AwaitAudit blocks until the job reaches a terminal state or ctx expires.
+func AwaitAudit(ctx context.Context, svc *AuditService, id auditd.JobID) (AuditJob, error) {
+	return svc.Await(ctx, id)
+}
+
+// Audit submits target on svc and waits for the verdicts — the one-call
+// service-side equivalent of sim.Auditor(tool).Audit(target).
+func Audit(ctx context.Context, svc *AuditService, target string, tools ...string) (AuditJob, error) {
+	job, err := SubmitAudit(svc, target, tools...)
+	if err != nil {
+		return AuditJob{}, err
+	}
+	if job.State.Terminal() {
+		return job, nil
+	}
+	return svc.Await(ctx, job.ID)
 }
 
 // PaperTestbed returns the paper's 20-account testbed with every published

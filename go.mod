@@ -1,0 +1,3 @@
+module fakeproject
+
+go 1.24

@@ -1,0 +1,174 @@
+package auditd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler exposes a Service over an HTTP JSON API:
+//
+//	POST /v1/audits            submit a job; body {"target","tools","priority"}.
+//	                           Optional ?wait=5s blocks for the result.
+//	GET  /v1/audits            list retained jobs (?target= filters).
+//	GET  /v1/audits/{id}       one job; optional ?wait=5s blocks until done.
+//	GET  /v1/stats             operational counters.
+//	GET  /healthz              liveness probe.
+//
+// Submissions answer 200 when complete (cache fast path or wait), 202 when
+// accepted and pending, 429 on queue backpressure, and 400 on bad specs.
+type Handler struct {
+	svc *Service
+	mux *http.ServeMux
+	// maxWait bounds the ?wait parameter so clients cannot pin handler
+	// goroutines forever.
+	maxWait time.Duration
+}
+
+// NewHandler builds the HTTP API for svc.
+func NewHandler(svc *Service) *Handler {
+	h := &Handler{svc: svc, mux: http.NewServeMux(), maxWait: 5 * time.Minute}
+	h.mux.HandleFunc("POST /v1/audits", h.submit)
+	h.mux.HandleFunc("GET /v1/audits", h.list)
+	h.mux.HandleFunc("GET /v1/audits/{id}", h.get)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", h.health)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) fail(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// parseWait reads the optional ?wait=DURATION query parameter.
+func (h *Handler) parseWait(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, errors.New("invalid wait duration " + raw)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > h.maxWait {
+		d = h.maxWait
+	}
+	return d, nil
+}
+
+func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		h.fail(w, http.StatusBadRequest, errors.New("decoding job spec: "+err.Error()))
+		return
+	}
+	wait, err := h.parseWait(r)
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := h.svc.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		h.fail(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		h.fail(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		h.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if wait > 0 && !snap.State.Terminal() {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		if done, err := h.svc.Await(ctx, snap.ID); err == nil {
+			snap = done
+		}
+	}
+	status := http.StatusAccepted
+	if snap.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, snap)
+}
+
+func (h *Handler) get(w http.ResponseWriter, r *http.Request) {
+	id := JobID(r.PathValue("id"))
+	wait, err := h.parseWait(r)
+	if err != nil {
+		h.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var snap JobSnapshot
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		snap, err = h.svc.Await(ctx, id)
+		if errors.Is(err, context.DeadlineExceeded) {
+			snap, err = h.svc.Get(id)
+		}
+	} else {
+		snap, err = h.svc.Get(id)
+	}
+	if errors.Is(err, ErrUnknownJob) {
+		h.fail(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		h.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
+	target := strings.TrimSpace(r.URL.Query().Get("target"))
+	jobs := h.svc.List()
+	if target != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if j.Spec.Target == target {
+				filtered = append(filtered, j)
+			}
+		}
+		jobs = filtered
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobSnapshot `json:"jobs"`
+	}{Jobs: jobs})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Stats())
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string   `json:"status"`
+		Tools  []string `json:"tools"`
+	}{Status: "ok", Tools: h.svc.Tools()})
+}

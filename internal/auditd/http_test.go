@@ -1,0 +1,183 @@
+package auditd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func httpFixture(t *testing.T, cfg Config, stubs ...*stubAuditor) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := stubService(t, cfg, stubs...)
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPSubmitWaitAndPoll(t *testing.T) {
+	alpha := newStub("alpha", 10*time.Millisecond)
+	_, srv := httpFixture(t, Config{Workers: 2}, alpha)
+
+	// Submit with ?wait: one round trip to a finished verdict.
+	resp := postJSON(t, srv.URL+"/v1/audits?wait=10s", JobSpec{Target: "davc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	snap := decode[JobSnapshot](t, resp)
+	if snap.State != StateDone || snap.Results["alpha"].Report.GenuinePct != 100 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// Submit without wait: 202 then poll to completion.
+	resp = postJSON(t, srv.URL+"/v1/audits", JobSpec{Target: "grossnasty"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	accepted := decode[JobSnapshot](t, resp)
+	pollResp, err := http.Get(srv.URL + "/v1/audits/" + string(accepted.ID) + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	polled := decode[JobSnapshot](t, pollResp)
+	if polled.State != StateDone {
+		t.Fatalf("polled state = %s", polled.State)
+	}
+
+	// The repeat request is the cached fast path: 200 inline.
+	resp = postJSON(t, srv.URL+"/v1/audits", JobSpec{Target: "davc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d", resp.StatusCode)
+	}
+	repeat := decode[JobSnapshot](t, resp)
+	if !repeat.Results["alpha"].CacheHit {
+		t.Fatalf("repeat not served from cache: %+v", repeat)
+	}
+}
+
+func TestHTTPValidationAndNotFound(t *testing.T) {
+	_, srv := httpFixture(t, Config{Workers: 1}, newStub("alpha", 0))
+
+	resp := postJSON(t, srv.URL+"/v1/audits", JobSpec{Target: ""})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty target status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/v1/audits", JobSpec{Target: "x", Tools: []string{"nosuch"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tool status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	getResp, err := http.Get(srv.URL + "/v1/audits/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", getResp.StatusCode)
+	}
+	getResp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/v1/audits?wait=bogus", JobSpec{Target: "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	alpha := newStub("alpha", 100*time.Millisecond)
+	_, srv := httpFixture(t, Config{Workers: 1, QueueCap: 1}, alpha)
+
+	saw429 := false
+	for i := 0; i < 6; i++ {
+		resp := postJSON(t, srv.URL+"/v1/audits", JobSpec{Target: fmt.Sprintf("t%d", i)})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			saw429 = true
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Fatal("server never answered 429 under load")
+	}
+}
+
+func TestHTTPListStatsHealth(t *testing.T) {
+	svc, srv := httpFixture(t, Config{Workers: 1, ToolOrder: []string{"alpha"}}, newStub("alpha", 0))
+	for _, target := range []string{"davc", "davc", "janrezab"} {
+		resp := postJSON(t, srv.URL+"/v1/audits?wait=10s", JobSpec{Target: target})
+		resp.Body.Close()
+	}
+
+	listResp, err := http.Get(srv.URL + "/v1/audits?target=davc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[struct {
+		Jobs []JobSnapshot `json:"jobs"`
+	}](t, listResp)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("filtered jobs = %d, want 2", len(list.Jobs))
+	}
+	for _, j := range list.Jobs {
+		if j.Spec.Target != "davc" {
+			t.Fatalf("filter leaked %s", j.Spec.Target)
+		}
+	}
+
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Stats](t, statsResp)
+	if st.Submitted != 3 || st.Workers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := svc.Stats().Submitted; st.Submitted != want {
+		t.Fatalf("stats endpoint disagrees with service: %d vs %d", st.Submitted, want)
+	}
+
+	healthResp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := decode[struct {
+		Status string   `json:"status"`
+		Tools  []string `json:"tools"`
+	}](t, healthResp)
+	if health.Status != "ok" || len(health.Tools) != 1 || health.Tools[0] != "alpha" {
+		t.Fatalf("health = %+v", health)
+	}
+}

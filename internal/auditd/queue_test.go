@@ -1,0 +1,158 @@
+package auditd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testJob(target string, priority int, tools ...string) *job {
+	if len(tools) == 0 {
+		tools = []string{"alpha"}
+	}
+	return &job{
+		id:   JobID("j-" + target),
+		spec: JobSpec{Target: target, Tools: tools, Priority: priority},
+		done: make(chan struct{}),
+	}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(16)
+	for i, spec := range []struct {
+		target   string
+		priority int
+	}{
+		{"a", 0}, {"b", 5}, {"c", 0}, {"d", 5}, {"e", 9},
+	} {
+		if _, ok, err := q.push(testJob(spec.target, spec.priority)); err != nil || !ok {
+			t.Fatalf("push %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	want := []string{"e", "b", "d", "a", "c"} // priority desc, FIFO within
+	for _, target := range want {
+		j, ok := q.pop(context.Background())
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		if j.spec.Target != target {
+			t.Fatalf("popped %s, want %s", j.spec.Target, target)
+		}
+		q.release(j)
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := newJobQueue(2)
+	for i := 0; i < 2; i++ {
+		if _, ok, err := q.push(testJob(fmt.Sprintf("t%d", i), 0)); err != nil || !ok {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if _, _, err := q.push(testJob("overflow", 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d", q.depth())
+	}
+}
+
+func TestQueueDedup(t *testing.T) {
+	q := newJobQueue(8)
+	original := testJob("davc", 1)
+	if _, ok, _ := q.push(original); !ok {
+		t.Fatal("first push not enqueued")
+	}
+	dup := testJob("davc", 0)
+	winner, enqueued, err := q.push(dup)
+	if err != nil || enqueued {
+		t.Fatalf("duplicate enqueued=%v err=%v", enqueued, err)
+	}
+	if winner != original {
+		t.Fatal("dedup returned a different job")
+	}
+	// A more urgent duplicate raises the original's effective priority:
+	// it must now pop ahead of a mid-priority job, without the job's own
+	// spec being mutated (that field belongs to the service mutex).
+	mid := testJob("mid", 5)
+	if _, _, err := q.push(mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.push(testJob("davc", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if original.spec.Priority != 1 {
+		t.Fatalf("spec priority mutated to %d", original.spec.Priority)
+	}
+	// Different tool set for the same target is a distinct request.
+	other := testJob("davc", 0, "beta")
+	if _, enqueued, _ := q.push(other); !enqueued {
+		t.Fatal("different tool set was deduped")
+	}
+	// The running job keeps coalescing until released.
+	j, _ := q.pop(context.Background())
+	if j != original {
+		t.Fatalf("popped %s first", j.spec.Target)
+	}
+	if _, enqueued, _ := q.push(testJob("davc", 0)); enqueued {
+		t.Fatal("running job no longer dedups")
+	}
+	q.release(original)
+	if _, enqueued, _ := q.push(testJob("davc", 0)); !enqueued {
+		t.Fatal("released job still dedups")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newJobQueue(4)
+	got := make(chan *job, 1)
+	go func() {
+		j, _ := q.pop(context.Background())
+		got <- j
+	}()
+	time.Sleep(5 * time.Millisecond)
+	want := testJob("late", 0)
+	if _, _, err := q.push(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case j := <-got:
+		if j != want {
+			t.Fatal("popped wrong job")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke")
+	}
+}
+
+func TestQueueCloseDrainsThenStops(t *testing.T) {
+	q := newJobQueue(4)
+	if _, _, err := q.push(testJob("pending", 0)); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	if _, _, err := q.push(testJob("late", 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if j, ok := q.pop(context.Background()); !ok || j.spec.Target != "pending" {
+		t.Fatalf("drain pop = %v/%v", j, ok)
+	}
+	if _, ok := q.pop(context.Background()); ok {
+		t.Fatal("pop after drain should report closed")
+	}
+}
+
+func TestQueuePopContextCancel(t *testing.T) {
+	q := newJobQueue(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := q.pop(ctx); ok {
+		t.Fatal("pop returned a job from an empty queue")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pop ignored context cancellation")
+	}
+}

@@ -1,0 +1,110 @@
+package auditd
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"fakeproject/internal/core"
+	"fakeproject/internal/population"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/tools/socialbakers"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// storeBackedService builds an audit service over a twitter.Store with the
+// deterministic Socialbakers engine (full newest-2000 window, no sampling
+// randomness), the configuration used to compare audit outcomes across
+// store transports.
+func storeBackedService(t *testing.T, store *twitter.Store, clock simclock.Clock) *Service {
+	t.Helper()
+	apiSvc := twitterapi.NewService(store)
+	svc, err := New(Config{
+		Workers: 2,
+		Clock:   clock,
+		Tools: map[string]Factory{
+			ToolSB: func(worker int) (core.Auditor, error) {
+				client := twitterapi.NewDirectClient(apiSvc, clock, twitterapi.ClientConfig{Tokens: 50})
+				return socialbakers.New(client, clock), nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+	return svc
+}
+
+// TestSnapshotRoundTripThroughService drives the persist.go snapshot
+// round-trip through the serving path: a genpop-style population is
+// snapshotted, reloaded into a second store, and both stores are audited
+// through auditd — the verdicts must match exactly, the property that makes
+// `genpop -out` + `auditd -load` equivalent to building in-process.
+func TestSnapshotRoundTripThroughService(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 71)
+	gen := population.NewGenerator(store, 71)
+	if _, err := gen.BuildTarget(population.TargetSpec{
+		ScreenName: "snapshot_subject",
+		Followers:  6000,
+		Layout: population.Layout{
+			{Width: 2000, Mix: population.Mix{Inactive: 0.25, Fake: 0.35, Genuine: 0.40}},
+			{Width: 0, Mix: population.Mix{Inactive: 0.60, Fake: 0.05, Genuine: 0.35}},
+		},
+		Statuses: 500,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loadedClock := simclock.NewVirtualAtEpoch()
+	loaded, err := twitter.ReadSnapshot(&buf, loadedClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.UserCount() != store.UserCount() {
+		t.Fatalf("loaded %d users, want %d", loaded.UserCount(), store.UserCount())
+	}
+
+	audit := func(svc *Service) core.Report {
+		t.Helper()
+		snap, err := svc.Submit(JobSpec{Target: "snapshot_subject"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := svc.Await(context.Background(), snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("job state = %s (%s)", done.State, done.Err)
+		}
+		res := done.Results[ToolSB]
+		if res.Err != "" {
+			t.Fatal(res.Err)
+		}
+		return res.Report
+	}
+
+	inMemory := audit(storeBackedService(t, store, clock))
+	fromSnapshot := audit(storeBackedService(t, loaded, loadedClock))
+
+	if inMemory.InactivePct != fromSnapshot.InactivePct ||
+		inMemory.FakePct != fromSnapshot.FakePct ||
+		inMemory.GenuinePct != fromSnapshot.GenuinePct {
+		t.Fatalf("verdicts diverge across the snapshot round-trip:\n  in-memory %.2f/%.2f/%.2f\n  snapshot  %.2f/%.2f/%.2f",
+			inMemory.InactivePct, inMemory.FakePct, inMemory.GenuinePct,
+			fromSnapshot.InactivePct, fromSnapshot.FakePct, fromSnapshot.GenuinePct)
+	}
+	if inMemory.SampleSize != fromSnapshot.SampleSize {
+		t.Fatalf("sample sizes diverge: %d vs %d", inMemory.SampleSize, fromSnapshot.SampleSize)
+	}
+	if fromSnapshot.SampleSize != 2000 {
+		t.Fatalf("SB sample = %d, want the newest-2000 window", fromSnapshot.SampleSize)
+	}
+}

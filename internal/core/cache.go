@@ -8,6 +8,79 @@ import (
 	"fakeproject/internal/simclock"
 )
 
+// ResultCache is a TTL'd report cache keyed by an arbitrary string. It is
+// the one cache implementation shared by the cache-wrapped auditors of the
+// experiments (Table II's "cached" column) and the auditd serving layer's
+// result cache, so both exhibit the same expiry semantics the paper
+// observed in the field (Section IV-C).
+//
+// A zero ttl means entries never expire (Twitteraudit's "assessed 7 months
+// ago" behaviour). The cache is safe for concurrent use.
+type ResultCache struct {
+	clock simclock.Clock
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	entries map[string]Report
+	hits    uint64
+	misses  uint64
+}
+
+// NewResultCache creates a cache on the given clock. Entries older than ttl
+// (by their AssessedAt stamp) are treated as absent; ttl <= 0 disables
+// expiry.
+func NewResultCache(clock simclock.Clock, ttl time.Duration) *ResultCache {
+	return &ResultCache{
+		clock:   clock,
+		ttl:     ttl,
+		entries: make(map[string]Report),
+	}
+}
+
+// Get returns the cached report for key if present and fresh. The returned
+// report is the stored analysis verbatim (Cached flag unset); callers decide
+// how a hit is presented.
+func (rc *ResultCache) Get(key string) (Report, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	report, ok := rc.entries[key]
+	if ok && (rc.ttl <= 0 || rc.clock.Now().Sub(report.AssessedAt) <= rc.ttl) {
+		rc.hits++
+		return report, true
+	}
+	rc.misses++
+	return Report{}, false
+}
+
+// Put stores a report under key, replacing any previous entry.
+func (rc *ResultCache) Put(key string, report Report) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries[key] = report
+}
+
+// Forget drops the entry for key.
+func (rc *ResultCache) Forget(key string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	delete(rc.entries, key)
+}
+
+// Len reports the number of stored entries (including expired ones not yet
+// overwritten).
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
+}
+
+// Stats reports cumulative hit/miss counts.
+func (rc *ResultCache) Stats() (hits, misses uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.misses
+}
+
 // CachedAuditor wraps an Auditor with the result caching the paper observed
 // in the field (Section IV-C): repeated requests answer in seconds, some
 // tools pre-compute popular targets, and Twitteraudit serves reports
@@ -15,27 +88,22 @@ import (
 type CachedAuditor struct {
 	inner Auditor
 	clock simclock.Clock
-	// ttl is how long a cached report stays served; zero means forever
-	// (Twitteraudit-style).
-	ttl time.Duration
 	// renderLatency is the time to serve a cached report (the "2 seconds"
 	// rows of Table II).
 	renderLatency time.Duration
-
-	mu    sync.Mutex
-	cache map[string]Report
+	cache         *ResultCache
 }
 
 var _ Auditor = (*CachedAuditor)(nil)
 
-// NewCachedAuditor wraps inner with a cache.
+// NewCachedAuditor wraps inner with a cache; zero ttl means entries never
+// expire (Twitteraudit-style).
 func NewCachedAuditor(inner Auditor, clock simclock.Clock, ttl, renderLatency time.Duration) *CachedAuditor {
 	return &CachedAuditor{
 		inner:         inner,
 		clock:         clock,
-		ttl:           ttl,
 		renderLatency: renderLatency,
-		cache:         make(map[string]Report),
+		cache:         NewResultCache(clock, ttl),
 	}
 }
 
@@ -45,11 +113,7 @@ func (c *CachedAuditor) Name() string { return c.inner.Name() }
 // Audit implements Auditor: cached reports are served after only the render
 // latency; misses run the inner tool and populate the cache.
 func (c *CachedAuditor) Audit(screenName string) (Report, error) {
-	c.mu.Lock()
-	cached, ok := c.cache[screenName]
-	c.mu.Unlock()
-	now := c.clock.Now()
-	if ok && (c.ttl <= 0 || now.Sub(cached.AssessedAt) <= c.ttl) {
+	if cached, ok := c.cache.Get(screenName); ok {
 		c.clock.Sleep(c.renderLatency)
 		cached.Cached = true
 		cached.Elapsed = c.renderLatency
@@ -60,9 +124,7 @@ func (c *CachedAuditor) Audit(screenName string) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("%s: %w", c.inner.Name(), err)
 	}
-	c.mu.Lock()
-	c.cache[screenName] = report
-	c.mu.Unlock()
+	c.cache.Put(screenName, report)
 	return report, nil
 }
 
@@ -75,18 +137,15 @@ func (c *CachedAuditor) Prewarm(screenName string, assessedAt time.Time) error {
 		return fmt.Errorf("prewarming %s: %w", screenName, err)
 	}
 	report.AssessedAt = assessedAt
-	c.mu.Lock()
-	c.cache[screenName] = report
-	c.mu.Unlock()
+	c.cache.Put(screenName, report)
 	return nil
 }
 
 // Forget drops the cache entry for screenName.
-func (c *CachedAuditor) Forget(screenName string) {
-	c.mu.Lock()
-	delete(c.cache, screenName)
-	c.mu.Unlock()
-}
+func (c *CachedAuditor) Forget(screenName string) { c.cache.Forget(screenName) }
+
+// Cache exposes the underlying result cache (hit/miss inspection).
+func (c *CachedAuditor) Cache() *ResultCache { return c.cache }
 
 // Inner exposes the wrapped auditor (for tool-specific inspection).
 func (c *CachedAuditor) Inner() Auditor { return c.inner }

@@ -5,13 +5,7 @@ import (
 )
 
 func TestWindowSweepErrorShrinksWithWindow(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds a 60K population")
-	}
-	sim, err := NewSimulation(SimConfig{Only: []string{"PC_Chiambretti"}, ScaleCap: 60000})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedBigSim(t) // PC_Chiambretti is built at the 60K cap
 	points, err := sim.RunWindowSweep("PC_Chiambretti", []int{2000, 5000, 35000, 0}, 2000)
 	if err != nil {
 		t.Fatal(err)
@@ -43,13 +37,7 @@ func TestWindowSweepErrorShrinksWithWindow(t *testing.T) {
 }
 
 func TestSamplingAblationBlamesTheWindow(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trains a classifier and audits four configurations")
-	}
-	sim, err := NewSimulation(SimConfig{Only: []string{"PC_Chiambretti"}, ScaleCap: 60000})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedBigSim(t) // PC_Chiambretti is built at the 60K cap
 	rows, err := sim.RunSamplingAblation("PC_Chiambretti")
 	if err != nil {
 		t.Fatal(err)
@@ -96,10 +84,7 @@ func TestSamplingAblationBlamesTheWindow(t *testing.T) {
 }
 
 func TestWindowSweepUnknownAccount(t *testing.T) {
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	if _, err := sim.RunWindowSweep("ghost", []int{100}, 10); err == nil {
 		t.Fatal("unknown account should fail")
 	}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fakeproject/internal/auditd"
+)
+
+// TestAuditServiceMatchesPaper routes audits through the auditd scheduler
+// over the shared simulation and checks the service-side verdicts land on
+// the published Table III values within the same tolerance as the serial
+// runner — parallel scheduling must not change what the tools conclude.
+func TestAuditServiceMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audits the full tool set through the scheduler")
+	}
+	sim := sharedSmallSim(t)
+	rows, err := sim.RunTableIIIConcurrent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row.Account.ScreenName != "davc" {
+		t.Fatalf("account = %s", row.Account.ScreenName)
+	}
+	for _, tool := range ToolOrder {
+		if _, ok := row.Measured[tool]; !ok {
+			t.Fatalf("missing %s verdict", tool)
+		}
+	}
+	fcRep := row.Measured[ToolFC]
+	if d := math.Abs(fcRep.InactivePct - row.Account.FC.Inactive); d > 5 {
+		t.Errorf("FC inactive %.1f vs paper %.1f (Δ%.1f)", fcRep.InactivePct, row.Account.FC.Inactive, d)
+	}
+	if d := math.Abs(fcRep.GenuinePct - row.Account.FC.Genuine); d > 5 {
+		t.Errorf("FC genuine %.1f vs paper %.1f (Δ%.1f)", fcRep.GenuinePct, row.Account.FC.Genuine, d)
+	}
+}
+
+// TestAuditServiceCacheAcrossSubmissions checks the service-level repeat
+// behaviour over a real simulation: the second submission of the same
+// target answers inline from the result cache.
+func TestAuditServiceCacheAcrossSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a Socialbakers audit over a built population")
+	}
+	sim := sharedSmallSim(t)
+	svc, err := sim.NewAuditService(auditd.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown(context.Background())
+
+	spec := auditd.JobSpec{Target: "davc", Tools: []string{ToolSB}}
+	first, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Await(context.Background(), first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != auditd.StateDone {
+		t.Fatalf("state = %s (%s)", done.State, done.Err)
+	}
+	if done.Results[ToolSB].CacheHit {
+		t.Fatal("first audit claimed a cache hit")
+	}
+
+	repeat, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.State.Terminal() {
+		t.Fatalf("repeat not served inline: %s", repeat.State)
+	}
+	res := repeat.Results[ToolSB]
+	if !res.CacheHit || !res.Report.Cached {
+		t.Fatalf("repeat result = %+v", res)
+	}
+	if res.Report.FakePct != done.Results[ToolSB].Report.FakePct {
+		t.Fatal("cached verdict differs from the original analysis")
+	}
+}

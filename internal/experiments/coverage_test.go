@@ -6,10 +6,7 @@ func TestCoverageNearNominal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs 40 FC audits")
 	}
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	res, err := sim.RunCoverage(30000, 40)
 	if err != nil {
 		t.Fatal(err)
@@ -28,10 +25,7 @@ func TestCoverageNearNominal(t *testing.T) {
 }
 
 func TestCoverageValidation(t *testing.T) {
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	if _, err := sim.RunCoverage(500, 3); err == nil {
 		t.Fatal("tiny population should be rejected")
 	}

@@ -13,23 +13,7 @@ import (
 // a reduced scale cap). Subtests assert the paper's *shape criteria* as
 // listed in DESIGN.md §4.
 func TestIntegration(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test builds a six-figure population")
-	}
-	sim, err := NewSimulation(SimConfig{
-		Only: []string{
-			"RobDWaller",     // low class
-			"giovanniallevi", // average, uncached
-			"pinucciotwit",   // average, cached by TA and SP
-			"PC_Chiambretti", // the 97%-inactive pathological case
-			"BarackObama",    // high class, scaled
-		},
-		ScaleCap:     60000,
-		WithDeepDive: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedBigSim(t)
 
 	t.Run("TableIII", func(t *testing.T) {
 		rows, err := sim.RunTableIII()
@@ -248,20 +232,14 @@ func TestSimulationDeterministic(t *testing.T) {
 }
 
 func TestRunDeepDiveRequiresFlag(t *testing.T) {
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	if _, err := sim.RunDeepDive(); err == nil {
 		t.Fatal("deep dive without targets should fail")
 	}
 }
 
 func TestRunFollowerOrderValidation(t *testing.T) {
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	if _, err := sim.RunFollowerOrder(0, 5, 10); err == nil {
 		t.Fatal("zero accounts should fail")
 	}
@@ -290,10 +268,7 @@ func TestEstimateFullCrawlArithmetic(t *testing.T) {
 func TestTableIIMeasurementSpacing(t *testing.T) {
 	// Repeat measurements must stay within each tool's cache TTL, or
 	// "subsequent requests answer in <5s" would silently break.
-	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	sim := sharedSmallSim(t)
 	start := sim.Clock.Now()
 	if _, err := sim.RunTableII(); err == nil {
 		// davc is low-class: Table II covers only average accounts, so an

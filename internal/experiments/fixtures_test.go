@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// Shared test fixtures: building a simulation materialises six-figure
+// follower populations and trains a classifier, so the expensive
+// configurations are built once per test binary (sync.Once) and shared by
+// every test that can tolerate a shared clock and caches. Tests that need
+// pristine state (determinism checks) still build their own.
+
+var bigSimFixture struct {
+	once sync.Once
+	sim  *Simulation
+	err  error
+}
+
+// sharedBigSim returns the package's one full-size simulation: the
+// representative five-account testbed subset plus the Deep Dive targets at
+// a 60K scale cap — the configuration TestIntegration asserts against.
+// Callers share its virtual clock and tool caches; runners that need fresh
+// verdicts already flush the relevant cache entries themselves.
+func sharedBigSim(t *testing.T) *Simulation {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("shared fixture builds six-figure populations")
+	}
+	bigSimFixture.once.Do(func() {
+		bigSimFixture.sim, bigSimFixture.err = NewSimulation(SimConfig{
+			Only: []string{
+				"RobDWaller",     // low class
+				"giovanniallevi", // average, uncached
+				"pinucciotwit",   // average, cached by TA and SP
+				"PC_Chiambretti", // the 97%-inactive pathological case
+				"BarackObama",    // high class, scaled
+			},
+			ScaleCap:     60000,
+			WithDeepDive: true,
+		})
+	})
+	if bigSimFixture.err != nil {
+		t.Fatal(bigSimFixture.err)
+	}
+	return bigSimFixture.sim
+}
+
+var smallSimFixture struct {
+	once sync.Once
+	sim  *Simulation
+	err  error
+}
+
+// sharedSmallSim returns a davc-only simulation shared by tests that only
+// exercise validation and error paths (no assertions on verdict values).
+func sharedSmallSim(t *testing.T) *Simulation {
+	t.Helper()
+	smallSimFixture.once.Do(func() {
+		smallSimFixture.sim, smallSimFixture.err = NewSimulation(SimConfig{Only: []string{"davc"}})
+	})
+	if smallSimFixture.err != nil {
+		t.Fatal(smallSimFixture.err)
+	}
+	return smallSimFixture.sim
+}

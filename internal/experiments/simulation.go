@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fakeproject/internal/auditd"
 	"fakeproject/internal/core"
 	"fakeproject/internal/fc"
 	"fakeproject/internal/population"
@@ -21,12 +22,13 @@ import (
 	"fakeproject/internal/twitterapi"
 )
 
-// Tool name keys used across runners and reports.
+// Tool name keys used across runners and reports (shared with the serving
+// layer).
 const (
-	ToolFC = "fakeproject-fc"
-	ToolTA = "twitteraudit"
-	ToolSP = "statuspeople"
-	ToolSB = "socialbakers"
+	ToolFC = auditd.ToolFC
+	ToolTA = auditd.ToolTA
+	ToolSP = auditd.ToolSP
+	ToolSB = auditd.ToolSB
 )
 
 // ToolOrder is the column order the paper uses.
@@ -73,6 +75,11 @@ type Simulation struct {
 	// The four analytics, cache-wrapped as deployed.
 	fcEngine *fc.Engine
 	auditors map[string]*core.CachedAuditor
+
+	// nominal maps screen names to real-world follower counts, retained so
+	// the serving layer can stamp out additional per-worker FC engines
+	// (NewAuditService).
+	nominal map[string]int
 
 	// taInner/spInner retained for chart access and Deep Dive runs.
 	taInner *twitteraudit.Audit
@@ -159,6 +166,7 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("training FC classifier: %w", err)
 	}
+	sim.nominal = nominal
 	fcClient := twitterapi.NewDirectClient(service, clock, clientConfigs[ToolFC])
 	sim.fcEngine = fc.NewEngine(fcClient, clock, model, set, fc.EngineConfig{
 		Seed:             cfg.Seed + 2,

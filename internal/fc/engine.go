@@ -2,6 +2,7 @@ package fc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"fakeproject/internal/core"
@@ -72,10 +73,31 @@ func NewEngine(client twitterapi.Client, clock simclock.Clock, model ml.Classifi
 	}
 }
 
+// trainedDefault memoises TrainDefault per seed: training is deterministic
+// and the returned model is read-only at prediction time, so every
+// simulation (and every auditd worker pool) built with the same seed can
+// share one classifier instead of re-training a forest each time.
+var trainedDefault struct {
+	sync.Mutex
+	bySeed map[uint64]trainResult
+}
+
+type trainResult struct {
+	model ml.Classifier
+	set   features.Set
+}
+
 // TrainDefault builds the deployed FC classifier: a random forest over the
 // lookup-cost feature set, trained on a synthetic gold standard. It returns
-// the model and the feature set to pass to NewEngine.
+// the model and the feature set to pass to NewEngine. Results are memoised
+// per seed (training is deterministic and models are immutable once
+// trained).
 func TrainDefault(seed uint64) (ml.Classifier, features.Set, error) {
+	trainedDefault.Lock()
+	defer trainedDefault.Unlock()
+	if cached, ok := trainedDefault.bySeed[seed]; ok {
+		return cached.model, cached.set, nil
+	}
 	gold, err := BuildGoldStandard(1500, seed)
 	if err != nil {
 		return nil, features.Set{}, fmt.Errorf("building gold standard: %w", err)
@@ -89,6 +111,10 @@ func TrainDefault(seed uint64) (ml.Classifier, features.Set, error) {
 	if err != nil {
 		return nil, features.Set{}, fmt.Errorf("training forest: %w", err)
 	}
+	if trainedDefault.bySeed == nil {
+		trainedDefault.bySeed = make(map[uint64]trainResult)
+	}
+	trainedDefault.bySeed[seed] = trainResult{model: model, set: set}
 	return model, set, nil
 }
 

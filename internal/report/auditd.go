@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fakeproject/internal/auditd"
+)
+
+// AuditJobs renders service-side audit jobs as a table: one line per
+// (job, tool) with verdicts, cache provenance and latency — the service
+// view of the quantities in Tables II and III.
+func AuditJobs(w io.Writer, jobs []auditd.JobSnapshot) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "job\ttarget\tstate\ttool\tinactive\tfake\tgenuine\tcached\telapsed")
+	for _, job := range jobs {
+		if len(job.Results) == 0 {
+			fmt.Fprintf(tw, "%s\t@%s\t%s\t-\t\t\t\t\t\n", job.ID, job.Spec.Target, job.State)
+			continue
+		}
+		tools := make([]string, 0, len(job.Results))
+		for tool := range job.Results {
+			tools = append(tools, tool)
+		}
+		sort.Strings(tools)
+		for _, tool := range tools {
+			res := job.Results[tool]
+			if res.Err != "" {
+				fmt.Fprintf(tw, "%s\t@%s\t%s\t%s\terror: %s\t\t\t\t\n",
+					job.ID, job.Spec.Target, job.State, tool, res.Err)
+				continue
+			}
+			rep := res.Report
+			inactive := fmt.Sprintf("%.1f%%", rep.InactivePct)
+			if !rep.HasInactiveClass {
+				inactive = "n/a"
+			}
+			fmt.Fprintf(tw, "%s\t@%s\t%s\t%s\t%s\t%.1f%%\t%.1f%%\t%v\t%v\n",
+				job.ID, job.Spec.Target, job.State, tool,
+				inactive, rep.FakePct, rep.GenuinePct, res.CacheHit, rep.Elapsed)
+		}
+	}
+	return tw.Flush()
+}
+
+// AuditStats renders a service's operational counters.
+func AuditStats(w io.Writer, st auditd.Stats) error {
+	_, err := fmt.Fprintf(w,
+		"audit service: %d workers, queue %d/%d\n"+
+			"  submitted %d (deduped %d, rejected %d)\n"+
+			"  completed %d, failed %d, canceled %d\n"+
+			"  cache: %d hits / %d misses (%d jobs served inline)\n",
+		st.Workers, st.QueueDepth, st.QueueCap,
+		st.Submitted, st.Deduped, st.Rejected,
+		st.Completed, st.Failed, st.Canceled,
+		st.CacheHits, st.CacheMisses, st.InlineCache)
+	return err
+}

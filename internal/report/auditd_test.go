@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fakeproject/internal/auditd"
+	"fakeproject/internal/core"
+)
+
+func TestAuditJobsRendering(t *testing.T) {
+	jobs := []auditd.JobSnapshot{
+		{
+			ID:    auditd.JobID("j00000001"),
+			Spec:  auditd.JobSpec{Target: "davc", Tools: []string{"socialbakers"}},
+			State: auditd.StateDone,
+			Results: map[string]auditd.ToolResult{
+				"socialbakers": {
+					Report: core.Report{
+						Tool:             "socialbakers",
+						InactivePct:      30,
+						FakePct:          10,
+						GenuinePct:       60,
+						HasInactiveClass: true,
+						Elapsed:          2 * time.Second,
+					},
+					CacheHit: true,
+				},
+			},
+		},
+		{
+			ID:    auditd.JobID("j00000002"),
+			Spec:  auditd.JobSpec{Target: "ghost", Tools: []string{"twitteraudit"}},
+			State: auditd.StateFailed,
+			Results: map[string]auditd.ToolResult{
+				"twitteraudit": {Err: "user not found"},
+			},
+		},
+		{
+			ID:    auditd.JobID("j00000003"),
+			Spec:  auditd.JobSpec{Target: "queuedone"},
+			State: auditd.StateQueued,
+		},
+	}
+	var sb strings.Builder
+	if err := AuditJobs(&sb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"@davc", "30.0%", "60.0%", "true", "user not found", "@queuedone", "queued"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditStatsRendering(t *testing.T) {
+	var sb strings.Builder
+	err := AuditStats(&sb, auditd.Stats{
+		Workers: 8, QueueDepth: 3, QueueCap: 256,
+		Submitted: 42, Deduped: 5, Rejected: 1,
+		Completed: 30, Failed: 2,
+		CacheHits: 17, CacheMisses: 25, InlineCache: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"8 workers", "queue 3/256", "submitted 42", "deduped 5", "17 hits", "11 jobs served inline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

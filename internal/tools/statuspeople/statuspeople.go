@@ -57,10 +57,13 @@ type Fakers struct {
 
 var _ core.Auditor = (*Fakers)(nil)
 
-// New creates the engine.
+// New creates the engine. A zero Window selects the Current sampling
+// configuration while preserving the caller's Seed.
 func New(client twitterapi.Client, clock simclock.Clock, cfg Config) *Fakers {
 	if cfg.Window <= 0 {
+		seed := cfg.Seed
 		cfg = Current()
+		cfg.Seed = seed
 	}
 	return &Fakers{
 		client: client,
