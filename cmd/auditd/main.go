@@ -15,6 +15,16 @@
 //	  -d '{"target":"davc","tools":["socialbakers"]}'
 //	curl -s localhost:8081/v1/audits/j00000001
 //	curl -s localhost:8081/v1/stats
+//
+// With -monitor the daemon additionally runs the monitord subsystem:
+// watched targets are re-audited continuously as low-priority background
+// jobs (interactive requests preempt them) and their verdict series and
+// alerts are served over /v1/watch, /v1/series/{target} and /v1/alerts:
+//
+//	auditd -accounts davc -monitor -watch davc:24h -churn
+//	curl -s -X POST localhost:8081/v1/watch -d '{"target":"davc","cadence":"12h"}'
+//	curl -s localhost:8081/v1/series/davc
+//	curl -s localhost:8081/v1/alerts
 package main
 
 import (
@@ -32,6 +42,8 @@ import (
 	"fakeproject/internal/auditd"
 	"fakeproject/internal/core"
 	"fakeproject/internal/experiments"
+	"fakeproject/internal/monitord"
+	"fakeproject/internal/population"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
 	"fakeproject/internal/twitterapi"
@@ -55,17 +67,46 @@ func run() error {
 		seed     = flag.Uint64("seed", 20140301, "simulation / engine seed")
 		load     = flag.String("load", "", "serve a store snapshot (from genpop -out) instead of building accounts")
 		remote   = flag.String("twitterd", "", "front a remote twitterd API at this base URL instead of an in-process store")
+		monitor  = flag.Bool("monitor", false, "run the continuous-monitoring subsystem (/v1/watch, /v1/series, /v1/alerts)")
+		watch    = flag.String("watch", "", "comma-separated initial watches, name[:cadence] (requires -monitor)")
+		pace     = flag.Duration("monitor-pace", 2*time.Second, "wall-clock interval between monitor scheduler rounds on virtual-clock backends")
+		churn    = flag.Bool("churn", false, "evolve watched targets between re-audit rounds (organic growth + churn; in-process backends only)")
 	)
 	flag.Parse()
+	if !*monitor && (*watch != "" || *churn) {
+		// Flag-consistency errors must fire before the (potentially
+		// minutes-long) backend build.
+		return fmt.Errorf("-watch/-churn require -monitor")
+	}
 
-	svc, err := buildService(*accounts, *load, *remote, *scale, *seed, *workers, *queueCap, *cacheTTL)
+	svc, plat, err := buildService(*accounts, *load, *remote, *scale, *seed, *workers, *queueCap, *cacheTTL)
 	if err != nil {
 		return err
 	}
 
+	handler := http.Handler(auditd.NewHandler(svc))
+	var mon *monitord.Monitor
+	monitorCtx, stopMonitor := context.WithCancel(context.Background())
+	defer stopMonitor()
+	if *monitor {
+		mon, err = startMonitor(monitorCtx, svc, plat, *watch, *pace, *churn)
+		if err != nil {
+			return err
+		}
+		defer mon.Close()
+		root := http.NewServeMux()
+		mh := monitord.NewHandler(mon)
+		root.Handle("/v1/watch", mh)
+		root.Handle("/v1/watch/", mh)
+		root.Handle("/v1/series/", mh)
+		root.Handle("/v1/alerts", mh)
+		root.Handle("/", handler)
+		handler = root
+	}
+
 	httpServer := &http.Server{
 		Addr:         *addr,
-		Handler:      auditd.NewHandler(svc),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 10 * time.Minute, // long-poll ?wait= support
 	}
@@ -93,8 +134,18 @@ func run() error {
 	return svc.Shutdown(ctx)
 }
 
+// platform carries the in-process backend state behind a service: the
+// monitor's dynamics driver mutates the store directly, which only exists
+// for the simulation and snapshot backends (store and gen are nil when the
+// platform lives behind a remote twitterd).
+type platform struct {
+	store *twitter.Store
+	gen   *population.Generator
+	clock simclock.Clock
+}
+
 // buildService assembles the audit service over one of the three backends.
-func buildService(accounts, load, remote string, scale int, seed uint64, workers, queueCap int, cacheTTL time.Duration) (*auditd.Service, error) {
+func buildService(accounts, load, remote string, scale int, seed uint64, workers, queueCap int, cacheTTL time.Duration) (*auditd.Service, *platform, error) {
 	base := auditd.Config{
 		Workers:   workers,
 		QueueCap:  queueCap,
@@ -114,7 +165,8 @@ func buildService(accounts, load, remote string, scale int, seed uint64, workers
 		base.Clock = clock
 		base.Tools = auditd.StandardFactories(newClient, auditd.ToolSetConfig{Clock: clock, Seed: seed})
 		fmt.Fprintf(os.Stderr, "backend: remote twitterd at %s\n", remote)
-		return auditd.New(base)
+		svc, err := auditd.New(base)
+		return svc, &platform{clock: clock}, err
 
 	case load != "":
 		// Snapshot: in-process store, latency-free direct clients (rate
@@ -125,12 +177,12 @@ func buildService(accounts, load, remote string, scale int, seed uint64, workers
 		clock := simclock.NewVirtualAtEpoch()
 		f, err := os.Open(load)
 		if err != nil {
-			return nil, fmt.Errorf("opening snapshot: %w", err)
+			return nil, nil, fmt.Errorf("opening snapshot: %w", err)
 		}
 		defer f.Close()
 		store, err := twitter.ReadSnapshot(f, clock)
 		if err != nil {
-			return nil, fmt.Errorf("loading snapshot: %w", err)
+			return nil, nil, fmt.Errorf("loading snapshot: %w", err)
 		}
 		apiSvc := twitterapi.NewService(store)
 		newClient := func(tool string, worker int) twitterapi.Client {
@@ -142,7 +194,12 @@ func buildService(accounts, load, remote string, scale int, seed uint64, workers
 		base.Clock = clock
 		base.Tools = auditd.StandardFactories(newClient, auditd.ToolSetConfig{Clock: clock, Seed: seed})
 		fmt.Fprintf(os.Stderr, "backend: snapshot %s (%d accounts)\n", load, store.UserCount())
-		return auditd.New(base)
+		svc, err := auditd.New(base)
+		return svc, &platform{
+			store: store,
+			gen:   population.NewGenerator(store, seed+77),
+			clock: clock,
+		}, err
 
 	default:
 		// In-process simulation on the virtual clock: Table II latency
@@ -155,7 +212,7 @@ func buildService(accounts, load, remote string, scale int, seed uint64, workers
 			}
 		}
 		if len(only) == 0 {
-			return nil, fmt.Errorf("no known accounts in %q (see the paper testbed)", accounts)
+			return nil, nil, fmt.Errorf("no known accounts in %q (see the paper testbed)", accounts)
 		}
 		fmt.Fprintf(os.Stderr, "backend: building simulation for %s...\n", strings.Join(only, ", "))
 		sim, err := experiments.NewSimulation(experiments.SimConfig{
@@ -164,10 +221,69 @@ func buildService(accounts, load, remote string, scale int, seed uint64, workers
 			Only:     only,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("building simulation: %w", err)
+			return nil, nil, fmt.Errorf("building simulation: %w", err)
 		}
-		return sim.NewAuditService(base)
+		svc, err := sim.NewAuditService(base)
+		return svc, &platform{store: sim.Store, gen: sim.Gen, clock: sim.Clock}, err
 	}
+}
+
+// startMonitor assembles the monitord subsystem: initial watches from the
+// -watch list, an optional churn hook evolving each watched target one
+// simulated day per re-audit round, and the paced scheduler goroutine.
+func startMonitor(ctx context.Context, svc *auditd.Service, plat *platform, watchList string, pace time.Duration, churn bool) (*monitord.Monitor, error) {
+	cfg := monitord.Config{Service: svc, Clock: plat.clock}
+	if churn {
+		if plat.store == nil {
+			return nil, fmt.Errorf("-churn needs an in-process backend (simulation or snapshot)")
+		}
+		drivers := map[string]*population.Driver{}
+		// Churn runs in BeforeRound so the round's audits observe one
+		// consistent post-churn list (OnRound would race the in-flight
+		// re-audits against the day's mutations).
+		cfg.BeforeRound = func(target string) {
+			driver, ok := drivers[target]
+			if !ok {
+				id, err := plat.store.LookupName(target)
+				if err != nil {
+					return
+				}
+				count, _ := plat.store.FollowerCount(id)
+				driver = population.NewDriver(plat.gen, id, population.DefaultChurnScript(count))
+				drivers[target] = driver
+			}
+			if _, err := driver.AdvanceDay(); err != nil {
+				fmt.Fprintf(os.Stderr, "auditd: churn on %s: %v\n", target, err)
+			}
+		}
+	}
+	mon, err := monitord.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range strings.Split(watchList, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		name, cadence := spec, time.Duration(0)
+		if base, rest, ok := strings.Cut(spec, ":"); ok {
+			d, err := time.ParseDuration(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad -watch cadence in %q: %w", spec, err)
+			}
+			name, cadence = base, d
+		}
+		if err := mon.Watch(monitord.WatchSpec{Target: name, Cadence: cadence}); err != nil {
+			return nil, fmt.Errorf("registering watch %q: %w", spec, err)
+		}
+	}
+	go func() {
+		if err := mon.Run(ctx, pace); err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "auditd: monitor loop: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "monitor: running (pace %v, churn %v)\n", pace, churn)
+	return mon, nil
 }
 
 func splitAccounts(list string) map[string]bool {

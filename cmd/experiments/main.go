@@ -9,6 +9,7 @@
 //	experiments -anecdote            # §II-A bought-followers anecdote
 //	experiments -deepdive            # §II-A Deep Dive comparison
 //	experiments -fceval              # §III  rule sets vs feature sets vs classifiers
+//	experiments -monitor             # 27-day continuous watch over a churning target
 //
 // Use -scale to trade memory for fidelity on the high class (default
 // 120000 materialised followers per account) and -csvdir to also export
@@ -47,6 +48,7 @@ func run() error {
 		fceval   = flag.Bool("fceval", false, "run the FC methodology evaluation")
 		ablation = flag.Bool("ablation", false, "run the sampling-window ablation")
 		coverage = flag.Bool("coverage", false, "run the FC confidence-interval coverage check")
+		monitor  = flag.Bool("monitor", false, "replay a 27-day continuous watch over an Obama-scale churning target")
 		seed        = flag.Uint64("seed", 20140301, "simulation seed")
 		scale       = flag.Int("scale", 120000, "max materialised followers per account")
 		csvdir      = flag.String("csvdir", "", "directory for CSV exports (optional)")
@@ -54,13 +56,14 @@ func run() error {
 	)
 	flag.Parse()
 
-	selected := *table1 || *table2 || *table3 || *order || *crawl || *anecdote || *deepdive || *fceval || *ablation || *coverage
+	selected := *table1 || *table2 || *table3 || *order || *crawl || *anecdote || *deepdive || *fceval || *ablation || *coverage || *monitor
 	if *all || !selected {
 		*table1, *table2, *table3 = true, true, true
 		*order, *crawl, *anecdote, *deepdive, *fceval, *ablation, *coverage = true, true, true, true, true, true, true
+		*monitor = true
 	}
 
-	needSim := *table2 || *table3 || *order || *anecdote || *deepdive || *crawl || *ablation || *coverage
+	needSim := *table2 || *table3 || *order || *anecdote || *deepdive || *crawl || *ablation || *coverage || *monitor
 	var sim *experiments.Simulation
 	if needSim {
 		fmt.Fprintf(os.Stderr, "building simulation (seed %d, scale cap %d)...\n", *seed, *scale)
@@ -198,6 +201,20 @@ func run() error {
 		fmt.Fprintf(out, "%d independent audits of one population (truth: %.1f%% inactive)\n"+
 			"  covered: %d/%d (%.0f%%, nominal 95%%)\n  max |error|: %.2f points (design margin ±1)\n",
 			res.Trials, res.TruthInactive, res.Covered, res.Trials, 100*res.Rate(), res.MaxAbsError)
+	}
+	if *monitor {
+		section(out, "Monitoring: a 27-day continuous watch over a churning target")
+		fmt.Fprintln(os.Stderr, "replaying 27 simulated days of churn under continuous monitoring...")
+		res, err := sim.RunMonitorWatch(experiments.MonitorConfig{
+			Followers: min(*scale, 120000),
+			ProbeDay:  12,
+		})
+		if err != nil {
+			return err
+		}
+		if err := report.MonitorWatch(out, res); err != nil {
+			return err
+		}
 	}
 	if *fceval {
 		section(out, "Section III: detection methodologies on the gold standard")

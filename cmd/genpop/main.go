@@ -5,13 +5,23 @@
 //
 //	genpop -followers 50000 -inactive 40 -fake 15
 //	genpop -followers 80000 -paper PC_Chiambretti   # use a paper account's layout
+//
+// With -days the population is additionally evolved through the dynamics
+// driver before reporting — organic growth and churn every day, plus
+// scheduled purchase bursts and purge sweeps:
+//
+//	genpop -followers 50000 -days 27 -daily-growth 200 \
+//	  -burst 9:5000 -purge 18:0.5 -out pop.gob
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"fakeproject/internal/core"
 	"fakeproject/internal/population"
@@ -34,8 +44,29 @@ func run() error {
 		paper     = flag.String("paper", "", "derive the layout from this paper account instead")
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "", "write a store snapshot to this file (loadable by twitterd -load)")
+		days      = flag.Int("days", 0, "evolve the population this many simulated days before reporting")
+		growth    = flag.Int("daily-growth", 200, "organic new followers per simulated day")
+		churnRate = flag.Float64("churn-rate", 0.001, "fraction of followers organically unfollowing per day")
+		bursts    = flag.String("burst", "", "comma-separated day:size fake-purchase bursts (e.g. 9:5000)")
+		purges    = flag.String("purge", "", "comma-separated day:fraction purge sweeps (e.g. 18:0.5)")
 	)
 	flag.Parse()
+
+	// Validate the churn plan before the (potentially minutes-long)
+	// population build.
+	events, err := parseChurnEvents(*bursts, *purges)
+	if err != nil {
+		return err
+	}
+	if *days <= 0 && len(events) > 0 {
+		return fmt.Errorf("-burst/-purge require -days")
+	}
+	for _, ev := range events {
+		if ev.Day > *days {
+			return fmt.Errorf("%s event on day %d is beyond -days %d and would never fire",
+				ev.Kind, ev.Day, *days)
+		}
+	}
 
 	clock := simclock.NewVirtualAtEpoch()
 	store := twitter.NewStore(clock, *seed)
@@ -76,6 +107,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *days > 0 {
+		driver := population.NewDriver(gen, target, population.ChurnScript{
+			DailyGrowth:    *growth,
+			DailyChurnRate: *churnRate,
+			Events:         events,
+		})
+		for day := 1; day <= *days; day++ {
+			clock.Advance(24 * time.Hour)
+			if _, err := driver.AdvanceDay(); err != nil {
+				return err
+			}
+		}
+		added, removed := 0, 0
+		for _, ev := range driver.Log() {
+			added += ev.Added
+			removed += ev.Removed
+		}
+		fmt.Printf("evolved %d days: +%d followers, -%d churned (%d events)\n",
+			*days, added, removed, len(driver.Log()))
+	}
+
 	chrono, err := store.FollowersChronological(target)
 	if err != nil {
 		return err
@@ -148,6 +200,57 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// parseChurnEvents decodes the -burst day:size and -purge day:fraction
+// lists into a dynamics script's event set.
+func parseChurnEvents(bursts, purges string) ([]population.ChurnEvent, error) {
+	var events []population.ChurnEvent
+	for _, spec := range splitSpecs(bursts) {
+		day, val, err := splitDaySpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bad -burst %q: %w", spec, err)
+		}
+		events = append(events, population.ChurnEvent{
+			Day: day, Kind: population.ChurnPurchase, Size: int(val),
+		})
+	}
+	for _, spec := range splitSpecs(purges) {
+		day, val, err := splitDaySpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bad -purge %q: %w", spec, err)
+		}
+		events = append(events, population.ChurnEvent{
+			Day: day, Kind: population.ChurnPurge, Fraction: val,
+		})
+	}
+	return events, nil
+}
+
+func splitSpecs(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func splitDaySpec(spec string) (int, float64, error) {
+	day, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want day:value")
+	}
+	d, err := strconv.Atoi(day)
+	if err != nil || d < 1 {
+		return 0, 0, fmt.Errorf("bad day %q", day)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil || v <= 0 {
+		return 0, 0, fmt.Errorf("bad value %q", rest)
+	}
+	return d, v, nil
 }
 
 func pct(part, total int) float64 {

@@ -30,6 +30,7 @@ import (
 	"fakeproject/internal/core"
 	"fakeproject/internal/experiments"
 	"fakeproject/internal/fc"
+	"fakeproject/internal/monitord"
 	"fakeproject/internal/population"
 	"fakeproject/internal/stats"
 )
@@ -79,6 +80,48 @@ type (
 	// AuditStats summarises a service's operational counters.
 	AuditStats = auditd.Stats
 )
+
+// Monitoring types (the monitord continuous-watch layer) and platform
+// dynamics (the churn driver that gives it something to watch).
+type (
+	// Monitor re-audits a watchlist of targets on cadences over virtual
+	// time, keeping per-tool verdict series and raising drift/burst alerts.
+	Monitor = monitord.Monitor
+	// MonitorConfig tunes a Monitor (service, clock, ring sizes, priority).
+	MonitorConfig = monitord.Config
+	// WatchSpec registers one target: tools × cadence × alert rules.
+	WatchSpec = monitord.WatchSpec
+	// WatchRules configures a watch's alert thresholds.
+	WatchRules = monitord.Rules
+	// SeriesPoint is one tool verdict in a target's time series.
+	SeriesPoint = monitord.Point
+	// Alert is one raised monitoring alert.
+	Alert = monitord.Alert
+	// ChurnScript plans a target's evolution (growth, bursts, purges).
+	ChurnScript = population.ChurnScript
+	// ChurnEvent schedules one burst or purge on a script day.
+	ChurnEvent = population.ChurnEvent
+	// ChurnDriver applies a ChurnScript to a target day by day.
+	ChurnDriver = population.Driver
+)
+
+// NewMonitor starts a continuous monitor over an audit service running on
+// the simulation's clock; close it with mon.Close() when done. Register
+// targets with mon.Watch and drive it with mon.Tick (deterministic, one
+// scheduler pass) or mon.Run (background loop).
+func NewMonitor(sim *Simulation, svc *AuditService) (*Monitor, error) {
+	return monitord.New(monitord.Config{Service: svc, Clock: sim.Clock})
+}
+
+// NewChurnDriver plans the evolution of the named target inside the
+// simulation's platform.
+func NewChurnDriver(sim *Simulation, target string, script ChurnScript) (*ChurnDriver, error) {
+	id, err := sim.Store.LookupName(target)
+	if err != nil {
+		return nil, err
+	}
+	return population.NewDriver(sim.Gen, id, script), nil
+}
 
 // NewSimulation builds a reproduction environment: simulated platform,
 // calibrated populations, trained FC classifier and the four analytics.

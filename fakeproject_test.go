@@ -1,8 +1,10 @@
 package fakeproject_test
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"fakeproject"
 )
@@ -75,5 +77,57 @@ func TestLayoutFacade(t *testing.T) {
 	truth := l.Truth(1000)
 	if math.Abs(truth.Fake-0.1) > 1e-9 {
 		t.Fatalf("layout truth = %+v", truth)
+	}
+}
+
+func TestPublicFacadeMonitoring(t *testing.T) {
+	sim, err := fakeproject.NewSimulation(fakeproject.SimConfig{Only: []string{"davc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := fakeproject.NewAuditService(sim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown(context.Background())
+	mon, err := fakeproject.NewMonitor(sim, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	driver, err := fakeproject.NewChurnDriver(sim, "davc", fakeproject.ChurnScript{
+		DailyGrowth: 50,
+		Events: []fakeproject.ChurnEvent{
+			{Day: 2, Kind: "purchase", Size: 1500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Watch(fakeproject.WatchSpec{
+		Target:  "davc",
+		Tools:   []string{fakeproject.ToolSB},
+		Cadence: 24 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		if day > 0 {
+			sim.Clock.Advance(24 * time.Hour)
+			if _, err := driver.AdvanceDay(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := mon.Tick(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	series, ok := mon.Series("davc")
+	if !ok || len(series[fakeproject.ToolSB]) != 3 {
+		t.Fatalf("series = %v, %v", series, ok)
+	}
+	// A 1500-account burst on a ~3K account trips the default rules.
+	if len(mon.Alerts("davc")) == 0 {
+		t.Fatal("burst raised no alerts")
 	}
 }

@@ -107,7 +107,12 @@ type JobSnapshot struct {
 	// Worker is the 1-based pool index that ran the job; 0 while
 	// unassigned.
 	Worker int `json:"worker,omitempty"`
-	Err      string   `json:"error,omitempty"`
+	// RunSeq is the service-wide execution order: job k was the k-th to
+	// start running (0 = never started). Priority tests and monitors use it
+	// to prove interactive jobs preempt queued background work regardless
+	// of how virtual timestamps interleave.
+	RunSeq uint64 `json:"run_seq,omitempty"`
+	Err    string `json:"error,omitempty"`
 	Results  map[string]ToolResult `json:"results,omitempty"`
 	Submitted time.Time `json:"submitted_at"`
 	Started   time.Time `json:"started_at,omitzero"`
@@ -131,6 +136,7 @@ type job struct {
 	state    JobState
 	deduped  bool
 	worker   int
+	runSeq   uint64
 	errMsg   string
 	results  map[string]ToolResult
 	submitted time.Time
@@ -147,6 +153,7 @@ func (j *job) snapshot() JobSnapshot {
 		State:     j.state,
 		Deduped:   j.deduped,
 		Worker:    j.worker,
+		RunSeq:    j.runSeq,
 		Err:       j.errMsg,
 		Submitted: j.submitted,
 		Started:   j.started,

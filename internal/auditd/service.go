@@ -88,6 +88,7 @@ type Service struct {
 	jobs   map[JobID]*job
 	order  []JobID
 	seq    uint64
+	runSeq uint64
 	closed bool
 	stats  Stats
 
@@ -337,6 +338,22 @@ func (s *Service) Stats() Stats {
 // Cache exposes the shared result cache (nil when disabled).
 func (s *Service) Cache() *core.ResultCache { return s.cache }
 
+// Invalidate drops the cached results for target under the given tools
+// (every configured tool when none are named), forcing the next audit to
+// run fresh. Continuous monitors call this before each re-audit round so a
+// cadence shorter than the cache TTL still observes the live platform.
+func (s *Service) Invalidate(target string, tools ...string) {
+	if s.cache == nil {
+		return
+	}
+	if len(tools) == 0 {
+		tools = s.toolOrder
+	}
+	for _, tool := range tools {
+		s.cache.Forget(cacheKey(tool, target))
+	}
+}
+
 // Shutdown stops intake and waits for the workers to drain the queue. If
 // ctx expires first, in-flight work is cancelled and Shutdown returns
 // ctx.Err() after the workers exit.
@@ -412,6 +429,8 @@ func (s *Service) runJob(worker int, engines map[string]core.Auditor, j *job) {
 	j.state = StateRunning
 	j.worker = worker
 	j.started = s.clock.Now()
+	s.runSeq++
+	j.runSeq = s.runSeq
 	s.mu.Unlock()
 
 	results := make(map[string]ToolResult, len(j.spec.Tools))

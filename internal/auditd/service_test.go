@@ -585,3 +585,140 @@ func TestThroughputScaling(t *testing.T) {
 			speedup, serial, concurrent)
 	}
 }
+
+// TestInvalidateForcesFreshAnalysis: dropping a cached result makes the next
+// submission run the engine again instead of answering inline.
+func TestInvalidateForcesFreshAnalysis(t *testing.T) {
+	stub := newStub("alpha", 0)
+	svc := stubService(t, Config{Workers: 1}, stub)
+
+	first, err := svc.Submit(JobSpec{Target: "davc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Await(context.Background(), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := svc.Submit(JobSpec{Target: "davc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.State != StateDone {
+		t.Fatalf("repeat state = %s, want inline cache serve", repeat.State)
+	}
+	if stub.totalCalls() != 1 {
+		t.Fatalf("engine ran %d times before invalidation, want 1", stub.totalCalls())
+	}
+
+	svc.Invalidate("davc")
+	fresh, err := svc.Submit(JobSpec{Target: "davc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Await(context.Background(), fresh.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Results["alpha"].CacheHit {
+		t.Fatal("post-invalidation result still served from cache")
+	}
+	if stub.totalCalls() != 2 {
+		t.Fatalf("engine ran %d times after invalidation, want 2", stub.totalCalls())
+	}
+}
+
+// TestInvalidateSelectedTools only drops the named tools' entries.
+func TestInvalidateSelectedTools(t *testing.T) {
+	alpha, beta := newStub("alpha", 0), newStub("beta", 0)
+	svc := stubService(t, Config{Workers: 1}, alpha, beta)
+
+	first, err := svc.Submit(JobSpec{Target: "davc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Await(context.Background(), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	svc.Invalidate("davc", "alpha")
+	again, err := svc.Submit(JobSpec{Target: "davc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Await(context.Background(), again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Results["alpha"].CacheHit {
+		t.Fatal("invalidated tool served from cache")
+	}
+	if !done.Results["beta"].CacheHit {
+		t.Fatal("untouched tool missed the cache")
+	}
+}
+
+// gatedAuditor blocks audits of one target until its gate opens, pinning
+// the single worker deterministically while a test stages the queue.
+type gatedAuditor struct {
+	inner       core.Auditor
+	gate        chan struct{}
+	blockTarget string
+}
+
+func (g *gatedAuditor) Name() string { return g.inner.Name() }
+
+func (g *gatedAuditor) Audit(target string) (core.Report, error) {
+	if target == g.blockTarget {
+		<-g.gate
+	}
+	return g.inner.Audit(target)
+}
+
+// TestRunSeqReflectsPriorityOrder: with one worker pinned on a gated job,
+// a later high-priority submission must start before earlier queued
+// low-priority ones — and RunSeq records exactly that execution order.
+func TestRunSeqReflectsPriorityOrder(t *testing.T) {
+	gate := make(chan struct{})
+	gated := &gatedAuditor{inner: newStub("alpha", 0), gate: gate, blockTarget: "head"}
+	svc := stubService(t, Config{
+		Workers:  1,
+		CacheTTL: -1,
+		Tools:    map[string]Factory{"alpha": func(int) (core.Auditor, error) { return gated, nil }},
+	})
+
+	head, err := svc.Submit(JobSpec{Target: "head"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	background := make([]JobID, 0, 3)
+	for i := 0; i < 3; i++ {
+		snap, err := svc.Submit(JobSpec{Target: fmt.Sprintf("bg%d", i), Priority: -10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		background = append(background, snap.ID)
+	}
+	urgent, err := svc.Submit(JobSpec{Target: "urgent", Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything below the head job is queued; release the worker.
+	close(gate)
+
+	if _, err := svc.Await(context.Background(), head.ID); err != nil {
+		t.Fatal(err)
+	}
+	urgentDone, err := svc.Await(context.Background(), urgent.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range background {
+		bgDone, err := svc.Await(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bgDone.RunSeq <= urgentDone.RunSeq {
+			t.Fatalf("background job %s ran at seq %d, before urgent seq %d",
+				id, bgDone.RunSeq, urgentDone.RunSeq)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package benchjson emits machine-readable benchmark results. The bench
+// suites of the serving subsystems expose a guarded test (run with
+// BENCH_JSON=<dir> go test -run BenchJSON <pkg>) that executes their
+// representative benchmarks through testing.Benchmark and writes a
+// BENCH_<component>.json file CI can archive and diff across commits —
+// regressions in the hot paths become data, not anecdotes.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// EnvVar names the environment variable that enables emission; its value
+// is the output directory ("." works).
+const EnvVar = "BENCH_JSON"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the emitted document.
+type File struct {
+	Component   string   `json:"component"`
+	GeneratedAt string   `json:"generated_at"`
+	Results     []Result `json:"results"`
+}
+
+// Enabled reports whether emission was requested via the environment.
+func Enabled() bool { return os.Getenv(EnvVar) != "" }
+
+// Measure runs fn through testing.Benchmark and records it under name.
+func Measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// Write stores results as BENCH_<component>.json in the directory named by
+// the environment variable and returns the path.
+func Write(component string, results []Result) (string, error) {
+	dir := os.Getenv(EnvVar)
+	if dir == "" {
+		return "", fmt.Errorf("benchjson: %s not set", EnvVar)
+	}
+	path := filepath.Join(dir, "BENCH_"+component+".json")
+	doc := File{
+		Component:   component,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

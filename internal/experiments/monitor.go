@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fakeproject/internal/auditd"
+	"fakeproject/internal/monitord"
+	"fakeproject/internal/population"
+)
+
+// The monitoring experiment: the paper's numbers are snapshots, but its
+// most expensive artefact — the ≈27-day Obama crawl of Section IV-B — is a
+// measurement of a *moving* population. RunMonitorWatch replays that
+// regime: an Obama-scale account under continuous watch for 27 simulated
+// days while the dynamics driver injects organic growth, a fake-follower
+// purchase burst and a purge sweep, then scores how each tool's verdict
+// trails the injected ground truth. The window-limited tools spike within
+// one cadence of the burst (it lands exactly where their windows look)
+// while the whole-list FC estimate moves by the burst's true dilution —
+// Table III's divergence as a time series.
+
+// MonitorConfig configures RunMonitorWatch. Zero values select the
+// Obama-scale defaults noted per field.
+type MonitorConfig struct {
+	// Days is the watch duration in simulated days (default 27, the
+	// Section IV-B crawl span).
+	Days int
+	// Followers is the materialised follower count of the watched target
+	// (default 120,000 — the standard scale cap; the nominal value below
+	// is what reports display).
+	Followers int
+	// NominalFollowers is the real-world count the target represents
+	// (default 39,000,000, Obama-scale).
+	NominalFollowers int
+	// Workers is the audit service pool size (default 2).
+	Workers int
+	// Cadence is the re-audit interval (default 24h).
+	Cadence time.Duration
+	// DailyGrowth is organic arrivals per day (default Followers/150).
+	DailyGrowth int
+	// BurstDay and BurstSize schedule the fake-follower purchase
+	// (defaults: day 9, 15% of Followers).
+	BurstDay  int
+	BurstSize int
+	// PurgeDay and PurgeFraction schedule the platform purge
+	// (defaults: day 18, 50% of the fakes).
+	PurgeDay      int
+	PurgeFraction float64
+	// ProbeDay, when non-zero, submits an interactive audit of a second
+	// small account while that day's background re-audits are queued,
+	// verifying the queue discipline (interactive preempts background).
+	ProbeDay int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Days <= 0 {
+		c.Days = 27
+	}
+	if c.Followers <= 0 {
+		c.Followers = 120000
+	}
+	if c.NominalFollowers <= 0 {
+		c.NominalFollowers = 39000000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Cadence <= 0 {
+		c.Cadence = 24 * time.Hour
+	}
+	// The churn numbers default to the shared scenario, so the experiment
+	// scores exactly the drama the cmd/auditd -churn demo plays out.
+	def := population.DefaultChurnScript(c.Followers)
+	if c.DailyGrowth <= 0 {
+		c.DailyGrowth = def.DailyGrowth
+	}
+	for _, ev := range def.Events {
+		switch ev.Kind {
+		case population.ChurnPurchase:
+			if c.BurstDay <= 0 {
+				c.BurstDay = ev.Day
+			}
+			if c.BurstSize <= 0 {
+				c.BurstSize = ev.Size
+			}
+		case population.ChurnPurge:
+			if c.PurgeDay <= 0 {
+				c.PurgeDay = ev.Day
+			}
+			if c.PurgeFraction <= 0 {
+				c.PurgeFraction = ev.Fraction
+			}
+		}
+	}
+	return c
+}
+
+// TruthPoint is the injected ground truth on one day.
+type TruthPoint struct {
+	Day       int
+	Followers int
+	// FakePct is the true fake share of the live follower list (0-100).
+	FakePct float64
+}
+
+// ToolTrail summarises how one tool's verdict series tracked the injected
+// churn.
+type ToolTrail struct {
+	Tool string
+	// BaselinePct is the mean fake verdict before the burst.
+	BaselinePct float64
+	// PeakPct is the maximum fake verdict from the burst day on.
+	PeakPct float64
+	// DetectionDelayDays is how many days after the burst the verdict
+	// first rose 5 points over baseline (-1 = never).
+	DetectionDelayDays int
+	// MeanAbsGapPct is the mean |verdict - truth| over the whole watch:
+	// how far the tool's fake share trails the live ground truth.
+	MeanAbsGapPct float64
+	// PostBurstBiasPct is the mean (verdict - truth) between burst and
+	// purge: positive for window-limited tools that see the burst
+	// concentrated, near zero for whole-list estimators.
+	PostBurstBiasPct float64
+}
+
+// ProbeOutcome records the interactive-vs-background queue check.
+type ProbeOutcome struct {
+	Target string
+	Job    auditd.JobSnapshot
+	// BackgroundJobs is how many background re-audit jobs were submitted
+	// in the probe's round.
+	BackgroundJobs int
+	// PreemptedBackground is how many of them started only after the
+	// interactive probe ran (RunSeq order) — > 0 proves preemption.
+	PreemptedBackground int
+}
+
+// MonitorResult is the full outcome of a monitoring replay.
+type MonitorResult struct {
+	Target           string
+	NominalFollowers int
+	Days             int
+	Cadence          time.Duration
+	// Truth holds one point per day (index 0 = pre-churn baseline).
+	Truth []TruthPoint
+	// Events is the driver's ground-truth churn log.
+	Events []population.AppliedEvent
+	// Series maps tool → verdict points, one per re-audit round.
+	Series map[string][]monitord.Point
+	// Alerts are the alerts raised during the watch.
+	Alerts []monitord.Alert
+	// Trails summarise per-tool tracking quality, in ToolOrder.
+	Trails []ToolTrail
+	// Probe is the queue-discipline check (nil unless ProbeDay was set).
+	Probe *ProbeOutcome
+}
+
+// RunMonitorWatch builds a fresh Obama-scale target inside the simulation,
+// watches it with monitord for cfg.Days simulated days of injected churn,
+// and scores every tool's series against the ground truth.
+func (s *Simulation) RunMonitorWatch(cfg MonitorConfig) (*MonitorResult, error) {
+	cfg = cfg.withDefaults()
+
+	watchName := s.nextProbeName("watchtarget")
+	probeName := s.nextProbeName("probetarget")
+	// Baseline population: a standing celebrity account with the usual
+	// dormant tail and a modest pre-existing fake share.
+	watchID, err := s.Gen.BuildTarget(population.TargetSpec{
+		ScreenName:       watchName,
+		Followers:        cfg.Followers,
+		NominalFollowers: cfg.NominalFollowers,
+		Layout: population.Layout{{Width: 0, Mix: population.Mix{
+			Inactive: 0.22, Fake: 0.08, Genuine: 0.70,
+		}}},
+		Statuses: 9000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building watch target: %w", err)
+	}
+	if _, err := s.Gen.BuildTarget(population.TargetSpec{
+		ScreenName: probeName,
+		Followers:  2000,
+		Statuses:   800,
+	}); err != nil {
+		return nil, fmt.Errorf("building probe target: %w", err)
+	}
+	s.nominal[watchName] = cfg.NominalFollowers
+	s.nominal[probeName] = 2000
+
+	svc, err := s.NewAuditService(auditd.Config{
+		Workers:  cfg.Workers,
+		QueueCap: 8 * len(ToolOrder),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("starting audit service: %w", err)
+	}
+	defer svc.Shutdown(context.Background())
+
+	script := population.DefaultChurnScript(cfg.Followers)
+	script.DailyGrowth = cfg.DailyGrowth
+	script.Events = []population.ChurnEvent{
+		{Day: cfg.BurstDay, Kind: population.ChurnPurchase, Size: cfg.BurstSize},
+		{Day: cfg.PurgeDay, Kind: population.ChurnPurge, Fraction: cfg.PurgeFraction},
+	}
+	driver := population.NewDriver(s.Gen, watchID, script)
+
+	// The probe is injected from the round hook, after the background
+	// re-audits are queued and before they are awaited.
+	var probe *ProbeOutcome
+	var probeBackground []auditd.JobID
+	probeArmed := false
+	mon, err := monitord.New(monitord.Config{
+		Service: svc,
+		Clock:   s.Clock,
+		OnRound: func(target string, jobs []auditd.JobID) {
+			if !probeArmed || target != watchName {
+				return
+			}
+			probeArmed = false
+			probeBackground = jobs
+			snap, err := svc.Submit(auditd.JobSpec{
+				Target: probeName,
+				Tools:  []string{ToolSB},
+				// Priority 0: a plain interactive request, no boost needed.
+			})
+			if err == nil {
+				probe = &ProbeOutcome{Target: probeName, Job: snap, BackgroundJobs: len(jobs)}
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("starting monitor: %w", err)
+	}
+	defer mon.Close()
+
+	if err := mon.Watch(monitord.WatchSpec{
+		Target:  watchName,
+		Cadence: cfg.Cadence,
+		Rules: monitord.Rules{
+			FakeThresholdPct: 25,
+			SpikePct:         8,
+			FollowRatePerDay: 5 * float64(cfg.DailyGrowth),
+		},
+	}); err != nil {
+		return nil, fmt.Errorf("registering watch: %w", err)
+	}
+
+	truth := make([]TruthPoint, 0, cfg.Days+1)
+	recordTruth := func(day int) error {
+		mix, n, err := driver.Truth()
+		if err != nil {
+			return err
+		}
+		truth = append(truth, TruthPoint{Day: day, Followers: n, FakePct: 100 * mix.Fake})
+		return nil
+	}
+
+	// Day 0: baseline audit of the un-churned population.
+	if err := recordTruth(0); err != nil {
+		return nil, err
+	}
+	if _, err := mon.Tick(context.Background()); err != nil {
+		return nil, fmt.Errorf("baseline round: %w", err)
+	}
+
+	for day := 1; day <= cfg.Days; day++ {
+		s.Clock.Advance(cfg.Cadence)
+		if _, err := driver.AdvanceDay(); err != nil {
+			return nil, err
+		}
+		if err := recordTruth(day); err != nil {
+			return nil, err
+		}
+		probeArmed = day == cfg.ProbeDay
+		if _, err := mon.Tick(context.Background()); err != nil {
+			return nil, fmt.Errorf("day %d round: %w", day, err)
+		}
+		if probe != nil && probe.PreemptedBackground == 0 && day == cfg.ProbeDay {
+			if err := scoreProbe(svc, probe, probeBackground); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	series, _ := mon.Series(watchName)
+	result := &MonitorResult{
+		Target:           watchName,
+		NominalFollowers: cfg.NominalFollowers,
+		Days:             cfg.Days,
+		Cadence:          cfg.Cadence,
+		Truth:            truth,
+		Events:           driver.Log(),
+		Series:           series,
+		Alerts:           mon.Alerts(watchName),
+		Probe:            probe,
+	}
+	for _, tool := range ToolOrder {
+		result.Trails = append(result.Trails, scoreTrail(tool, series[tool], truth, cfg))
+	}
+	return result, nil
+}
+
+// scoreProbe resolves the interactive probe against its round's background
+// jobs once the round has drained.
+func scoreProbe(svc *auditd.Service, probe *ProbeOutcome, background []auditd.JobID) error {
+	done, err := svc.Await(context.Background(), probe.Job.ID)
+	if err != nil {
+		return fmt.Errorf("awaiting probe: %w", err)
+	}
+	probe.Job = done
+	for _, id := range background {
+		snap, err := svc.Get(id)
+		if err != nil {
+			continue
+		}
+		if snap.RunSeq > done.RunSeq {
+			probe.PreemptedBackground++
+		}
+	}
+	return nil
+}
+
+// scoreTrail computes one tool's tracking summary. Points are per round:
+// round r observed day r-1.
+func scoreTrail(tool string, points []monitord.Point, truth []TruthPoint, cfg MonitorConfig) ToolTrail {
+	trail := ToolTrail{Tool: tool, DetectionDelayDays: -1}
+	if len(points) == 0 {
+		return trail
+	}
+	preBurst, postBurst := 0, 0
+	for _, p := range points {
+		day := p.Round - 1
+		if day >= len(truth) {
+			day = len(truth) - 1
+		}
+		gap := p.FakePct - truth[day].FakePct
+		trail.MeanAbsGapPct += abs(gap)
+		if day < cfg.BurstDay {
+			trail.BaselinePct += p.FakePct
+			preBurst++
+			continue
+		}
+		if p.FakePct > trail.PeakPct {
+			trail.PeakPct = p.FakePct
+		}
+		if day < cfg.PurgeDay {
+			trail.PostBurstBiasPct += gap
+			postBurst++
+		}
+	}
+	trail.MeanAbsGapPct /= float64(len(points))
+	if preBurst > 0 {
+		trail.BaselinePct /= float64(preBurst)
+	}
+	if postBurst > 0 {
+		trail.PostBurstBiasPct /= float64(postBurst)
+	}
+	for _, p := range points {
+		day := p.Round - 1
+		if day >= cfg.BurstDay && p.FakePct >= trail.BaselinePct+5 {
+			trail.DetectionDelayDays = day - cfg.BurstDay
+			break
+		}
+	}
+	return trail
+}

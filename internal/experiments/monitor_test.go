@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"fakeproject/internal/monitord"
+)
+
+// monitorTestConfig is the scaled-down 27-day replay used across the
+// monitoring tests: a 20K-follower target (Obama-scale nominally), organic
+// growth, a 3K fake purchase on day 9, a half purge on day 18, and an
+// interactive probe injected on day 12.
+func monitorTestConfig() MonitorConfig {
+	return MonitorConfig{
+		Days:             27,
+		Followers:        20000,
+		NominalFollowers: 39000000,
+		Workers:          2,
+		DailyGrowth:      150,
+		BurstDay:         9,
+		BurstSize:        3000,
+		PurgeDay:         18,
+		PurgeFraction:    0.5,
+		ProbeDay:         12,
+	}
+}
+
+// TestMonitorWatchReplaysChurn is the monitord integration test: ≥27
+// simulated days of churn against a watched target, in bounded wall time,
+// asserting (a) the injected fake-follower burst raises an alert, (b) the
+// per-tool series diverge in the direction Table III predicts and the
+// window-driven divergence persists over time, and (c) interactive auditd
+// submissions complete ahead of queued background re-audits.
+func TestMonitorWatchReplaysChurn(t *testing.T) {
+	sim, err := NewSimulation(SimConfig{Only: []string{"davc"}, ScaleCap: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := monitorTestConfig()
+
+	start := time.Now()
+	virtualStart := sim.Clock.Now()
+	res, err := sim.RunMonitorWatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	virtual := sim.Clock.Now().Sub(virtualStart)
+
+	if wall > 5*time.Second {
+		t.Errorf("27-day replay took %v wall time, want < 5s", wall)
+	}
+	if virtual < 27*24*time.Hour {
+		t.Errorf("virtual time advanced %v, want >= 27 days", virtual)
+	}
+	t.Logf("replayed %v of virtual time in %v wall", virtual, wall)
+
+	for _, tool := range ToolOrder {
+		points := res.Series[tool]
+		if len(points) != cfg.Days+1 {
+			t.Fatalf("%s series has %d points, want %d (baseline + one per day)",
+				tool, len(points), cfg.Days+1)
+		}
+	}
+	for _, trail := range res.Trails {
+		t.Logf("%-16s baseline %5.1f%%  peak %5.1f%%  delay %dd  meanGap %5.1f  postBurstBias %+6.1f",
+			trail.Tool, trail.BaselinePct, trail.PeakPct, trail.DetectionDelayDays,
+			trail.MeanAbsGapPct, trail.PostBurstBiasPct)
+	}
+
+	// (a) the purchase burst raises an alert within a round of landing.
+	burstAlerted := false
+	for _, a := range res.Alerts {
+		day := alertDay(a, res)
+		if (a.Kind == monitord.BurstAlert || a.Kind == monitord.ThresholdAlert || a.Kind == monitord.SpikeAlert) &&
+			day >= cfg.BurstDay && day <= cfg.BurstDay+1 {
+			burstAlerted = true
+		}
+	}
+	if !burstAlerted {
+		t.Errorf("no alert within a round of the day-%d burst; alerts: %+v", cfg.BurstDay, res.Alerts)
+	}
+
+	// The purge shows up too: some alert fires at the purge day.
+	purgeAlerted := false
+	for _, a := range res.Alerts {
+		day := alertDay(a, res)
+		if (a.Kind == monitord.PurgeAlert || a.Kind == monitord.SpikeAlert) &&
+			day >= cfg.PurgeDay && day <= cfg.PurgeDay+1 {
+			purgeAlerted = true
+		}
+	}
+	if !purgeAlerted {
+		t.Errorf("no alert within a round of the day-%d purge", cfg.PurgeDay)
+	}
+
+	// (b) Table III direction: after the burst lands at the newest end of
+	// the list, the window-limited tools (Twitteraudit: newest 5K,
+	// Socialbakers: newest 2K) report a far higher fake share than the
+	// whole-list FC estimate — and the divergence persists day after day
+	// until the purge, not just in the landing round.
+	fcPoints := res.Series[ToolFC]
+	for _, windowTool := range []string{ToolTA, ToolSB} {
+		points := res.Series[windowTool]
+		for day := cfg.BurstDay + 1; day < cfg.PurgeDay; day++ {
+			gap := points[day].FakePct - fcPoints[day].FakePct
+			if gap < 5 {
+				t.Errorf("day %d: %s fake %.1f%% vs FC %.1f%% — window divergence %.1f < 5 points",
+					day, windowTool, points[day].FakePct, fcPoints[day].FakePct, gap)
+			}
+		}
+	}
+	// The whole-list estimator trails the truth closely throughout; the
+	// window tools carry a persistent post-burst bias.
+	trails := make(map[string]ToolTrail, len(res.Trails))
+	for _, trail := range res.Trails {
+		trails[trail.Tool] = trail
+	}
+	if fc := trails[ToolFC]; fc.MeanAbsGapPct > 5 {
+		t.Errorf("FC mean gap to truth = %.1f points, want <= 5 (whole-list sampling)", fc.MeanAbsGapPct)
+	}
+	for _, windowTool := range []string{ToolTA, ToolSB} {
+		if wt := trails[windowTool]; wt.PostBurstBiasPct < trails[ToolFC].PostBurstBiasPct+10 {
+			t.Errorf("%s post-burst bias %.1f not >> FC's %.1f",
+				windowTool, wt.PostBurstBiasPct, trails[ToolFC].PostBurstBiasPct)
+		}
+	}
+
+	// (c) the interactive probe, submitted while the day's background
+	// re-audits were queued, ran ahead of at least one of them.
+	if res.Probe == nil {
+		t.Fatal("probe was never submitted")
+	}
+	if res.Probe.Job.State != "done" {
+		t.Fatalf("probe job state = %s: %+v", res.Probe.Job.State, res.Probe.Job)
+	}
+	if res.Probe.PreemptedBackground < 1 {
+		t.Errorf("probe preempted %d of %d background jobs, want >= 1",
+			res.Probe.PreemptedBackground, res.Probe.BackgroundJobs)
+	}
+	t.Logf("probe preempted %d/%d background re-audits (run seq %d)",
+		res.Probe.PreemptedBackground, res.Probe.BackgroundJobs, res.Probe.Job.RunSeq)
+}
+
+// alertDay maps an alert timestamp back to a script day via the truth
+// series (alerts carry virtual timestamps, not rounds).
+func alertDay(a monitord.Alert, res *MonitorResult) int {
+	for _, tool := range ToolOrder {
+		for _, p := range res.Series[tool] {
+			if p.At.Equal(a.At) {
+				return p.Round - 1
+			}
+		}
+	}
+	return -1
+}

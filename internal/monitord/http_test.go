@@ -1,0 +1,150 @@
+package monitord
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+func httpHarness(t *testing.T) (*Monitor, *httptest.Server, *simclock.Virtual) {
+	t.Helper()
+	alpha := &scriptedAuditor{name: "alpha", frames: []frame{
+		{fakePct: 5, followers: 1000},
+		{fakePct: 40, followers: 9000},
+	}}
+	mon, _, clock := harness(t, Config{}, alpha)
+	srv := httptest.NewServer(NewHandler(mon))
+	t.Cleanup(srv.Close)
+	return mon, srv, clock
+}
+
+func decode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPWatchLifecycle(t *testing.T) {
+	mon, srv, _ := httpHarness(t)
+
+	resp, err := http.Post(srv.URL+"/v1/watch", "application/json",
+		strings.NewReader(`{"target":"davc","cadence":"12h","rules":{"fake_threshold_pct":25}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/watch status = %d, want 201", resp.StatusCode)
+	}
+	var created WatchStatus
+	decode(t, resp, &created)
+	if created.Spec.Target != "davc" || created.Spec.Cadence != 12*time.Hour {
+		t.Fatalf("created = %+v", created)
+	}
+	if created.Spec.Rules.FakeThresholdPct != 25 || created.Spec.Rules.SpikePct != 10 {
+		t.Fatalf("rules = %+v, want explicit threshold + defaulted spike", created.Spec.Rules)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed struct {
+		Watches []WatchStatus `json:"watches"`
+	}
+	decode(t, resp, &listed)
+	if len(listed.Watches) != 1 {
+		t.Fatalf("listed %d watches, want 1", len(listed.Watches))
+	}
+
+	if len(mon.Watches()) != 1 {
+		t.Fatal("watch not registered on the monitor")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/watch/davc", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if len(mon.Watches()) != 0 {
+		t.Fatal("watch still registered after DELETE")
+	}
+}
+
+func TestHTTPWatchRejectsBadSpecs(t *testing.T) {
+	_, srv, _ := httpHarness(t)
+	for _, body := range []string{
+		`{`,
+		`{"target":""}`,
+		`{"target":"x","tools":["nosuch"]}`,
+		`{"target":"x","cadence":"not-a-duration"}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/watch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPSeriesAndAlerts(t *testing.T) {
+	mon, srv, clock := httpHarness(t)
+	if err := mon.Watch(WatchSpec{Target: "davc", Cadence: 24 * time.Hour,
+		Rules: Rules{FakeThresholdPct: 20, SpikePct: 10, FollowRatePerDay: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	mustTick(t, mon)
+	clock.Advance(24 * time.Hour)
+	mustTick(t, mon)
+
+	resp, err := http.Get(srv.URL + "/v1/series/davc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("series status = %d", resp.StatusCode)
+	}
+	var series struct {
+		Target string             `json:"target"`
+		Series map[string][]Point `json:"series"`
+	}
+	decode(t, resp, &series)
+	if len(series.Series["alpha"]) != 2 {
+		t.Fatalf("series = %+v, want 2 alpha points", series.Series)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/series/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown series status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/alerts?target=davc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts struct {
+		Alerts []Alert `json:"alerts"`
+	}
+	decode(t, resp, &alerts)
+	// 5% → 40% across one day: threshold crossing, spike, and burst.
+	if len(alerts.Alerts) != 3 {
+		t.Fatalf("alerts = %+v, want 3", alerts.Alerts)
+	}
+}

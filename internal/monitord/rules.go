@@ -1,0 +1,194 @@
+package monitord
+
+import (
+	"fmt"
+	"time"
+)
+
+// Point is one tool verdict in a target's time series.
+type Point struct {
+	// At is the (virtual) instant the underlying analysis was performed.
+	At time.Time `json:"at"`
+	// Round is the 1-based re-audit round that produced the point.
+	Round int `json:"round"`
+	// Followers is the target's follower count at analysis time.
+	Followers int `json:"followers"`
+	// Verdict percentages, as in core.Report.
+	InactivePct float64 `json:"inactive_pct"`
+	FakePct     float64 `json:"fake_pct"`
+	GenuinePct  float64 `json:"genuine_pct"`
+	// Cached reports whether the point was served from the result cache
+	// (and therefore repeats an older analysis).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Rules configures a watch's detectors. The zero value enables sensible
+// defaults; set a threshold negative to disable that detector.
+type Rules struct {
+	// FakeThresholdPct raises ThresholdAlert when a tool's fake share
+	// crosses this value from below (default 20).
+	FakeThresholdPct float64 `json:"fake_threshold_pct,omitempty"`
+	// SpikePct raises SpikeAlert when a tool's fake share moves by at
+	// least this many points between consecutive rounds, in either
+	// direction (default 10).
+	SpikePct float64 `json:"spike_pct,omitempty"`
+	// FollowRatePerDay raises BurstAlert when the follower count grows
+	// faster than this many accounts per day between consecutive rounds —
+	// the follow-rate burst of a purchase — and PurgeAlert when it shrinks
+	// faster than the same rate (default 1000).
+	FollowRatePerDay float64 `json:"follow_rate_per_day,omitempty"`
+}
+
+func (r Rules) withDefaults() Rules {
+	if r.FakeThresholdPct == 0 {
+		r.FakeThresholdPct = 20
+	}
+	if r.SpikePct == 0 {
+		r.SpikePct = 10
+	}
+	if r.FollowRatePerDay == 0 {
+		r.FollowRatePerDay = 1000
+	}
+	return r
+}
+
+// AlertKind labels a detector.
+type AlertKind string
+
+// Alert kinds.
+const (
+	// ThresholdAlert: a tool's fake share crossed the configured ceiling.
+	ThresholdAlert AlertKind = "fake-threshold"
+	// SpikeAlert: a tool's fake share jumped between consecutive rounds.
+	SpikeAlert AlertKind = "fake-spike"
+	// BurstAlert: the follower count grew anomalously fast (a purchase
+	// burst landing at the newest end of the list).
+	BurstAlert AlertKind = "follow-burst"
+	// PurgeAlert: the follower count shrank anomalously fast (a platform
+	// purge or mass unfollow).
+	PurgeAlert AlertKind = "follow-purge"
+)
+
+// Alert is one raised alert.
+type Alert struct {
+	At     time.Time `json:"at"`
+	Target string    `json:"target"`
+	Tool   string    `json:"tool"`
+	Kind   AlertKind `json:"kind"`
+	// Value is the measurement that tripped the rule and Threshold the
+	// configured limit (fake share in points, or followers/day).
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Message   string  `json:"message"`
+}
+
+// evaluate applies the per-tool verdict rules (threshold crossing, spike)
+// to a fresh point, given the previous point of the same (target, tool)
+// series. The follow-rate rules live in evaluateRate: follower count is a
+// property of the target, not of a tool, so they run once per round.
+func evaluate(spec WatchSpec, tool string, prev Point, hasPrev bool, cur Point) []Alert {
+	if !hasPrev {
+		return nil // the first point is the baseline
+	}
+	rules := spec.Rules
+	var alerts []Alert
+
+	if rules.FakeThresholdPct > 0 && prev.FakePct < rules.FakeThresholdPct && cur.FakePct >= rules.FakeThresholdPct {
+		alerts = append(alerts, Alert{
+			At: cur.At, Target: spec.Target, Tool: tool, Kind: ThresholdAlert,
+			Value: cur.FakePct, Threshold: rules.FakeThresholdPct,
+			Message: fmt.Sprintf("@%s fake share %.1f%% crossed %.1f%% (%s)",
+				spec.Target, cur.FakePct, rules.FakeThresholdPct, tool),
+		})
+	}
+	if delta := cur.FakePct - prev.FakePct; rules.SpikePct > 0 && abs(delta) >= rules.SpikePct {
+		alerts = append(alerts, Alert{
+			At: cur.At, Target: spec.Target, Tool: tool, Kind: SpikeAlert,
+			Value: delta, Threshold: rules.SpikePct,
+			Message: fmt.Sprintf("@%s fake share moved %+.1f points in one round (%s)",
+				spec.Target, delta, tool),
+		})
+	}
+	return alerts
+}
+
+// evaluateRate applies the target-level follow-rate rules between two
+// observed follower counts. It runs once per round, on the round's first
+// successful point regardless of which tool produced it, so one platform
+// burst raises one alert — and a failure of any single tool cannot hide
+// the event.
+func evaluateRate(spec WatchSpec, tool string, prev, cur Point) []Alert {
+	rules := spec.Rules
+	if rules.FollowRatePerDay <= 0 {
+		return nil
+	}
+	days := cur.At.Sub(prev.At).Hours() / 24
+	if days <= 0 {
+		return nil
+	}
+	rate := float64(cur.Followers-prev.Followers) / days
+	switch {
+	case rate >= rules.FollowRatePerDay:
+		return []Alert{{
+			At: cur.At, Target: spec.Target, Tool: tool, Kind: BurstAlert,
+			Value: rate, Threshold: rules.FollowRatePerDay,
+			Message: fmt.Sprintf("@%s gained %.0f followers/day (limit %.0f)",
+				spec.Target, rate, rules.FollowRatePerDay),
+		}}
+	case rate <= -rules.FollowRatePerDay:
+		return []Alert{{
+			At: cur.At, Target: spec.Target, Tool: tool, Kind: PurgeAlert,
+			Value: rate, Threshold: rules.FollowRatePerDay,
+			Message: fmt.Sprintf("@%s lost %.0f followers/day (limit %.0f)",
+				spec.Target, -rate, rules.FollowRatePerDay),
+		}}
+	}
+	return nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// ring is a fixed-capacity chronological buffer; the oldest entry is
+// overwritten once full. It backs both the per-(target, tool) verdict
+// series and the alert log.
+type ring[T any] struct {
+	buf   []T
+	start int // index of the oldest entry
+	n     int // live entries
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *ring[T]) last() (T, bool) {
+	if r.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}
+
+// items returns the buffered entries, oldest first.
+func (r *ring[T]) items() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}

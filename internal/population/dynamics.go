@@ -1,0 +1,271 @@
+package population
+
+import (
+	"fmt"
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+)
+
+// Dynamics: the paper's headline numbers are point-in-time snapshots, but
+// its subjects are standing services auditing follower bases that drift
+// while being measured (the ≈27-day Obama crawl of Section IV-B is the
+// extreme case). The driver in this file evolves a target's follower base
+// over virtual days — organic growth and churn, fake-follower purchase
+// bursts, platform purge sweeps — and keeps a ground-truth log of every
+// injected event, so the monitoring subsystem can be scored on how quickly
+// each tool's verdict catches real change.
+
+// ChurnKind labels one category of follower-base change.
+type ChurnKind string
+
+// Churn event kinds.
+const (
+	// ChurnOrganic is the daily background: new (mostly genuine) followers
+	// arriving and a small fraction of existing ones leaving.
+	ChurnOrganic ChurnKind = "organic"
+	// ChurnPurchase is a bought-followers burst landing at the newest end
+	// of the list (the Section II-A anecdote, as an event).
+	ChurnPurchase ChurnKind = "purchase"
+	// ChurnPurge is a platform sweep removing a fraction of the fake
+	// followers (Twitter's periodic spam-account suspensions).
+	ChurnPurge ChurnKind = "purge"
+)
+
+// ChurnEvent schedules one discrete event on a script day (1-based).
+type ChurnEvent struct {
+	// Day is the script day the event fires on (1 = first AdvanceDay call).
+	Day int
+	// Kind selects the event type.
+	Kind ChurnKind
+	// Size is the number of accounts a purchase burst adds.
+	Size int
+	// Fraction is the share of fake followers a purge removes (0..1].
+	Fraction float64
+}
+
+// ChurnScript describes the full evolution plan for one target.
+type ChurnScript struct {
+	// DailyGrowth is the organic arrivals per day.
+	DailyGrowth int
+	// DailyChurnRate is the fraction of current followers that organically
+	// unfollow each day (e.g. 0.001 = 0.1%/day).
+	DailyChurnRate float64
+	// GrowthMix is the class mix of organic arrivals; the zero value
+	// defaults to a healthy base (88% genuine, 10% inactive, 2% fake).
+	GrowthMix Mix
+	// Events are the discrete bursts and purges, in any order.
+	Events []ChurnEvent
+}
+
+func (s ChurnScript) growthMix() Mix {
+	if s.GrowthMix.Sum() == 0 {
+		return Mix{Inactive: 0.10, Fake: 0.02, Genuine: 0.88}
+	}
+	return s.GrowthMix.Normalised()
+}
+
+// DefaultChurnScript returns the standard monitoring scenario for a target
+// with n followers, shared by the cmd/auditd -churn demo and the
+// experiments monitoring replay so both exercise the same drama: organic
+// growth of n/150 per day (min 20) with 0.1% daily churn, a fake-follower
+// purchase on day 9 big enough to trip default burst rules (15% of n, min
+// 1,500), and a half purge sweep on day 18.
+func DefaultChurnScript(n int) ChurnScript {
+	growth := n / 150
+	if growth < 20 {
+		growth = 20
+	}
+	burst := 15 * n / 100
+	if burst < 1500 {
+		burst = 1500
+	}
+	return ChurnScript{
+		DailyGrowth:    growth,
+		DailyChurnRate: 0.001,
+		Events: []ChurnEvent{
+			{Day: 9, Kind: ChurnPurchase, Size: burst},
+			{Day: 18, Kind: ChurnPurge, Fraction: 0.5},
+		},
+	}
+}
+
+// AppliedEvent is the ground-truth record of one applied change.
+type AppliedEvent struct {
+	// Day is the script day (1-based) the change was applied on.
+	Day int
+	// At is the platform time of the change.
+	At time.Time
+	// Kind is the change category.
+	Kind ChurnKind
+	// Added and Removed count the follow edges gained and lost.
+	Added, Removed int
+}
+
+// Driver evolves one target's follower base according to a script. It never
+// touches the clock: callers advance virtual time between days, so the
+// driver composes with whatever schedule the monitoring loop runs on.
+type Driver struct {
+	gen    *Generator
+	store  *twitter.Store
+	target twitter.UserID
+	script ChurnScript
+	src    *drand.Source
+	day    int
+	log    []AppliedEvent
+}
+
+// NewDriver plans the evolution of target inside gen's store.
+func NewDriver(gen *Generator, target twitter.UserID, script ChurnScript) *Driver {
+	return &Driver{
+		gen:    gen,
+		store:  gen.Store(),
+		target: target,
+		script: script,
+		src:    gen.src.ForkN("dynamics", int64(target)),
+	}
+}
+
+// Day returns how many days have been applied so far.
+func (d *Driver) Day() int { return d.day }
+
+// Log returns a copy of every applied ground-truth event so far.
+func (d *Driver) Log() []AppliedEvent { return append([]AppliedEvent(nil), d.log...) }
+
+// AdvanceDay applies one script day at the store's current time: organic
+// growth and churn first, then any events scheduled for that day. It
+// returns the events applied on this day.
+func (d *Driver) AdvanceDay() ([]AppliedEvent, error) {
+	d.day++
+	now := d.store.Now()
+	var applied []AppliedEvent
+
+	organic := AppliedEvent{Day: d.day, At: now, Kind: ChurnOrganic}
+	if d.script.DailyGrowth > 0 {
+		if err := d.gen.GrowFollowers(d.target, d.script.DailyGrowth, d.script.growthMix()); err != nil {
+			return nil, fmt.Errorf("day %d organic growth: %w", d.day, err)
+		}
+		organic.Added = d.script.DailyGrowth
+	}
+	if d.script.DailyChurnRate > 0 {
+		removed, err := d.organicChurn(now)
+		if err != nil {
+			return nil, fmt.Errorf("day %d organic churn: %w", d.day, err)
+		}
+		organic.Removed = removed
+	}
+	if organic.Added > 0 || organic.Removed > 0 {
+		applied = append(applied, organic)
+	}
+
+	for _, ev := range d.script.Events {
+		if ev.Day != d.day {
+			continue
+		}
+		switch ev.Kind {
+		case ChurnPurchase:
+			if ev.Size <= 0 {
+				continue
+			}
+			if err := d.gen.BuyFollowers(d.target, ev.Size); err != nil {
+				return nil, fmt.Errorf("day %d purchase burst: %w", d.day, err)
+			}
+			applied = append(applied, AppliedEvent{Day: d.day, At: now, Kind: ChurnPurchase, Added: ev.Size})
+		case ChurnPurge:
+			removed, err := d.PurgeFakes(ev.Fraction)
+			if err != nil {
+				return nil, fmt.Errorf("day %d purge: %w", d.day, err)
+			}
+			applied = append(applied, AppliedEvent{Day: d.day, At: now, Kind: ChurnPurge, Removed: removed})
+		default:
+			return nil, fmt.Errorf("day %d: unknown churn event kind %q", d.day, ev.Kind)
+		}
+	}
+
+	d.log = append(d.log, applied...)
+	return applied, nil
+}
+
+// organicChurn removes DailyChurnRate of the current followers, drawn
+// uniformly over the whole list (long-standing and fresh followers leave
+// alike).
+func (d *Driver) organicChurn(now time.Time) (int, error) {
+	count, err := d.store.FollowerCount(d.target)
+	if err != nil {
+		return 0, err
+	}
+	k := int(float64(count) * d.script.DailyChurnRate)
+	if k <= 0 {
+		return 0, nil
+	}
+	chrono, err := d.store.FollowersChronological(d.target)
+	if err != nil {
+		return 0, err
+	}
+	if k > len(chrono) {
+		// Rates above 1/day empty the list rather than panicking the
+		// sampler.
+		k = len(chrono)
+	}
+	leavers := make([]twitter.UserID, 0, k)
+	for _, idx := range d.src.SampleInts(len(chrono), k) {
+		leavers = append(leavers, chrono[idx])
+	}
+	return d.store.RemoveFollowers(d.target, leavers, now)
+}
+
+// PurgeFakes removes the given fraction of the target's ground-truth fake
+// followers (uniformly chosen), returning how many edges were dropped. It
+// is exported so one-off purges can be injected outside a script.
+func (d *Driver) PurgeFakes(fraction float64) (int, error) {
+	if fraction <= 0 {
+		return 0, nil
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	chrono, err := d.store.FollowersChronological(d.target)
+	if err != nil {
+		return 0, err
+	}
+	var fakes []twitter.UserID
+	for _, id := range chrono {
+		class, err := d.store.TrueClass(id)
+		if err != nil {
+			return 0, err
+		}
+		if class == twitter.ClassFake {
+			fakes = append(fakes, id)
+		}
+	}
+	k := int(float64(len(fakes)) * fraction)
+	if k <= 0 {
+		return 0, nil
+	}
+	victims := make([]twitter.UserID, 0, k)
+	for _, idx := range d.src.SampleInts(len(fakes), k) {
+		victims = append(victims, fakes[idx])
+	}
+	return d.store.RemoveFollowers(d.target, victims, d.store.Now())
+}
+
+// Truth reports the target's current ground-truth class mix and live
+// follower count — the reference series the monitoring experiment scores
+// every tool against.
+func (d *Driver) Truth() (Mix, int, error) {
+	chrono, err := d.store.FollowersChronological(d.target)
+	if err != nil {
+		return Mix{}, 0, err
+	}
+	counts := d.store.ClassCounts(chrono)
+	n := len(chrono)
+	if n == 0 {
+		return Mix{}, 0, nil
+	}
+	return Mix{
+		Inactive: float64(counts[twitter.ClassInactive]) / float64(n),
+		Fake:     float64(counts[twitter.ClassFake]) / float64(n),
+		Genuine:  float64(counts[twitter.ClassGenuine]) / float64(n),
+	}, n, nil
+}

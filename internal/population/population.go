@@ -145,6 +145,9 @@ var ErrBadSpec = errors.New("population: invalid target spec")
 type Generator struct {
 	store *twitter.Store
 	src   *drand.Source
+	// growSeq numbers GrowFollowers calls so every growth cohort draws a
+	// fresh archetype stream — day 2 of organic growth must not clone day 1.
+	growSeq int64
 }
 
 // NewGenerator creates a generator writing into store, seeded independently
@@ -238,7 +241,8 @@ func (g *Generator) BuildTarget(spec TargetSpec) (twitter.UserID, error) {
 // Section IV-B snapshot experiment.
 func (g *Generator) GrowFollowers(target twitter.UserID, n int, mix Mix) error {
 	now := g.store.Now()
-	arch := newArchetypes(g.src.Fork("grow"))
+	g.growSeq++
+	arch := newArchetypes(g.src.ForkN("grow", g.growSeq))
 	for i := 0; i < n; i++ {
 		class := arch.drawClass(mix)
 		follower, err := g.store.CreateUser(arch.draw(class, now))

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/monitord"
+)
+
+// MonitorWatch renders a monitoring replay: the ground-truth fake share
+// next to every tool's verdict day by day, the per-tool tracking summary,
+// the raised alerts, and the queue-discipline probe.
+func MonitorWatch(w io.Writer, res *experiments.MonitorResult) error {
+	fmt.Fprintf(w, "watched @%s (nominal %d followers) for %d days, cadence %v\n\n",
+		res.Target, res.NominalFollowers, res.Days, res.Cadence)
+
+	// Day-by-day series: truth vs tools. Points carry their round (round r
+	// observed day r-1), so a failed round leaves a visible gap instead of
+	// shifting every later verdict onto the wrong day.
+	byRound := make(map[string]map[int]monitord.Point, len(res.Series))
+	for tool, points := range res.Series {
+		rounds := make(map[int]monitord.Point, len(points))
+		for _, p := range points {
+			rounds[p.Round] = p
+		}
+		byRound[tool] = rounds
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "day\tfollowers\ttruth fake\tFC\tTA\tSP\tSB")
+	for i, truth := range res.Truth {
+		row := fmt.Sprintf("%d\t%d\t%.1f%%", truth.Day, truth.Followers, truth.FakePct)
+		for _, tool := range experiments.ToolOrder {
+			if p, ok := byRound[tool][i+1]; ok {
+				row += fmt.Sprintf("\t%.1f%%", p.FakePct)
+			} else {
+				row += "\t-"
+			}
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nhow each tool trails the injected churn:")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "tool\tbaseline\tpeak\tdetection delay\tmean |gap| to truth\tpost-burst bias")
+	for _, trail := range res.Trails {
+		delay := "never"
+		if trail.DetectionDelayDays >= 0 {
+			delay = fmt.Sprintf("%dd", trail.DetectionDelayDays)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%s\t%.1f pts\t%+.1f pts\n",
+			trail.Tool, trail.BaselinePct, trail.PeakPct, delay,
+			trail.MeanAbsGapPct, trail.PostBurstBiasPct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	if err := MonitorAlerts(w, res.Alerts); err != nil {
+		return err
+	}
+
+	if res.Probe != nil {
+		fmt.Fprintf(w, "\ninteractive probe @%s: state %s, preempted %d/%d queued background re-audits\n",
+			res.Probe.Target, res.Probe.Job.State,
+			res.Probe.PreemptedBackground, res.Probe.BackgroundJobs)
+	}
+	return nil
+}
+
+// MonitorAlerts renders an alert list as a table.
+func MonitorAlerts(w io.Writer, alerts []monitord.Alert) error {
+	if len(alerts) == 0 {
+		_, err := fmt.Fprintln(w, "no alerts raised")
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "at\ttarget\ttool\tkind\tvalue\tlimit")
+	for _, a := range alerts {
+		fmt.Fprintf(tw, "%s\t@%s\t%s\t%s\t%.1f\t%.1f\n",
+			a.At.Format("2006-01-02 15:04"), a.Target, a.Tool, a.Kind, a.Value, a.Threshold)
+	}
+	return tw.Flush()
+}

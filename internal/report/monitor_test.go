@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fakeproject/internal/experiments"
+	"fakeproject/internal/monitord"
+	"fakeproject/internal/simclock"
+)
+
+func sampleMonitorResult() *experiments.MonitorResult {
+	at := simclock.Epoch
+	series := make(map[string][]monitord.Point)
+	for _, tool := range experiments.ToolOrder {
+		series[tool] = []monitord.Point{
+			{At: at, Round: 1, Followers: 20000, FakePct: 8, GenuinePct: 92},
+			{At: at.Add(24 * time.Hour), Round: 2, Followers: 23000, FakePct: 30, GenuinePct: 70},
+		}
+	}
+	return &experiments.MonitorResult{
+		Target:           "watchtarget_1",
+		NominalFollowers: 39000000,
+		Days:             1,
+		Cadence:          24 * time.Hour,
+		Truth: []experiments.TruthPoint{
+			{Day: 0, Followers: 20000, FakePct: 8.2},
+			{Day: 1, Followers: 23000, FakePct: 16.1},
+		},
+		Series: series,
+		Alerts: []monitord.Alert{{
+			At: at.Add(24 * time.Hour), Target: "watchtarget_1", Tool: "socialbakers",
+			Kind: monitord.BurstAlert, Value: 3000, Threshold: 750,
+		}},
+		Trails: []experiments.ToolTrail{
+			{Tool: "fakeproject-fc", BaselinePct: 8, PeakPct: 16, DetectionDelayDays: 0, MeanAbsGapPct: 0.4, PostBurstBiasPct: 0.1},
+			{Tool: "socialbakers", BaselinePct: 7, PeakPct: 63, DetectionDelayDays: -1, MeanAbsGapPct: 12, PostBurstBiasPct: 30},
+		},
+		Probe: &experiments.ProbeOutcome{Target: "probetarget_2", BackgroundJobs: 4, PreemptedBackground: 3},
+	}
+}
+
+func TestMonitorWatchRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := MonitorWatch(&sb, sampleMonitorResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"watched @watchtarget_1",
+		"truth fake",
+		"follow-burst",
+		"post-burst bias",
+		"never", // socialbakers detection delay
+		"preempted 3/4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMonitorAlertsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := MonitorAlerts(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no alerts") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}

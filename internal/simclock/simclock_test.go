@@ -122,3 +122,134 @@ func TestRealClockMonotonicEnough(t *testing.T) {
 		t.Fatalf("real clock went backwards: %v then %v", a, b)
 	}
 }
+
+// The tests below pin the Virtual clock's guarantees under the shape the
+// monitoring subsystem runs: one scheduler goroutine advancing/sleeping on
+// the clock while several auditd workers sleep on it concurrently.
+
+// TestVirtualConcurrentSleepLowerBound: when a goroutine's Sleep(d)
+// returns, the clock has advanced by at least d past the instant it
+// started sleeping (others may have pushed it further, never less).
+func TestVirtualConcurrentSleepLowerBound(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		d := time.Duration(i+1) * time.Second
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				before := v.Now()
+				v.Sleep(d)
+				if after := v.Now(); after.Before(before.Add(d)) {
+					errs <- "Sleep returned with clock short of its own duration"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestVirtualMonotonicUnderMixedLoad: with sleepers and an advancer racing
+// (workers awaiting rate-limit windows while the scheduler jumps to the
+// next cadence), every goroutine observes a non-decreasing clock, and the
+// final time is exactly the sum of all advances — virtual time is never
+// lost or double-counted.
+func TestVirtualMonotonicUnderMixedLoad(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	const (
+		sleepers  = 8
+		advancers = 2
+		rounds    = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, sleepers+advancers)
+	observe := func(last *time.Time) bool {
+		now := v.Now()
+		if now.Before(*last) {
+			return false
+		}
+		*last = now
+		return true
+	}
+	wg.Add(sleepers + advancers)
+	for i := 0; i < sleepers; i++ {
+		go func() {
+			defer wg.Done()
+			last := v.Now()
+			for r := 0; r < rounds; r++ {
+				v.Sleep(time.Millisecond)
+				if !observe(&last) {
+					errs <- "sleeper observed the clock going backwards"
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < advancers; i++ {
+		go func() {
+			defer wg.Done()
+			last := v.Now()
+			for r := 0; r < rounds; r++ {
+				v.Advance(time.Millisecond)
+				if !observe(&last) {
+					errs <- "advancer observed the clock going backwards"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	want := Epoch.Add((sleepers + advancers) * rounds * time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("final time %v, want %v (virtual time lost or duplicated)", got, want)
+	}
+	if v.Sleeps() != sleepers*rounds {
+		t.Fatalf("Sleeps() = %d, want %d (Advance must not count)", v.Sleeps(), sleepers*rounds)
+	}
+	if v.Slept() != sleepers*rounds*time.Millisecond {
+		t.Fatalf("Slept() = %v", v.Slept())
+	}
+}
+
+// TestVirtualSchedulerWorkerInterleaving models one monitord round
+// explicitly: the scheduler advances to the next cadence, workers burn
+// virtual crawl time concurrently, and the stopwatch-measured round never
+// exceeds the sum of everything spent on the clock.
+func TestVirtualSchedulerWorkerInterleaving(t *testing.T) {
+	v := NewVirtualAtEpoch()
+	const (
+		cadence   = 24 * time.Hour
+		workers   = 4
+		crawlCost = 3 * time.Minute
+		days      = 27
+	)
+	sw := NewStopwatch(v)
+	for day := 0; day < days; day++ {
+		v.Advance(cadence)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				v.Sleep(crawlCost)
+			}()
+		}
+		wg.Wait()
+	}
+	want := days * (cadence + workers*crawlCost)
+	if got := sw.Elapsed(); got != want {
+		t.Fatalf("27-day watch consumed %v of virtual time, want %v", got, want)
+	}
+}

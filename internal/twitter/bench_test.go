@@ -66,6 +66,20 @@ func BenchmarkFollowersNewestFirst(b *testing.B) {
 	}
 }
 
+// BenchmarkFollowersPage measures one 5K API page against the same 50K list
+// — the per-call cost a paging crawler actually pays, versus the full-list
+// copy of BenchmarkFollowersNewestFirst.
+func BenchmarkFollowersPage(b *testing.B) {
+	store, target := benchStore(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _, err := store.FollowersPage(target, (i%10)*5000, 5000)
+		if err != nil || len(ids) != 5000 {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSynthTimeline measures deterministic timeline synthesis
 // (200 tweets, the user_timeline page size).
 func BenchmarkSynthTimeline(b *testing.B) {

@@ -1,0 +1,186 @@
+package twitter
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+// churnStore builds a target with n followers, one per second.
+func churnStore(t *testing.T, n int) (*Store, UserID, []UserID) {
+	t.Helper()
+	clock := simclock.NewVirtualAtEpoch()
+	s := NewStore(clock, 1)
+	target := s.MustCreateUser(UserParams{ScreenName: "t"})
+	at := simclock.Epoch.Add(-time.Duration(n) * time.Second)
+	followers := make([]UserID, 0, n)
+	for i := 0; i < n; i++ {
+		id := s.MustCreateUser(UserParams{})
+		if err := s.AddFollower(target, id, at); err != nil {
+			t.Fatal(err)
+		}
+		followers = append(followers, id)
+		at = at.Add(time.Second)
+	}
+	return s, target, followers
+}
+
+func TestFollowersPage(t *testing.T) {
+	s, target, followers := churnStore(t, 10)
+	newest, err := s.FollowersNewestFirst(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		offset, limit int
+		want          []UserID
+	}{
+		{0, 3, newest[:3]},
+		{3, 4, newest[3:7]},
+		{7, 100, newest[7:]},
+		{10, 5, nil},
+		{42, 5, nil},
+		{-1, 5, nil},
+		{0, 0, nil},
+		{0, -2, nil},
+	}
+	for _, c := range cases {
+		got, total, err := s.FollowersPage(target, c.offset, c.limit)
+		if err != nil {
+			t.Fatalf("FollowersPage(%d, %d): %v", c.offset, c.limit, err)
+		}
+		if total != 10 {
+			t.Fatalf("FollowersPage(%d, %d) total = %d, want 10", c.offset, c.limit, total)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("FollowersPage(%d, %d) = %v, want %v", c.offset, c.limit, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("FollowersPage(%d, %d)[%d] = %d, want %d", c.offset, c.limit, i, got[i], c.want[i])
+			}
+		}
+	}
+	if _, _, err := s.FollowersPage(999, 0, 5); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown target err = %v, want ErrUnknownUser", err)
+	}
+	// Non-target accounts yield empty pages, matching FollowersNewestFirst.
+	if page, total, err := s.FollowersPage(followers[0], 0, 5); err != nil || len(page) != 0 || total != 0 {
+		t.Fatalf("non-target page = %v, %d, %v; want empty", page, total, err)
+	}
+}
+
+// TestFollowersPageMatchesFullView cross-checks paged assembly against the
+// full-copy accessor on a larger list.
+func TestFollowersPageMatchesFullView(t *testing.T) {
+	s, target, _ := churnStore(t, 2357)
+	newest, err := s.FollowersNewestFirst(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paged []UserID
+	for off := 0; ; off += 500 {
+		page, total, err := s.FollowersPage(target, off, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != len(newest) {
+			t.Fatalf("total = %d, want %d", total, len(newest))
+		}
+		if len(page) == 0 {
+			break
+		}
+		paged = append(paged, page...)
+	}
+	if len(paged) != len(newest) {
+		t.Fatalf("paged %d followers, want %d", len(paged), len(newest))
+	}
+	for i := range paged {
+		if paged[i] != newest[i] {
+			t.Fatalf("paged[%d] = %d, want %d", i, paged[i], newest[i])
+		}
+	}
+}
+
+func TestRemoveFollowers(t *testing.T) {
+	s, target, followers := churnStore(t, 8)
+	now := s.Now()
+
+	gone := []UserID{followers[1], followers[4], followers[7], 9999}
+	n, err := s.RemoveFollowers(target, gone, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("removed %d edges, want 3", n)
+	}
+	count, _ := s.FollowerCount(target)
+	if count != 5 {
+		t.Fatalf("FollowerCount = %d, want 5", count)
+	}
+	// Survivors keep their chronological order.
+	chrono, _ := s.FollowersChronological(target)
+	want := []UserID{followers[0], followers[2], followers[3], followers[5], followers[6]}
+	for i := range chrono {
+		if chrono[i] != want[i] {
+			t.Fatalf("chrono[%d] = %d, want %d", i, chrono[i], want[i])
+		}
+	}
+	// Profile view follows the live edge list.
+	p, _ := s.Profile(target)
+	if p.FollowersCount != 5 {
+		t.Fatalf("profile followers = %d, want 5", p.FollowersCount)
+	}
+	// The removal log retains ground truth.
+	removed, _ := s.RemovedEdges(target)
+	if len(removed) != 3 {
+		t.Fatalf("removal log has %d entries, want 3", len(removed))
+	}
+	for _, r := range removed {
+		if !r.At.Equal(now) {
+			t.Fatalf("removal at %v, want %v", r.At, now)
+		}
+	}
+	rc, _ := s.RemovedCount(target)
+	if rc != 3 {
+		t.Fatalf("RemovedCount = %d, want 3", rc)
+	}
+}
+
+func TestRemoveFollowersMonotonicRemovalTimes(t *testing.T) {
+	s, target, followers := churnStore(t, 4)
+	now := s.Now()
+	if _, err := s.RemoveFollowers(target, followers[:1], now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveFollowers(target, followers[1:2], now.Add(-time.Hour)); !errors.Is(err, ErrNotMonotonic) {
+		t.Fatalf("backwards removal err = %v, want ErrNotMonotonic", err)
+	}
+	// Equal times are fine (a purge removes a batch in one instant).
+	if _, err := s.RemoveFollowers(target, followers[1:2], now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnfollowThenRefollow(t *testing.T) {
+	s, target, followers := churnStore(t, 3)
+	now := s.Now()
+	ok, err := s.Unfollow(target, followers[1], now)
+	if err != nil || !ok {
+		t.Fatalf("Unfollow = %v, %v; want true", ok, err)
+	}
+	ok, err = s.Unfollow(target, followers[1], now)
+	if err != nil || ok {
+		t.Fatalf("second Unfollow = %v, %v; want false", ok, err)
+	}
+	// The account can follow again; the new edge lands at the newest end.
+	if err := s.AddFollower(target, followers[1], now.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	newest, _ := s.FollowersNewestFirst(target)
+	if newest[0] != followers[1] {
+		t.Fatalf("newest follower = %d, want refollowed %d", newest[0], followers[1])
+	}
+}

@@ -20,8 +20,19 @@ func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 // `twitterd -load pop.gob`. The format is versioned gob.
 
 // snapshotVersion guards against loading snapshots from incompatible
-// builds.
-const snapshotVersion = 1
+// builds. Version history:
+//
+//	1: initial format (records, names, targets with follows/tweets/friends)
+//	2: adds per-target removal logs (Removed) and the clock position
+//	   (ClockUnix), the churn state introduced with the dynamics driver
+//
+// Writers always emit the current version; readers accept every version
+// back to 1 — gob leaves fields absent from old streams at their zero
+// values, so a pre-churn snapshot simply loads with empty removal logs.
+const snapshotVersion = 2
+
+// minSnapshotVersion is the oldest version ReadSnapshot still understands.
+const minSnapshotVersion = 1
 
 // ErrBadSnapshot reports a snapshot that cannot be loaded.
 var ErrBadSnapshot = errors.New("twitter: invalid snapshot")
@@ -65,6 +76,8 @@ type persistTarget struct {
 	Follows []persistFollow
 	Tweets  []persistTweet
 	Friends []int64
+	// Removed is the churn removal log (version >= 2; nil in v1 streams).
+	Removed []persistFollow
 }
 
 type snapshot struct {
@@ -74,6 +87,11 @@ type snapshot struct {
 	Records  []persistRecord
 	Names    map[int64]string
 	Targets  []persistTarget
+	// ClockUnix is the store clock's position at snapshot time (version
+	// >= 2; 0 in v1 streams). An evolved population's edge timestamps run
+	// up to this instant, so a reader must resume at or after it for
+	// further growth/churn to stay monotonic.
+	ClockUnix int64
 }
 
 // WriteSnapshot serialises the full store state.
@@ -82,11 +100,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	defer s.mu.RUnlock()
 
 	snap := snapshot{
-		Version:  snapshotVersion,
-		NameSeed: s.nameSeed.Seed(),
-		TweetSeq: int64(s.tweetSeq),
-		Records:  make([]persistRecord, len(s.recs)),
-		Names:    make(map[int64]string, len(s.names)),
+		Version:   snapshotVersion,
+		NameSeed:  s.nameSeed.Seed(),
+		TweetSeq:  int64(s.tweetSeq),
+		Records:   make([]persistRecord, len(s.recs)),
+		Names:     make(map[int64]string, len(s.names)),
+		ClockUnix: s.clock.Now().Unix(),
 	}
 	for i, r := range s.recs {
 		snap.Records[i] = persistRecord{
@@ -133,6 +152,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 				pt.Friends[i] = int64(f)
 			}
 		}
+		if len(td.removed) > 0 {
+			pt.Removed = make([]persistFollow, len(td.removed))
+			for i, f := range td.removed {
+				pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix()}
+			}
+		}
 		snap.Targets = append(snap.Targets, pt)
 	}
 
@@ -144,14 +169,24 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 }
 
 // ReadSnapshot reconstructs a Store from a snapshot, bound to the given
-// clock.
+// clock. A virtual clock lagging behind the snapshot's recorded position
+// is advanced to it, so an evolved population resumes where it left off
+// instead of rejecting further growth/churn as non-monotonic.
 func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadSnapshot, snap.Version, snapshotVersion)
+	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d..%d",
+			ErrBadSnapshot, snap.Version, minSnapshotVersion, snapshotVersion)
+	}
+	if snap.ClockUnix > 0 {
+		if v, ok := clock.(*simclock.Virtual); ok {
+			if at := unixUTC(snap.ClockUnix); at.After(v.Now()) {
+				v.SetNow(at)
+			}
+		}
 	}
 	store := &Store{
 		clock:    clock,
@@ -227,6 +262,20 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 			for i, f := range pt.Friends {
 				td.friends[i] = UserID(f)
 			}
+		}
+		var prevRemoved int64
+		for _, pf := range pt.Removed {
+			if pf.Follower < 1 || int(pf.Follower) > len(store.recs) {
+				return nil, fmt.Errorf("%w: removed follower %d out of range", ErrBadSnapshot, pf.Follower)
+			}
+			if pf.At < prevRemoved {
+				return nil, fmt.Errorf("%w: removal times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+			}
+			prevRemoved = pf.At
+			td.removed = append(td.removed, Follow{
+				Follower: UserID(pf.Follower),
+				At:       unixUTC(pf.At),
+			})
 		}
 		store.targets[UserID(pt.ID)] = td
 	}

@@ -2,6 +2,7 @@ package twitter
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"testing"
 	"time"
@@ -121,6 +122,152 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	extra := loaded.MustCreateUser(UserParams{})
 	if err := loaded.AddFollower(target, extra, simclock.Epoch.Add(time.Hour)); err != nil {
 		t.Fatalf("loaded store rejects new followers: %v", err)
+	}
+}
+
+// TestSnapshotRoundTripWithChurn covers the version-2 facet: removal logs
+// survive the round trip alongside the compacted live edge list.
+func TestSnapshotRoundTripWithChurn(t *testing.T) {
+	store, target := buildRichStore(t)
+	chrono, _ := store.FollowersChronological(target)
+	gone := []UserID{chrono[3], chrono[7], chrono[100]}
+	if _, err := store.RemoveFollowers(target, gone, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := store.FollowersNewestFirst(target)
+	b, _ := loaded.FollowersNewestFirst(target)
+	if len(a) != len(b) || len(b) != 497 {
+		t.Fatalf("follower counts: %d vs %d, want 497", len(a), len(b))
+	}
+	ra, _ := store.RemovedEdges(target)
+	rb, _ := loaded.RemovedEdges(target)
+	if len(ra) != len(rb) || len(rb) != 3 {
+		t.Fatalf("removal logs: %d vs %d, want 3", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Follower != rb[i].Follower || !ra[i].At.Equal(rb[i].At) {
+			t.Fatalf("removal log differs at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// The loaded store keeps churning.
+	if _, err := loaded.RemoveFollowers(target, b[:1], loaded.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotResumesClock: an evolved population's snapshot carries its
+// clock position, and reloading onto a fresh epoch clock fast-forwards it
+// so growth/churn at the loaded store's Now() stays monotonic (the
+// genpop -days → auditd -load -churn flow).
+func TestSnapshotResumesClock(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 7)
+	target := store.MustCreateUser(UserParams{ScreenName: "evolved"})
+	follower := store.MustCreateUser(UserParams{})
+	clock.Advance(27 * 24 * time.Hour) // 27 days of evolution
+	if err := store.AddFollower(target, follower, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	freshClock := simclock.NewVirtualAtEpoch()
+	loaded, err := ReadSnapshot(&buf, freshClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := freshClock.Now(); got.Before(clock.Now().Add(-time.Second)) {
+		t.Fatalf("loaded clock at %v, want resumed near %v", got, clock.Now())
+	}
+	// New writes at the resumed Now() respect the monotonic invariant.
+	extra := loaded.MustCreateUser(UserParams{})
+	if err := loaded.AddFollower(target, extra, loaded.Now()); err != nil {
+		t.Fatalf("post-load growth rejected: %v", err)
+	}
+	if _, err := loaded.RemoveFollowers(target, []UserID{extra}, loaded.Now()); err != nil {
+		t.Fatalf("post-load churn rejected: %v", err)
+	}
+}
+
+// TestSnapshotReadsVersion1 proves pre-churn snapshots (version 1, no
+// Removed fields) still load after the dynamics fields landed.
+func TestSnapshotReadsVersion1(t *testing.T) {
+	store, target := buildRichStore(t)
+
+	// Serialise the store exactly as a pre-churn build would have: the same
+	// gob payload with Version forced to 1 and no Removed logs. Decoding a
+	// v1 stream into the current struct leaves the new fields at their zero
+	// values, which is precisely the compatibility contract under test.
+	var v2 bytes.Buffer
+	if err := store.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&v2).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 1
+	snap.ClockUnix = 0
+	for i := range snap.Targets {
+		snap.Targets[i].Removed = nil
+	}
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := ReadSnapshot(&v1, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if loaded.UserCount() != store.UserCount() {
+		t.Fatalf("user count %d vs %d", loaded.UserCount(), store.UserCount())
+	}
+	a, _ := store.FollowersNewestFirst(target)
+	b, _ := loaded.FollowersNewestFirst(target)
+	if len(a) != len(b) {
+		t.Fatalf("follower counts differ: %d vs %d", len(a), len(b))
+	}
+	if removed, _ := loaded.RemovedEdges(target); len(removed) != 0 {
+		t.Fatalf("v1 snapshot grew a removal log: %d entries", len(removed))
+	}
+	// Pre-churn stores accept churn once loaded.
+	if _, err := loaded.RemoveFollowers(target, b[:2], loaded.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRejectsFutureVersion guards the other direction: a snapshot
+// from a newer build fails loudly instead of loading half-understood state.
+func TestSnapshotRejectsFutureVersion(t *testing.T) {
+	store, _ := buildRichStore(t)
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = snapshotVersion + 1
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&future, simclock.NewVirtualAtEpoch()); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
 	}
 }
 

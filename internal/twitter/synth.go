@@ -2,6 +2,7 @@ package twitter
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"fakeproject/internal/drand"
@@ -69,16 +70,62 @@ var spamTexts = []string{
 	"lose weight now with this one weird tip",
 }
 
-func humanName(src *drand.Source) string {
-	return firstNames[src.Intn(len(firstNames))] + " " + lastNames[src.Intn(len(lastNames))]
+// Profile string synthesis runs on the users/lookup hot path (a single FC
+// audit materialises ~9,600 profiles), so it must not construct PRNGs:
+// seeding one math/rand generator costs a 607-word state initialisation,
+// and the old Fork-per-field scheme paid that four times per profile. The
+// classifiers only ever read these strings for emptiness — emptiness is
+// flag-driven — so the draws below use a cheap hash finaliser instead of a
+// rand stream. Content changes cosmetically; no feature or verdict moves.
+
+// synthDraw hashes (seed, salt) into a uniform uint64.
+func synthDraw(seed uint64, salt string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(salt))
+	// splitmix64 finaliser: fnv alone avalanches poorly in the high bits.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
-func synthBio(src *drand.Source) string {
-	return bioTemplates[src.Intn(len(bioTemplates))]
+// synthScreenName fabricates a handle (lowercase letters, trailing digits)
+// from an account seed.
+func synthScreenName(seed uint64) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	x := synthDraw(seed, "name")
+	n := 7 + int(x%5)
+	b := make([]byte, 0, n+2)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		b = append(b, letters[(x>>33)%26])
+	}
+	if x&3 == 0 {
+		b = append(b, '0'+byte((x>>40)%10), '0'+byte((x>>45)%10))
+	}
+	return string(b)
 }
 
-func synthLocation(src *drand.Source) string {
-	return locations[src.Intn(len(locations))]
+func humanName(seed uint64) string {
+	x := synthDraw(seed, "fullname")
+	return firstNames[x%uint64(len(firstNames))] + " " +
+		lastNames[(x>>24)%uint64(len(lastNames))]
+}
+
+func synthBio(seed uint64) string {
+	return bioTemplates[synthDraw(seed, "bio")%uint64(len(bioTemplates))]
+}
+
+func synthLocation(seed uint64) string {
+	return locations[synthDraw(seed, "loc")%uint64(len(locations))]
 }
 
 var tweetSources = []string{"web", "mobile", "api"}

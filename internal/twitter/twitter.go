@@ -183,6 +183,10 @@ type targetData struct {
 	follows []Follow // chronological: oldest first
 	tweets  []Tweet  // chronological: oldest first
 	friends []UserID // materialised friend list, newest first (optional)
+	// removed logs unfollow/purge events in removal order (the ground truth
+	// the monitoring subsystem replays against). The live follower list is
+	// always follows minus nothing: removals compact follows in place.
+	removed []Follow
 }
 
 // UserParams configures account creation. Zero values are meaningful
@@ -302,7 +306,7 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 		statuses:    int32(p.Statuses),
 		friends:     int32(p.Friends),
 		followers:   int32(p.Followers),
-		seed:        uint32(s.nameSeed.ForkN("user", int64(id)).Seed()),
+		seed:        uint32(s.nameSeed.SeedForN("user", int64(id))),
 		flags:       flags,
 		class:       uint8(p.Class),
 		retweetPct:  pct(p.Behavior.RetweetRatio),
@@ -362,7 +366,7 @@ func (s *Store) screenNameLocked(id UserID) (string, error) {
 	if name, ok := s.names[id]; ok {
 		return name, nil
 	}
-	return drand.New(uint64(rec.seed)).Fork("name").ScreenName(), nil
+	return synthScreenName(uint64(rec.seed)), nil
 }
 
 // LookupName resolves an explicit screen name to a user ID.
@@ -432,13 +436,12 @@ func (s *Store) profileLocked(id UserID) (Profile, error) {
 			DuplicateRatio: float64(rec.dupPct) / 100,
 		},
 	}
-	src := drand.New(uint64(rec.seed))
-	p.Name = humanName(src.Fork("fullname"))
+	p.Name = humanName(uint64(rec.seed))
 	if rec.has(flagHasBio) {
-		p.Bio = synthBio(src.Fork("bio"))
+		p.Bio = synthBio(uint64(rec.seed))
 	}
 	if rec.has(flagHasLocation) {
-		p.Location = synthLocation(src.Fork("loc"))
+		p.Location = synthLocation(uint64(rec.seed))
 	}
 	if rec.has(flagHasURL) {
 		p.URL = "http://example.com/" + name
@@ -532,6 +535,123 @@ func (s *Store) FollowersNewestFirst(target UserID) ([]UserID, error) {
 		chrono[i], chrono[j] = chrono[j], chrono[i]
 	}
 	return chrono, nil
+}
+
+// FollowersPage returns up to limit follower IDs of target in newest-first
+// order (the order the API exposes), starting offset entries from the
+// newest follower, along with the total live follower count observed under
+// the same lock. Only the requested page is copied, so paging consumers
+// stop paying an O(n) full-list copy per call on million-follower targets
+// — and because page and total come from one consistent snapshot, cursor
+// arithmetic stays correct while the list churns between calls. Offsets at
+// or beyond the list yield an empty page; limit <= 0 yields an empty page
+// too.
+func (s *Store) FollowersPage(target UserID, offset, limit int) ([]UserID, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.recordOf(target); err != nil {
+		return nil, 0, err
+	}
+	td := s.targets[target]
+	if td == nil {
+		return nil, 0, nil
+	}
+	total := len(td.follows)
+	if offset < 0 || limit <= 0 || offset >= total {
+		return nil, total, nil
+	}
+	if n := total - offset; limit > n { // entries available from this offset
+		limit = n
+	}
+	out := make([]UserID, limit)
+	// Newest-first position i maps to chronological index total-1-(offset+i).
+	base := total - 1 - offset
+	for i := range out {
+		out[i] = td.follows[base-i].Follower
+	}
+	return out, total, nil
+}
+
+// RemoveFollowers deletes the follow edges of the given followers from
+// target's list, preserving the chronological order of the survivors, and
+// logs each removal at time at (the unfollow instant). Followers not present
+// in the list are ignored. It returns how many edges were removed.
+//
+// This is the platform mutation behind churn: organic unfollows, fake-
+// follower purges, suspension sweeps. Removal times must be monotonically
+// non-decreasing across calls, mirroring the follow-side invariant.
+func (s *Store) RemoveFollowers(target UserID, followers []UserID, at time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.recordOf(target); err != nil {
+		return 0, err
+	}
+	td := s.targets[target]
+	if td == nil || len(td.follows) == 0 || len(followers) == 0 {
+		return 0, nil
+	}
+	if n := len(td.removed); n > 0 && at.Before(td.removed[n-1].At) {
+		return 0, fmt.Errorf("%w: removal at %v before %v", ErrNotMonotonic, at, td.removed[n-1].At)
+	}
+	drop := make(map[UserID]struct{}, len(followers))
+	for _, f := range followers {
+		drop[f] = struct{}{}
+	}
+	kept := td.follows[:0]
+	removed := 0
+	for _, edge := range td.follows {
+		if _, gone := drop[edge.Follower]; gone {
+			// Each follower is removed at most once (edge lists hold one
+			// edge per follower); further matches are genuine duplicates.
+			delete(drop, edge.Follower)
+			td.removed = append(td.removed, Follow{Follower: edge.Follower, At: at})
+			removed++
+			continue
+		}
+		kept = append(kept, edge)
+	}
+	// Zero the vacated tail so removed edges do not pin memory.
+	for i := len(kept); i < len(td.follows); i++ {
+		td.follows[i] = Follow{}
+	}
+	td.follows = kept
+	return removed, nil
+}
+
+// Unfollow deletes a single follow edge at time at. It reports whether the
+// edge existed.
+func (s *Store) Unfollow(target, follower UserID, at time.Time) (bool, error) {
+	n, err := s.RemoveFollowers(target, []UserID{follower}, at)
+	return n > 0, err
+}
+
+// RemovedEdges returns a copy of target's removal log (unfollow events in
+// removal order). Evaluation/monitoring only; the API layer never exposes it.
+func (s *Store) RemovedEdges(target UserID) ([]Follow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.recordOf(target); err != nil {
+		return nil, err
+	}
+	td := s.targets[target]
+	if td == nil {
+		return nil, nil
+	}
+	return append([]Follow(nil), td.removed...), nil
+}
+
+// RemovedCount returns how many follow edges target has lost to churn.
+func (s *Store) RemovedCount(target UserID) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, err := s.recordOf(target); err != nil {
+		return 0, err
+	}
+	td := s.targets[target]
+	if td == nil {
+		return 0, nil
+	}
+	return len(td.removed), nil
 }
 
 // FollowEdges returns a copy of the raw follow edges of target, oldest first.

@@ -49,12 +49,32 @@ type IDPage struct {
 // first — the ordering property the paper verifies in Section IV-B. The
 // cursor encodes the offset from the newest follower; pass CursorFirst to
 // start and continue until NextCursor == CursorDone.
+//
+// Pages are read through Store.FollowersPage, which copies only the
+// requested page: a full crawl of an n-follower target costs O(n) total
+// rather than the O(n) *per page* a full-list copy would. Page and total
+// come from one locked snapshot, so a list churning between calls can
+// shift a crawl's view but never silently truncate a page's continuation.
 func (s *Service) FollowerIDs(target twitter.UserID, cursor int64) (IDPage, error) {
-	newest, err := s.store.FollowersNewestFirst(target)
+	start := int64(0)
+	if cursor != CursorFirst {
+		start = cursor
+	}
+	if start < 0 {
+		return IDPage{}, fmt.Errorf("%w: %d", ErrBadCursor, cursor)
+	}
+	page, total, err := s.store.FollowersPage(target, int(start), FollowerIDsPageSize)
 	if err != nil {
 		return IDPage{}, err
 	}
-	return paginate(newest, cursor, FollowerIDsPageSize)
+	if start > int64(total) {
+		return IDPage{}, fmt.Errorf("%w: %d over %d items", ErrBadCursor, cursor, total)
+	}
+	next := CursorDone
+	if end := start + int64(len(page)); end < int64(total) {
+		next = end
+	}
+	return IDPage{IDs: page, NextCursor: next}, nil
 }
 
 // FriendIDs returns one page of the account's friend list (accounts it
