@@ -102,14 +102,20 @@ func (l *Limiter) Reserve(key string) time.Duration {
 	}
 	if w.used < lim.Requests {
 		w.used++
+		// The window may have been rolled forward by an earlier
+		// reservation and not be open yet; a slot booked in a future
+		// window must wait for it, not fire immediately alongside the
+		// caller that paid for the roll.
+		if now.Before(w.start) {
+			return w.start.Sub(now)
+		}
 		return 0
 	}
 	// Current window exhausted: the call runs at the start of the next
 	// window, which is also booked as that window's first slot.
-	wait := w.start.Add(lim.Window).Sub(now)
 	w.start = w.start.Add(lim.Window)
 	w.used = 1
-	return wait
+	return w.start.Sub(now)
 }
 
 // Allow reports whether a call for key may proceed right now. Unlike

@@ -175,6 +175,68 @@ func TestCrawlTimeMatchesAnalyticModel(t *testing.T) {
 	}
 }
 
+// TestConcurrentReservationsWaitForBookedWindow pins the regression where
+// Reserve rolled the window into the future for the caller that exhausted
+// the budget, but then handed 0-wait slots in that *unopened* window to
+// every subsequent caller — concurrent reservers would blast through the
+// budget immediately instead of queueing behind the roll.
+func TestConcurrentReservationsWaitForBookedWindow(t *testing.T) {
+	const win = 15 * time.Minute
+	l, clock := newLimiter(15, win)
+	// Burn the current window without sleeping — the concurrent-reserver
+	// pattern (several goroutines booking before any of them sleeps).
+	for i := 0; i < 15; i++ {
+		if wait := l.Reserve("ep"); wait != 0 {
+			t.Fatalf("call %d waited %v in a fresh window", i, wait)
+		}
+	}
+	// The 16th reservation rolls the window forward and waits for it.
+	if wait := l.Reserve("ep"); wait != win {
+		t.Fatalf("16th reservation waited %v, want %v", wait, win)
+	}
+	// Reservations 17..30 book slots in the same future window: every one
+	// must wait until it opens, not proceed immediately.
+	for i := 0; i < 14; i++ {
+		if wait := l.Reserve("ep"); wait != win {
+			t.Fatalf("reservation %d in booked window waited %v, want %v", 17+i, wait, win)
+		}
+	}
+	// The 31st rolls one more window out.
+	if wait := l.Reserve("ep"); wait != 2*win {
+		t.Fatalf("31st reservation waited %v, want %v", wait, 2*win)
+	}
+	// Once the furthest booked window opens (the 31st call's slot was its
+	// first), the remaining 14 slots are free without waiting.
+	clock.Sleep(2 * win)
+	for i := 0; i < 14; i++ {
+		if wait := l.Reserve("ep"); wait != 0 {
+			t.Fatalf("open-window reservation %d waited %v", i, wait)
+		}
+	}
+	if wait := l.Reserve("ep"); wait != win {
+		t.Fatalf("re-exhausted window waited %v, want %v", wait, win)
+	}
+}
+
+// TestReserveMidWindowPartialWait: a reservation landing mid-way through a
+// booked future window waits only the remainder.
+func TestReserveMidWindowPartialWait(t *testing.T) {
+	const win = 15 * time.Minute
+	l, clock := newLimiter(1, win)
+	if wait := l.Reserve("ep"); wait != 0 {
+		t.Fatal("first call should be free")
+	}
+	if wait := l.Reserve("ep"); wait != win {
+		t.Fatalf("second call waited %v, want %v", wait, win)
+	}
+	// A third caller arrives 5 minutes later, while the booked window is
+	// still 10 minutes away: it books the window after it.
+	clock.Advance(5 * time.Minute)
+	if wait := l.Reserve("ep"); wait != 2*win-5*time.Minute {
+		t.Fatalf("third call waited %v, want %v", wait, 2*win-5*time.Minute)
+	}
+}
+
 func TestZeroRequestsLimitIsUnlimited(t *testing.T) {
 	// A non-positive budget is treated as "no limit" rather than deadlock.
 	l, _ := newLimiter(0, time.Minute)

@@ -67,14 +67,16 @@ func BenchmarkFollowersNewestFirst(b *testing.B) {
 }
 
 // BenchmarkFollowersPage measures one 5K API page against the same 50K list
-// — the per-call cost a paging crawler actually pays, versus the full-list
-// copy of BenchmarkFollowersNewestFirst.
+// — the per-call cost a paging crawler actually pays (binary search on the
+// seq anchor + a page copy), versus the full-list copy of
+// BenchmarkFollowersNewestFirst. Anchors rotate through the list so the
+// search depth is representative, not best-case.
 func BenchmarkFollowersPage(b *testing.B) {
 	store, target := benchStore(b, 50000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ids, _, err := store.FollowersPage(target, (i%10)*5000, 5000)
-		if err != nil || len(ids) != 5000 {
+		page, err := store.FollowersPage(target, uint64((i%10+1)*5000), 5000)
+		if err != nil || len(page.IDs) != 5000 {
 			b.Fatal(err)
 		}
 	}

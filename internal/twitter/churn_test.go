@@ -33,42 +33,48 @@ func TestFollowersPage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A fresh target assigns seqs 1..10 in follow order, so anchor seq k
+	// serves the k oldest edges newest-first.
 	cases := []struct {
-		offset, limit int
-		want          []UserID
+		fromSeq  uint64
+		limit    int
+		want     []UserID
+		wantNext uint64
 	}{
-		{0, 3, newest[:3]},
-		{3, 4, newest[3:7]},
-		{7, 100, newest[7:]},
-		{10, 5, nil},
-		{42, 5, nil},
-		{-1, 5, nil},
-		{0, 0, nil},
-		{0, -2, nil},
+		{SeqNewest, 3, newest[:3], 7},
+		{7, 4, newest[3:7], 3},
+		{3, 100, newest[7:], 0},
+		{10, 10, newest, 0},
+		{0, 5, nil, 0},
+		{SeqNewest, 0, nil, 0},
+		{SeqNewest, -2, nil, 0},
 	}
 	for _, c := range cases {
-		got, total, err := s.FollowersPage(target, c.offset, c.limit)
+		page, err := s.FollowersPage(target, c.fromSeq, c.limit)
 		if err != nil {
-			t.Fatalf("FollowersPage(%d, %d): %v", c.offset, c.limit, err)
+			t.Fatalf("FollowersPage(%d, %d): %v", c.fromSeq, c.limit, err)
 		}
-		if total != 10 {
-			t.Fatalf("FollowersPage(%d, %d) total = %d, want 10", c.offset, c.limit, total)
+		if page.Total != 10 {
+			t.Fatalf("FollowersPage(%d, %d) total = %d, want 10", c.fromSeq, c.limit, page.Total)
 		}
-		if len(got) != len(c.want) {
-			t.Fatalf("FollowersPage(%d, %d) = %v, want %v", c.offset, c.limit, got, c.want)
+		if page.NextSeq != c.wantNext {
+			t.Fatalf("FollowersPage(%d, %d) next = %d, want %d", c.fromSeq, c.limit, page.NextSeq, c.wantNext)
 		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Fatalf("FollowersPage(%d, %d)[%d] = %d, want %d", c.offset, c.limit, i, got[i], c.want[i])
+		if len(page.IDs) != len(c.want) {
+			t.Fatalf("FollowersPage(%d, %d) = %v, want %v", c.fromSeq, c.limit, page.IDs, c.want)
+		}
+		for i := range page.IDs {
+			if page.IDs[i] != c.want[i] {
+				t.Fatalf("FollowersPage(%d, %d)[%d] = %d, want %d", c.fromSeq, c.limit, i, page.IDs[i], c.want[i])
 			}
 		}
 	}
-	if _, _, err := s.FollowersPage(999, 0, 5); !errors.Is(err, ErrUnknownUser) {
+	if _, err := s.FollowersPage(999, SeqNewest, 5); !errors.Is(err, ErrUnknownUser) {
 		t.Fatalf("unknown target err = %v, want ErrUnknownUser", err)
 	}
 	// Non-target accounts yield empty pages, matching FollowersNewestFirst.
-	if page, total, err := s.FollowersPage(followers[0], 0, 5); err != nil || len(page) != 0 || total != 0 {
-		t.Fatalf("non-target page = %v, %d, %v; want empty", page, total, err)
+	if page, err := s.FollowersPage(followers[0], SeqNewest, 5); err != nil || len(page.IDs) != 0 || page.Total != 0 {
+		t.Fatalf("non-target page = %+v, %v; want empty", page, err)
 	}
 }
 
@@ -81,18 +87,19 @@ func TestFollowersPageMatchesFullView(t *testing.T) {
 		t.Fatal(err)
 	}
 	var paged []UserID
-	for off := 0; ; off += 500 {
-		page, total, err := s.FollowersPage(target, off, 500)
+	for from := SeqNewest; ; {
+		page, err := s.FollowersPage(target, from, 500)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if total != len(newest) {
-			t.Fatalf("total = %d, want %d", total, len(newest))
+		if page.Total != len(newest) {
+			t.Fatalf("total = %d, want %d", page.Total, len(newest))
 		}
-		if len(page) == 0 {
+		paged = append(paged, page.IDs...)
+		if page.NextSeq == 0 {
 			break
 		}
-		paged = append(paged, page...)
+		from = page.NextSeq
 	}
 	if len(paged) != len(newest) {
 		t.Fatalf("paged %d followers, want %d", len(paged), len(newest))
@@ -101,6 +108,72 @@ func TestFollowersPageMatchesFullView(t *testing.T) {
 		if paged[i] != newest[i] {
 			t.Fatalf("paged[%d] = %d, want %d", i, paged[i], newest[i])
 		}
+	}
+}
+
+// TestFollowersPageAnchorsSurviveChurn is the store-level heart of the
+// churn-proof contract: an anchor held across arrivals and purges neither
+// duplicates nor skips surviving edges, and an anchor whose own edge was
+// purged resolves to the next older survivor.
+func TestFollowersPageAnchorsSurviveChurn(t *testing.T) {
+	s, target, followers := churnStore(t, 9)
+
+	// Read the newest 3 (seqs 9, 8, 7), holding an anchor at seq 6.
+	first, err := s.FollowersPage(target, SeqNewest, 3)
+	if err != nil || len(first.IDs) != 3 || first.NextSeq != 6 {
+		t.Fatalf("first page = %+v, %v", first, err)
+	}
+
+	// A purchase burst lands 5 new followers (seqs 10..14)...
+	now := s.Now()
+	for i := 0; i < 5; i++ {
+		id := s.MustCreateUser(UserParams{})
+		if err := s.AddFollower(target, id, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and a purge removes the anchored edge (seq 6) plus one deeper
+	// survivor-to-be-skipped check candidate (seq 4).
+	if _, err := s.RemoveFollowers(target, []UserID{followers[5], followers[3]}, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resuming at seq 6 serves seq 5 next: no re-serving of the burst
+	// (seqs > 6), no skipping of survivors.
+	rest, err := s.FollowersPage(target, first.NextSeq, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []UserID{followers[4], followers[2], followers[1], followers[0]}
+	if len(rest.IDs) != len(want) {
+		t.Fatalf("resumed page = %v, want %v", rest.IDs, want)
+	}
+	for i := range want {
+		if rest.IDs[i] != want[i] {
+			t.Fatalf("resumed[%d] = %d, want %d", i, rest.IDs[i], want[i])
+		}
+	}
+	if rest.NextSeq != 0 {
+		t.Fatalf("NextSeq = %d, want 0", rest.NextSeq)
+	}
+
+	// An anchor below every survivor (everything older purged) is an empty
+	// final page, not an error.
+	if _, err := s.RemoveFollowers(target, followers[:3], now); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := s.FollowersPage(target, 3, 100)
+	if err != nil || len(empty.IDs) != 0 || empty.NextSeq != 0 {
+		t.Fatalf("purged-out anchor page = %+v, %v; want empty", empty, err)
+	}
+
+	// Seqs are never reused: a refollow gets a fresh anchor above the burst.
+	if err := s.AddFollower(target, followers[5], now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	edges, _ := s.FollowEdges(target)
+	if got := edges[len(edges)-1].Seq; got != 15 {
+		t.Fatalf("refollow seq = %d, want 15", got)
 	}
 }
 

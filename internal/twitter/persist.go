@@ -25,11 +25,16 @@ func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 //	1: initial format (records, names, targets with follows/tweets/friends)
 //	2: adds per-target removal logs (Removed) and the clock position
 //	   (ClockUnix), the churn state introduced with the dynamics driver
+//	3: adds per-edge sequence numbers (persistFollow.Seq) and the
+//	   per-target seq counter (persistTarget.SeqCounter), the anchors
+//	   churn-proof pagination resumes from
 //
 // Writers always emit the current version; readers accept every version
 // back to 1 — gob leaves fields absent from old streams at their zero
-// values, so a pre-churn snapshot simply loads with empty removal logs.
-const snapshotVersion = 2
+// values, so a pre-churn snapshot simply loads with empty removal logs,
+// and a pre-seq snapshot gets dense seqs (1..n) reassigned to its live
+// edges on load.
+const snapshotVersion = 3
 
 // minSnapshotVersion is the oldest version ReadSnapshot still understands.
 const minSnapshotVersion = 1
@@ -57,6 +62,9 @@ type persistRecord struct {
 type persistFollow struct {
 	Follower int64
 	At       int64
+	// Seq is the edge's pagination anchor (version >= 3; 0 in older
+	// streams, in which case the reader reassigns dense seqs).
+	Seq uint64
 }
 
 type persistTweet struct {
@@ -78,6 +86,10 @@ type persistTarget struct {
 	Friends []int64
 	// Removed is the churn removal log (version >= 2; nil in v1 streams).
 	Removed []persistFollow
+	// SeqCounter is the last edge seq handed out (version >= 3; 0 in
+	// older streams). Loading must resume the counter above every seq
+	// ever assigned so post-load follows keep seqs unique and increasing.
+	SeqCounter uint64
 }
 
 type snapshot struct {
@@ -127,10 +139,10 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		snap.Names[int64(id)] = name
 	}
 	for id, td := range s.targets {
-		pt := persistTarget{ID: int64(id)}
+		pt := persistTarget{ID: int64(id), SeqCounter: td.seq}
 		pt.Follows = make([]persistFollow, len(td.follows))
 		for i, f := range td.follows {
-			pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix()}
+			pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
 		}
 		pt.Tweets = make([]persistTweet, len(td.tweets))
 		for i, tw := range td.tweets {
@@ -155,7 +167,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		if len(td.removed) > 0 {
 			pt.Removed = make([]persistFollow, len(td.removed))
 			for i, f := range td.removed {
-				pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix()}
+				pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
 			}
 		}
 		snap.Targets = append(snap.Targets, pt)
@@ -230,7 +242,8 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 		}
 		td := &targetData{}
 		var prev int64
-		for _, pf := range pt.Follows {
+		var prevSeq uint64
+		for i, pf := range pt.Follows {
 			if pf.Follower < 1 || int(pf.Follower) > len(store.recs) {
 				return nil, fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, pf.Follower)
 			}
@@ -238,10 +251,25 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 				return nil, fmt.Errorf("%w: follow times not monotonic for target %d", ErrBadSnapshot, pt.ID)
 			}
 			prev = pf.At
+			seq := pf.Seq
+			if snap.Version < 3 {
+				// Pre-seq stream: reassign dense anchors in stored order.
+				seq = uint64(i + 1)
+			} else if seq <= prevSeq {
+				return nil, fmt.Errorf("%w: edge seqs not increasing for target %d", ErrBadSnapshot, pt.ID)
+			}
+			prevSeq = seq
 			td.follows = append(td.follows, Follow{
 				Follower: UserID(pf.Follower),
 				At:       unixUTC(pf.At),
+				Seq:      seq,
 			})
+		}
+		td.seq = pt.SeqCounter
+		if td.seq < prevSeq {
+			// Older streams (or a counter that lost a race with the log):
+			// resume above every seq actually present.
+			td.seq = prevSeq
 		}
 		for _, ptw := range pt.Tweets {
 			td.tweets = append(td.tweets, Tweet{
@@ -272,9 +300,13 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 				return nil, fmt.Errorf("%w: removal times not monotonic for target %d", ErrBadSnapshot, pt.ID)
 			}
 			prevRemoved = pf.At
+			if pf.Seq > td.seq {
+				td.seq = pf.Seq
+			}
 			td.removed = append(td.removed, Follow{
 				Follower: UserID(pf.Follower),
 				At:       unixUTC(pf.At),
+				Seq:      pf.Seq,
 			})
 		}
 		store.targets[UserID(pt.ID)] = td

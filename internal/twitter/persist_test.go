@@ -249,6 +249,132 @@ func TestSnapshotReadsVersion1(t *testing.T) {
 	}
 }
 
+// TestSnapshotV3PreservesSeqAnchors covers the version-3 facet: edge
+// sequence numbers — the anchors in-flight pagination cursors point at —
+// survive the round trip exactly, for live and removed edges alike, and
+// the per-target counter resumes above everything ever assigned so
+// post-load follows cannot mint duplicate anchors.
+func TestSnapshotV3PreservesSeqAnchors(t *testing.T) {
+	store, target := buildRichStore(t)
+	chrono, _ := store.FollowersChronological(target)
+	// Churn so that seqs have gaps: remove two mid-list edges, refollow one.
+	if _, err := store.RemoveFollowers(target, []UserID{chrono[10], chrono[20]}, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddFollower(target, chrono[10], store.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := store.FollowEdges(target)
+	b, _ := loaded.FollowEdges(target)
+	if len(a) != len(b) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Follower != b[i].Follower {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if b[len(b)-1].Seq != 501 { // 500 original follows + 1 refollow
+		t.Fatalf("refollow seq = %d, want 501", b[len(b)-1].Seq)
+	}
+	ra, _ := store.RemovedEdges(target)
+	rb, _ := loaded.RemovedEdges(target)
+	for i := range ra {
+		if ra[i].Seq != rb[i].Seq {
+			t.Fatalf("removed edge %d seq %d vs %d", i, ra[i].Seq, rb[i].Seq)
+		}
+	}
+	// An in-flight cursor (anchor seq) resolves to the same edge on the
+	// loaded store.
+	pa, err1 := store.FollowersPage(target, 250, 1)
+	pb, err2 := loaded.FollowersPage(target, 250, 1)
+	if err1 != nil || err2 != nil || len(pa.IDs) != 1 || len(pb.IDs) != 1 || pa.IDs[0] != pb.IDs[0] {
+		t.Fatalf("anchored page diverged after reload: %+v/%v vs %+v/%v", pa, err1, pb, err2)
+	}
+	// The counter resumes: a new follow gets seq 502, not a reused one.
+	extra := loaded.MustCreateUser(UserParams{})
+	if err := loaded.AddFollower(target, extra, loaded.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	eb, _ := loaded.FollowEdges(target)
+	if got := eb[len(eb)-1].Seq; got != 502 {
+		t.Fatalf("post-load follow seq = %d, want 502", got)
+	}
+}
+
+// TestSnapshotReadsVersion2 proves pre-seq churn snapshots (version 2:
+// removal logs and clock position, but no edge seqs) still load after the
+// v3 bump: survivors get dense anchors reassigned in stored order and the
+// counter resumes above them.
+func TestSnapshotReadsVersion2(t *testing.T) {
+	store, target := buildRichStore(t)
+	chrono, _ := store.FollowersChronological(target)
+	if _, err := store.RemoveFollowers(target, chrono[:5], store.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	var v3 bytes.Buffer
+	if err := store.WriteSnapshot(&v3); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&v3).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 2
+	for i := range snap.Targets {
+		snap.Targets[i].SeqCounter = 0
+		for j := range snap.Targets[i].Follows {
+			snap.Targets[i].Follows[j].Seq = 0
+		}
+		for j := range snap.Targets[i].Removed {
+			snap.Targets[i].Removed[j].Seq = 0
+		}
+	}
+	var v2 bytes.Buffer
+	if err := gob.NewEncoder(&v2).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := ReadSnapshot(&v2, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatalf("version-2 snapshot rejected: %v", err)
+	}
+	edges, _ := loaded.FollowEdges(target)
+	if len(edges) != 495 {
+		t.Fatalf("loaded %d edges, want 495", len(edges))
+	}
+	for i, e := range edges {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("edge %d reassigned seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	// Pagination works immediately over the reassigned anchors.
+	page, err := loaded.FollowersPage(target, SeqNewest, 100)
+	if err != nil || len(page.IDs) != 100 || page.Total != 495 {
+		t.Fatalf("page over reassigned seqs = %d ids/%d total, %v", len(page.IDs), page.Total, err)
+	}
+	// And the counter starts above the densest survivor.
+	extra := loaded.MustCreateUser(UserParams{})
+	if err := loaded.AddFollower(target, extra, loaded.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	edges, _ = loaded.FollowEdges(target)
+	if got := edges[len(edges)-1].Seq; got != 496 {
+		t.Fatalf("post-load follow seq = %d, want 496", got)
+	}
+}
+
 // TestSnapshotRejectsFutureVersion guards the other direction: a snapshot
 // from a newer build fails loudly instead of loading half-understood state.
 func TestSnapshotRejectsFutureVersion(t *testing.T) {

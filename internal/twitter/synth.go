@@ -184,8 +184,12 @@ func synthTimeline(id UserID, rec *record, max int) []Tweet {
 			text = fmt.Sprintf("%s %d", genuineTexts[src.Intn(len(genuineTexts))], total-i)
 		}
 		tw := Tweet{
-			// Per-author unique, stable ID: author in the high bits.
-			ID:        TweetID(int64(id)<<20 | int64(total-i)),
+			// Per-author unique, stable ID: author in the high bits, the
+			// age index in the low 32. statuses is an int32, so the index
+			// can never overflow into the author bits — 20 bits used to,
+			// for any account past 1,048,576 statuses (Katy Perry scale),
+			// silently colliding with the next author's ID space.
+			ID:        TweetID(int64(id)<<32 | int64(total-i)),
 			Author:    id,
 			CreatedAt: time.Unix(at, 0).UTC(),
 			Text:      text,
@@ -206,6 +210,23 @@ func synthTimeline(id UserID, rec *record, max int) []Tweet {
 		gap := int64(src.Exp(meanGap))
 		if gap < 1 {
 			gap = 1
+		}
+		// Cap the gap so the tweets still to come share the span left
+		// above the account's creation instant, instead of the old clamp
+		// that piled every overflowing tweet onto createdAt+1 — a
+		// timestamp spike no real timeline exhibits. The budget counts
+		// the *full* status count, not the requested max: Timeline(id, k)
+		// must stay a timestamp-identical prefix of any deeper read, so
+		// the cap cannot depend on how far this caller pages. It may
+		// reach 0 (more tweets than seconds of life): timestamps then
+		// repeat, which the chronology invariant permits.
+		if remaining := int64(total - 1 - i); remaining > 0 {
+			if maxGap := (at - (rec.createdAt + 1)) / remaining; gap > maxGap {
+				gap = maxGap
+				if gap < 0 {
+					gap = 0
+				}
+			}
 		}
 		at -= gap
 		if at <= rec.createdAt {

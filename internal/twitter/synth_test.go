@@ -1,0 +1,160 @@
+package twitter
+
+import (
+	"math"
+	"testing"
+
+	"fakeproject/internal/simclock"
+)
+
+// TestSyntheticTweetIDsCelebrityScale: accounts past 2^20 statuses used to
+// overflow the 20-bit age field into the author bits, colliding with the
+// next author's ID space. The 32-bit field covers any int32 status count.
+func TestSyntheticTweetIDsCelebrityScale(t *testing.T) {
+	s, _ := newTestStore()
+	mk := func() UserID {
+		return mkUser(t, s, UserParams{
+			CreatedAt: simclock.Epoch.AddDate(-8, 0, 0),
+			LastTweet: simclock.Epoch.AddDate(0, 0, -1),
+			Statuses:  3 << 20, // ~3.1M statuses, Katy Perry scale
+		})
+	}
+	a, b := mk(), mk()
+	ta, err := s.Timeline(a, 50)
+	if err != nil || len(ta) != 50 {
+		t.Fatalf("timeline a: %d tweets, %v", len(ta), err)
+	}
+	tb, err := s.Timeline(b, 50)
+	if err != nil || len(tb) != 50 {
+		t.Fatalf("timeline b: %d tweets, %v", len(tb), err)
+	}
+	seen := make(map[TweetID]bool)
+	for _, tw := range append(ta, tb...) {
+		// The author must be recoverable from the high bits: an ID that
+		// leaked age bits upward would claim the wrong author.
+		if got := UserID(tw.ID >> 32); got != tw.Author {
+			t.Fatalf("tweet %d: author bits decode to %d, want %d", tw.ID, got, tw.Author)
+		}
+		if seen[tw.ID] {
+			t.Fatalf("tweet ID %d collides across celebrity accounts", tw.ID)
+		}
+		seen[tw.ID] = true
+	}
+	// Newest-first means strictly decreasing IDs per author (the max_id
+	// pagination contract).
+	for i := 1; i < len(ta); i++ {
+		if ta[i].ID >= ta[i-1].ID {
+			t.Fatalf("tweet IDs not strictly decreasing: %d then %d", ta[i-1].ID, ta[i].ID)
+		}
+	}
+}
+
+// TestSyntheticTimelineSpreadsClampedTimestamps: an account that tweeted
+// far more often than its lifetime's seconds-per-status budget used to get
+// every overflowing tweet stamped createdAt+1 — a pile-up spike. Capped
+// gaps must instead spread the tail across the remaining span.
+func TestSyntheticTimelineSpreadsClampedTimestamps(t *testing.T) {
+	s, _ := newTestStore()
+	created := simclock.Epoch.Add(-200 * 60 * 1e9) // 200 minutes of life
+	id := mkUser(t, s, UserParams{
+		CreatedAt: created,
+		LastTweet: simclock.Epoch.Add(-60 * 1e9),
+		Statuses:  10000, // mean gap clamps to the 30s floor, span has ~400 slots
+	})
+	tl, err := s.Timeline(id, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorTime := created.Add(1e9) // createdAt + 1s
+	atFloor := 0
+	distinct := make(map[int64]bool, len(tl))
+	for i, tw := range tl {
+		if tw.CreatedAt.Before(floorTime) {
+			t.Fatalf("tweet %d at %v predates the floor %v", i, tw.CreatedAt, floorTime)
+		}
+		if i > 0 && tw.CreatedAt.After(tl[i-1].CreatedAt) {
+			t.Fatal("timeline must be newest first")
+		}
+		if tw.CreatedAt.Equal(floorTime) {
+			atFloor++
+		}
+		distinct[tw.CreatedAt.Unix()] = true
+	}
+	// Old behaviour: thousands of tweets piled exactly on the floor. The
+	// spread leaves at most a residual handful there...
+	if atFloor > 10 {
+		t.Fatalf("%d tweets piled on createdAt+1; clamp not spread", atFloor)
+	}
+	// ...and the tail occupies a healthy share of the available seconds.
+	if len(distinct) < 1000 {
+		t.Fatalf("only %d distinct timestamps across %d tweets", len(distinct), len(tl))
+	}
+}
+
+// TestSyntheticTimelinePrefixStableAcrossDepths: Timeline(id, k) must be a
+// timestamp-identical prefix of any deeper read — the gold-standard path
+// reads 200 tweets while the API path reads up to 3,200, and the two views
+// of the same tweet ID may not disagree on CreatedAt. (The gap cap that
+// spreads clamped timestamps budgets by the account's total status count,
+// never by the caller's max, precisely for this.)
+func TestSyntheticTimelinePrefixStableAcrossDepths(t *testing.T) {
+	s, _ := newTestStore()
+	id := mkUser(t, s, UserParams{
+		CreatedAt: simclock.Epoch.Add(-200 * 60 * 1e9),
+		LastTweet: simclock.Epoch.Add(-60 * 1e9),
+		Statuses:  10000, // deep in clamp territory
+	})
+	shallow, err := s.Timeline(id, 200)
+	if err != nil || len(shallow) != 200 {
+		t.Fatalf("shallow read: %d tweets, %v", len(shallow), err)
+	}
+	deep, err := s.Timeline(id, 3000)
+	if err != nil || len(deep) != 3000 {
+		t.Fatalf("deep read: %d tweets, %v", len(deep), err)
+	}
+	for i := range shallow {
+		if shallow[i] != deep[i] {
+			t.Fatalf("tweet %d differs across read depths:\n%+v\n%+v", i, shallow[i], deep[i])
+		}
+	}
+}
+
+// TestPctNaNMapsToZero: uint8(NaN*100 + 0.5) is platform-defined in Go, so
+// a 0/0 behaviour ratio must be pinned to 0 explicitly.
+func TestPctNaNMapsToZero(t *testing.T) {
+	if got := pct(math.NaN()); got != 0 {
+		t.Fatalf("pct(NaN) = %d, want 0", got)
+	}
+	// And the boundary cases stay put.
+	cases := map[float64]uint8{
+		-0.5: 0, 0: 0, 0.004: 0, 0.005: 1, 0.5: 50, 1: 100, 1.7: 100,
+		math.Inf(1): 100, math.Inf(-1): 0,
+	}
+	for in, want := range cases {
+		if got := pct(in); got != want {
+			t.Fatalf("pct(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestProfileBehaviorNaNRatios: the NaN guard holds end to end — an
+// account created with NaN ratios profiles as all-zero behaviour instead
+// of platform-defined garbage.
+func TestProfileBehaviorNaNRatios(t *testing.T) {
+	s, _ := newTestStore()
+	id := mkUser(t, s, UserParams{
+		Behavior: Behavior{
+			RetweetRatio:   math.NaN(),
+			LinkRatio:      math.NaN(),
+			SpamRatio:      math.NaN(),
+			DuplicateRatio: math.NaN(),
+		},
+	})
+	p, err := s.Profile(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Behavior; b.RetweetRatio != 0 || b.LinkRatio != 0 || b.SpamRatio != 0 || b.DuplicateRatio != 0 {
+		t.Fatalf("NaN ratios materialised as %+v, want zeros", p.Behavior)
+	}
+}

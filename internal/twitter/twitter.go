@@ -22,6 +22,8 @@ package twitter
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -147,7 +149,17 @@ type Tweet struct {
 type Follow struct {
 	Follower UserID
 	At       time.Time
+	// Seq is the edge's per-target sequence number, assigned monotonically
+	// at append time and never reused. It anchors pagination: a crawl
+	// resumed at a seq lands on the same edge no matter how many followers
+	// joined or were purged in between. Removal-log entries keep the seq
+	// the edge had while alive (0 for edges loaded from pre-seq snapshots).
+	Seq uint64
 }
+
+// SeqNewest is the FollowersPage anchor requesting the newest edge — the
+// "no anchor yet" sentinel a first page starts from.
+const SeqNewest = ^uint64(0)
 
 // flag bits packed into record.flags.
 const (
@@ -180,13 +192,17 @@ func (r *record) has(flag uint8) bool { return r.flags&flag != 0 }
 // targetData is the rich state kept only for target accounts (the handful of
 // accounts whose follower lists are actually materialised).
 type targetData struct {
-	follows []Follow // chronological: oldest first
+	follows []Follow // chronological: oldest first, strictly increasing Seq
 	tweets  []Tweet  // chronological: oldest first
 	friends []UserID // materialised friend list, newest first (optional)
 	// removed logs unfollow/purge events in removal order (the ground truth
 	// the monitoring subsystem replays against). The live follower list is
 	// always follows minus nothing: removals compact follows in place.
 	removed []Follow
+	// seq is the last edge sequence number handed out for this target.
+	// Removals never decrement it, so seqs are unique for a target's
+	// lifetime and follows stays sorted by Seq.
+	seq uint64
 }
 
 // UserParams configures account creation. Zero values are meaningful
@@ -259,7 +275,9 @@ var ErrNotMonotonic = errors.New("twitter: follow time must be monotonically non
 var ErrDuplicateName = errors.New("twitter: duplicate screen name")
 
 func pct(f float64) uint8 {
-	if f <= 0 {
+	// NaN (a 0/0 behaviour ratio upstream) must map to 0 explicitly:
+	// uint8(NaN*100 + 0.5) is platform-defined in Go.
+	if math.IsNaN(f) || f <= 0 {
 		return 0
 	}
 	if f >= 1 {
@@ -486,7 +504,8 @@ func (s *Store) AddFollower(target, follower UserID, at time.Time) error {
 	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
 		return fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
 	}
-	td.follows = append(td.follows, Follow{Follower: follower, At: at})
+	td.seq++
+	td.follows = append(td.follows, Follow{Follower: follower, At: at, Seq: td.seq})
 	return nil
 }
 
@@ -537,39 +556,66 @@ func (s *Store) FollowersNewestFirst(target UserID) ([]UserID, error) {
 	return chrono, nil
 }
 
+// FollowerPage is one edge-anchored page of a target's follower list.
+type FollowerPage struct {
+	// IDs holds up to the requested limit of follower IDs, newest first.
+	IDs []UserID
+	// NextSeq is the sequence number of the next (older) edge to serve,
+	// or 0 when the page reached the oldest surviving edge.
+	NextSeq uint64
+	// Total is the live follower count observed under the same lock as
+	// the page.
+	Total int
+}
+
 // FollowersPage returns up to limit follower IDs of target in newest-first
-// order (the order the API exposes), starting offset entries from the
-// newest follower, along with the total live follower count observed under
-// the same lock. Only the requested page is copied, so paging consumers
-// stop paying an O(n) full-list copy per call on million-follower targets
-// — and because page and total come from one consistent snapshot, cursor
-// arithmetic stays correct while the list churns between calls. Offsets at
-// or beyond the list yield an empty page; limit <= 0 yields an empty page
-// too.
-func (s *Store) FollowersPage(target UserID, offset, limit int) ([]UserID, int, error) {
+// order (the order the API exposes), starting from the newest edge whose
+// sequence number is <= fromSeq (pass SeqNewest for the first page). Edges
+// are anchored, not counted: new followers arriving mid-crawl get higher
+// seqs and never shift a resumed page, and a purge that removes the
+// anchored edge itself simply lands the page on the next older survivor —
+// duplicates and skips of stable edges are structurally impossible. A
+// fromSeq below every surviving edge (all older edges purged, or the list
+// exhausted) yields an empty page with NextSeq 0, never an error.
+//
+// The follows slice is sorted by Seq (append-only assignment, order-
+// preserving removals), so the anchor is found by binary search: each page
+// costs O(log n + limit) and copies only the requested window. limit <= 0
+// yields an empty page.
+func (s *Store) FollowersPage(target UserID, fromSeq uint64, limit int) (FollowerPage, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if _, err := s.recordOf(target); err != nil {
-		return nil, 0, err
+		return FollowerPage{}, err
 	}
 	td := s.targets[target]
 	if td == nil {
-		return nil, 0, nil
+		return FollowerPage{}, nil
 	}
-	total := len(td.follows)
-	if offset < 0 || limit <= 0 || offset >= total {
-		return nil, total, nil
+	page := FollowerPage{Total: len(td.follows)}
+	if limit <= 0 || len(td.follows) == 0 {
+		return page, nil
 	}
-	if n := total - offset; limit > n { // entries available from this offset
+	// First chronological index with Seq > fromSeq; everything below it is
+	// servable. newest is the newest-first starting index.
+	newest := sort.Search(len(td.follows), func(i int) bool {
+		return td.follows[i].Seq > fromSeq
+	}) - 1
+	if newest < 0 {
+		return page, nil
+	}
+	n := newest + 1 // servable edges
+	if limit > n {
 		limit = n
 	}
-	out := make([]UserID, limit)
-	// Newest-first position i maps to chronological index total-1-(offset+i).
-	base := total - 1 - offset
-	for i := range out {
-		out[i] = td.follows[base-i].Follower
+	page.IDs = make([]UserID, limit)
+	for i := range page.IDs {
+		page.IDs[i] = td.follows[newest-i].Follower
 	}
-	return out, total, nil
+	if rest := newest - limit; rest >= 0 {
+		page.NextSeq = td.follows[rest].Seq
+	}
+	return page, nil
 }
 
 // RemoveFollowers deletes the follow edges of the given followers from
@@ -604,7 +650,7 @@ func (s *Store) RemoveFollowers(target UserID, followers []UserID, at time.Time)
 			// Each follower is removed at most once (edge lists hold one
 			// edge per follower); further matches are genuine duplicates.
 			delete(drop, edge.Follower)
-			td.removed = append(td.removed, Follow{Follower: edge.Follower, At: at})
+			td.removed = append(td.removed, Follow{Follower: edge.Follower, At: at, Seq: edge.Seq})
 			removed++
 			continue
 		}

@@ -169,6 +169,14 @@ func (c *DirectClient) Clock() simclock.Clock { return c.clock }
 // AllFollowerIDs pages through the complete follower list of target,
 // newest first — the Fake Project engine's first step ("it requests the
 // complete list of followers").
+//
+// Cursors are edge-anchored, so the crawl is churn-proof: followers who
+// join after a page was served are not revisited (no duplicates), edges
+// that survive the whole crawl are never skipped, and a purge racing the
+// crawl ends it with a short final page instead of an error. The result is
+// a consistent newest-first sweep of the list as it stood when each page
+// was cut — the only coherent answer a 27-day crawl of a moving list can
+// give.
 func AllFollowerIDs(c Client, target twitter.UserID) ([]twitter.UserID, error) {
 	var out []twitter.UserID
 	cursor := CursorFirst
@@ -187,7 +195,8 @@ func AllFollowerIDs(c Client, target twitter.UserID) ([]twitter.UserID, error) {
 
 // FollowerIDsUpTo pages through at most max newest follower IDs — the
 // commercial tools' crawling scheme ("the followers taken into consideration
-// are just the latest ones to have joined").
+// are just the latest ones to have joined"). Like AllFollowerIDs, the
+// anchored cursors make the window crawl churn-proof.
 func FollowerIDsUpTo(c Client, target twitter.UserID, max int) ([]twitter.UserID, error) {
 	var out []twitter.UserID
 	cursor := CursorFirst

@@ -1,0 +1,78 @@
+package twitterapi
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fakeproject/internal/twitter"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	f := func(targetRaw uint32, seqRaw uint64) bool {
+		target := twitter.UserID(targetRaw%1e6 + 1)
+		seq := seqRaw&cursorSeqMask | 1 // non-zero, within the field
+		c := encodeCursor(target, seq)
+		if c <= 0 {
+			return false // must never collide with the sentinels
+		}
+		got, err := decodeCursor(target, c)
+		return err == nil && got == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorRejectsForgeries(t *testing.T) {
+	const target = twitter.UserID(42)
+	for _, c := range []int64{-7, 0, 1, 99999, 1 << 50} {
+		if _, err := decodeCursor(target, c); !errors.Is(err, ErrBadCursor) {
+			t.Fatalf("decodeCursor(%d) err = %v, want ErrBadCursor", c, err)
+		}
+	}
+	// A genuine cursor presented for the wrong target fails its checksum.
+	c := encodeCursor(target, 12345)
+	if _, err := decodeCursor(target+1, c); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("cross-target decode err = %v, want ErrBadCursor", err)
+	}
+	// Flipping any low bit invalidates the token.
+	if _, err := decodeCursor(target, c^2); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("bit-flipped decode err = %v, want ErrBadCursor", err)
+	}
+}
+
+// TestFeistelIsPermutation: the synthetic-friends index mapping must be a
+// bijection on its domain — that is the whole distinctness argument.
+func TestFeistelIsPermutation(t *testing.T) {
+	for _, domain := range []uint64{1, 2, 3, 7, 64, 1000, 4099} {
+		perm := newFeistel(0xfeedface^domain, domain)
+		seen := make(map[uint64]bool, domain)
+		for i := uint64(0); i < domain; i++ {
+			v := perm.at(i)
+			if v >= domain {
+				t.Fatalf("domain %d: at(%d) = %d escapes", domain, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("domain %d: at(%d) = %d repeats", domain, i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestFeistelKeySensitivity: different accounts must get different friend
+// orderings (different keys ⇒ different permutations, overwhelmingly).
+func TestFeistelKeySensitivity(t *testing.T) {
+	const domain = 1000
+	a, b := newFeistel(1, domain), newFeistel(2, domain)
+	same := 0
+	for i := uint64(0); i < domain; i++ {
+		if a.at(i) == b.at(i) {
+			same++
+		}
+	}
+	if same > domain/10 {
+		t.Fatalf("%d/%d fixed points across keys — permutations too correlated", same, domain)
+	}
+}

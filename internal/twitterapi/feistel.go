@@ -1,0 +1,74 @@
+package twitterapi
+
+// mix64 is the splitmix64 finaliser: a cheap bijective hash whose output
+// avalanches every input bit. Shared by the cursor checksum and the
+// friends-permutation key schedule — keep the constants in one place.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// feistel is a keyed pseudorandom permutation over [0, domain), built as a
+// balanced Feistel network with cycle-walking. It lets the synthetic
+// friend-list endpoint address position i of a never-materialised list in
+// O(1): distinctness comes from bijectivity instead of a rejection-sampled
+// dedup set, so serving a page costs O(page) no matter how long the list
+// is.
+//
+// The network permutes an even-bit-width space just covering the domain
+// (so at most 4× larger); values that land outside the domain are walked
+// through the permutation again until they fall inside, which terminates
+// in < 4 expected rounds.
+type feistel struct {
+	domain   uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint64
+}
+
+// newFeistel builds the permutation for the given key over [0, domain).
+// domain 0 or 1 yields the identity-on-nothing/one permutation.
+func newFeistel(key uint64, domain uint64) feistel {
+	f := feistel{domain: domain, halfBits: 1}
+	for 1<<(2*f.halfBits) < domain {
+		f.halfBits++
+	}
+	f.halfMask = 1<<f.halfBits - 1
+	for i := range f.keys {
+		// splitmix64 stream over the key: independent round keys.
+		key += 0x9e3779b97f4a7c15
+		f.keys[i] = mix64(key)
+	}
+	return f
+}
+
+// round is the Feistel F-function: mixes one half with a round key down to
+// halfBits bits.
+func (f feistel) round(r, k uint64) uint64 {
+	x := r*0x9e3779b97f4a7c15 + k
+	x ^= x >> 29
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 32
+	return x & f.halfMask
+}
+
+// at returns the image of i under the permutation. i must be < domain.
+func (f feistel) at(i uint64) uint64 {
+	if f.domain < 2 {
+		return i
+	}
+	for {
+		l, r := i>>f.halfBits, i&f.halfMask
+		for _, k := range f.keys {
+			l, r = r, l^f.round(r, k)
+		}
+		i = l<<f.halfBits | r
+		if i < f.domain {
+			return i
+		}
+	}
+}

@@ -2,6 +2,7 @@ package twitterapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -279,6 +280,10 @@ func (s *Server) handleIDsEndpoint(w http.ResponseWriter, r *http.Request, endpo
 		}
 	}
 	page, err := fetch(id, cursor)
+	if errors.Is(err, ErrBadCursor) {
+		writeError(w, http.StatusBadRequest, 44, err.Error())
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusNotFound, 34, err.Error())
 		return

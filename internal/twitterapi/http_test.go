@@ -58,6 +58,30 @@ func TestHTTPFollowerIDsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTTPBadCursorIs400: a fabricated cursor comes back as a 400 with the
+// API's "bad cursor" error code, not as a 404 user miss — clients must be
+// able to distinguish "your token is garbage" from "no such account".
+func TestHTTPBadCursorIs400(t *testing.T) {
+	client, target, _, _ := newHTTPFixture(t)
+	_, err := client.FollowerIDs(target, 99999)
+	if err == nil {
+		t.Fatal("fabricated cursor accepted over HTTP")
+	}
+	if !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("err = %v, want an HTTP 400", err)
+	}
+	// Opaque cursors minted by the server round-trip through the wire
+	// format and keep working.
+	first, err := client.FollowerIDs(target, CursorFirst)
+	if err != nil || first.NextCursor == CursorDone {
+		t.Fatalf("first page = %+v, %v", first, err)
+	}
+	second, err := client.FollowerIDs(target, first.NextCursor)
+	if err != nil || len(second.IDs) != FollowerIDsPageSize {
+		t.Fatalf("second page via wire cursor = %d ids, %v", len(second.IDs), err)
+	}
+}
+
 func TestHTTPUserByScreenName(t *testing.T) {
 	client, _, _, _ := newHTTPFixture(t)
 	p, err := client.UserByScreenName("target")

@@ -3,8 +3,8 @@ package twitterapi
 import (
 	"errors"
 	"fmt"
+	"sync"
 
-	"fakeproject/internal/drand"
 	"fakeproject/internal/twitter"
 )
 
@@ -28,11 +28,20 @@ var ErrBatchTooLarge = errors.New("twitterapi: lookup batch exceeds 100 ids")
 // server.
 type Service struct {
 	store *twitter.Store
+
+	mu sync.Mutex
+	// friendDomains freezes the synthetic-friends permutation domain per
+	// account the first time a *multi-page* friend list is served: the
+	// permutation is keyed on the user-space size, so without freezing, a
+	// user created between two pages would re-key the mapping and let
+	// page 2 repeat IDs page 1 already served. Single-page lists (the
+	// overwhelming majority) never enter the map, so it stays tiny.
+	friendDomains map[twitter.UserID]int
 }
 
 // NewService wraps a store.
 func NewService(store *twitter.Store) *Service {
-	return &Service{store: store}
+	return &Service{store: store, friendDomains: make(map[twitter.UserID]int)}
 }
 
 // Store returns the underlying store (used by evaluation code, never by the
@@ -46,41 +55,44 @@ type IDPage struct {
 }
 
 // FollowerIDs returns one page of the target's follower IDs, newest follower
-// first — the ordering property the paper verifies in Section IV-B. The
-// cursor encodes the offset from the newest follower; pass CursorFirst to
-// start and continue until NextCursor == CursorDone.
+// first — the ordering property the paper verifies in Section IV-B. Pass
+// CursorFirst to start and continue until NextCursor == CursorDone; every
+// other cursor value is an opaque token minted by a previous page.
 //
-// Pages are read through Store.FollowersPage, which copies only the
-// requested page: a full crawl of an n-follower target costs O(n) total
-// rather than the O(n) *per page* a full-list copy would. Page and total
-// come from one locked snapshot, so a list churning between calls can
-// shift a crawl's view but never silently truncate a page's continuation.
+// Cursors are edge-anchored: the token names the next follow edge to serve
+// by its append-time sequence number, so a crawl that pauses for hours of
+// rate-limit sleeps resumes on the same edge no matter how many followers
+// joined or were purged in between — the regime the Section IV-B 27-day
+// crawl lives in. A cursor whose anchor (and everything older) has been
+// purged returns an empty final page with CursorDone, never an error;
+// ErrBadCursor is reserved for tokens this target never minted. Pages are
+// read through Store.FollowersPage: O(log n + page) per call, copying only
+// the page.
 func (s *Service) FollowerIDs(target twitter.UserID, cursor int64) (IDPage, error) {
-	start := int64(0)
+	fromSeq := twitter.SeqNewest
 	if cursor != CursorFirst {
-		start = cursor
+		seq, err := decodeCursor(target, cursor)
+		if err != nil {
+			return IDPage{}, err
+		}
+		fromSeq = seq
 	}
-	if start < 0 {
-		return IDPage{}, fmt.Errorf("%w: %d", ErrBadCursor, cursor)
-	}
-	page, total, err := s.store.FollowersPage(target, int(start), FollowerIDsPageSize)
+	page, err := s.store.FollowersPage(target, fromSeq, FollowerIDsPageSize)
 	if err != nil {
 		return IDPage{}, err
 	}
-	if start > int64(total) {
-		return IDPage{}, fmt.Errorf("%w: %d over %d items", ErrBadCursor, cursor, total)
-	}
 	next := CursorDone
-	if end := start + int64(len(page)); end < int64(total) {
-		next = end
+	if page.NextSeq != 0 {
+		next = encodeCursor(target, page.NextSeq)
 	}
-	return IDPage{IDs: page, NextCursor: next}, nil
+	return IDPage{IDs: page.IDs, NextCursor: next}, nil
 }
 
 // FriendIDs returns one page of the account's friend list (accounts it
 // follows), newest first. Accounts without a materialised friend list get a
 // deterministic synthetic list consistent with their friends counter (see
-// DESIGN.md: the full follow graph is not materialised).
+// DESIGN.md: the full follow graph is not materialised). Friend lists are
+// immutable, so their cursors stay plain offsets.
 func (s *Service) FriendIDs(id twitter.UserID, cursor int64) (IDPage, error) {
 	if friends, ok := s.store.Friends(id); ok {
 		return paginate(friends, cursor, FriendIDsPageSize)
@@ -89,35 +101,71 @@ func (s *Service) FriendIDs(id twitter.UserID, cursor int64) (IDPage, error) {
 	if err != nil {
 		return IDPage{}, err
 	}
-	return paginate(s.synthFriends(id, count), cursor, FriendIDsPageSize)
+	return s.synthFriendsPage(id, count, cursor)
 }
 
-// synthFriends deterministically fabricates a friend list for a
-// procedurally-stored account: `count` distinct existing user IDs drawn from
-// the account's seed stream.
-func (s *Service) synthFriends(id twitter.UserID, count int) []twitter.UserID {
+// synthFriendsPage fabricates one page of a procedural account's friend
+// list: `count` distinct existing user IDs, deterministic per id.
+//
+// The list is never materialised. Position i maps to a user through a
+// keyed Feistel permutation of the index space, so serving a page costs
+// O(page) regardless of count — a 100K-friend hub's first page no longer
+// pays a 100K-element rejection-sampling build (and neither does every
+// subsequent page, which the old code re-fabricated from scratch).
+func (s *Service) synthFriendsPage(id twitter.UserID, count int, cursor int64) (IDPage, error) {
 	n := s.store.UserCount()
-	if count <= 0 || n <= 1 {
-		return nil
+	if count > FriendIDsPageSize {
+		// Multi-page list: freeze the user-space size the permutation is
+		// built over, so pages cut before and after a mid-crawl user burst
+		// stay slices of one bijection. (Users are never deleted, so a
+		// frozen n only ever under-samples newer accounts.) Each first
+		// page re-freezes at the live count — the stability contract is
+		// per crawl, and a permanently sticky domain would cap a hub
+		// first crawled in a small user space forever.
+		s.mu.Lock()
+		if frozen, ok := s.friendDomains[id]; ok && cursor != CursorFirst {
+			n = frozen
+		} else {
+			s.friendDomains[id] = n
+		}
+		s.mu.Unlock()
 	}
 	if count > n-1 {
 		count = n - 1
 	}
-	src := drand.New(uint64(id) * 2654435761).Fork("friends")
-	out := make([]twitter.UserID, 0, count)
-	seen := make(map[twitter.UserID]struct{}, count)
-	for len(out) < count {
-		cand := twitter.UserID(src.Int63n(int64(n)) + 1)
-		if cand == id {
-			continue
+	if count < 0 {
+		count = 0
+	}
+	start := int64(0)
+	if cursor != CursorFirst {
+		start = cursor
+	}
+	if start < 0 || start > int64(count) {
+		return IDPage{}, fmt.Errorf("%w: %d over %d items", ErrBadCursor, cursor, count)
+	}
+	end := start + int64(FriendIDsPageSize)
+	if end > int64(count) {
+		end = int64(count)
+	}
+	// Keyed per account by a cheap hash, not a drand fork: seeding a
+	// math/rand state on every page request is exactly the cost class the
+	// profile-synthesis path already eliminated.
+	perm := newFeistel(uint64(id)*2654435761, uint64(n-1))
+	out := make([]twitter.UserID, 0, end-start)
+	for i := start; i < end; i++ {
+		// perm is a bijection on [0, n-1); lifting candidates past the
+		// account's own id yields distinct IDs in [1, n] minus self.
+		cand := twitter.UserID(perm.at(uint64(i))) + 1
+		if cand >= id {
+			cand++
 		}
-		if _, dup := seen[cand]; dup {
-			continue
-		}
-		seen[cand] = struct{}{}
 		out = append(out, cand)
 	}
-	return out
+	next := CursorDone
+	if end < int64(count) {
+		next = end
+	}
+	return IDPage{IDs: out, NextCursor: next}, nil
 }
 
 func paginate(list []twitter.UserID, cursor int64, pageSize int) (IDPage, error) {

@@ -111,7 +111,14 @@ func TestFollowerIDsPageSizes(t *testing.T) {
 	if len(page.IDs) != FollowerIDsPageSize {
 		t.Fatalf("first page = %d ids, want %d", len(page.IDs), FollowerIDsPageSize)
 	}
-	last, err := svc.FollowerIDs(target, 10000)
+	second, err := svc.FollowerIDs(target, page.NextCursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.IDs) != FollowerIDsPageSize {
+		t.Fatalf("second page = %d ids, want %d", len(second.IDs), FollowerIDsPageSize)
+	}
+	last, err := svc.FollowerIDs(target, second.NextCursor)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +130,40 @@ func TestFollowerIDsPageSizes(t *testing.T) {
 func TestFollowerIDsBadCursor(t *testing.T) {
 	store, target, _ := buildTarget(t, 10)
 	svc := NewService(store)
+	// Fabricated tokens the service never minted fail the checksum.
 	if _, err := svc.FollowerIDs(target, 99999); !errors.Is(err, ErrBadCursor) {
 		t.Fatalf("err = %v, want ErrBadCursor", err)
 	}
 	if _, err := svc.FollowerIDs(target, -5); !errors.Is(err, ErrBadCursor) {
 		t.Fatalf("err = %v, want ErrBadCursor", err)
+	}
+	// The done sentinel is not a valid request cursor either.
+	if _, err := svc.FollowerIDs(target, CursorDone); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("err = %v, want ErrBadCursor", err)
+	}
+}
+
+// TestFollowerIDsCursorIsTargetBound: a cursor minted while paging one
+// target is rejected when replayed against another instead of silently
+// serving an unrelated page.
+func TestFollowerIDsCursorIsTargetBound(t *testing.T) {
+	store, target, chrono := buildTarget(t, 6000)
+	other, err := store.CreateUser(twitter.UserParams{ScreenName: "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range chrono[:100] {
+		if err := store.AddFollower(other, id, store.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := NewService(store)
+	page, err := svc.FollowerIDs(target, CursorFirst)
+	if err != nil || page.NextCursor == CursorDone {
+		t.Fatalf("first page = %+v, %v", page, err)
+	}
+	if _, err := svc.FollowerIDs(other, page.NextCursor); !errors.Is(err, ErrBadCursor) {
+		t.Fatalf("cross-target cursor err = %v, want ErrBadCursor", err)
 	}
 }
 
@@ -218,6 +254,88 @@ func TestFriendIDsSynthetic(t *testing.T) {
 		if page.IDs[i] != again.IDs[i] {
 			t.Fatal("synthetic friend list not deterministic")
 		}
+	}
+}
+
+// TestFriendIDsSyntheticStableAcrossUserGrowth: the synthetic friends
+// permutation is keyed on the user-space size, so the service freezes that
+// size per multi-page account — users created between two pages (a
+// purchase burst mid-crawl) must not re-key the mapping and let page 2
+// repeat IDs page 1 already served.
+func TestFriendIDsSyntheticStableAcrossUserGrowth(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := twitter.NewStore(clock, 1)
+	for i := 0; i < 20000; i++ {
+		store.MustCreateUser(twitter.UserParams{})
+	}
+	hub := store.MustCreateUser(twitter.UserParams{Friends: 12000})
+	svc := NewService(store)
+
+	first, err := svc.FriendIDs(hub, CursorFirst)
+	if err != nil || len(first.IDs) != FriendIDsPageSize || first.NextCursor == CursorDone {
+		t.Fatalf("first page = %d ids next=%d, %v", len(first.IDs), first.NextCursor, err)
+	}
+	// A burst lands 5,000 new accounts between pages.
+	for i := 0; i < 5000; i++ {
+		store.MustCreateUser(twitter.UserParams{})
+	}
+	seen := make(map[twitter.UserID]bool, 12000)
+	for _, id := range first.IDs {
+		seen[id] = true
+	}
+	total := len(first.IDs)
+	for cursor := first.NextCursor; cursor != CursorDone; {
+		page, err := svc.FriendIDs(hub, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range page.IDs {
+			if seen[id] {
+				t.Fatalf("friend %d served twice after user-space growth", id)
+			}
+			if id == hub {
+				t.Fatal("friend list contains self")
+			}
+			seen[id] = true
+		}
+		total += len(page.IDs)
+		cursor = page.NextCursor
+	}
+	if total != 12000 {
+		t.Fatalf("crawled %d friends, want 12000", total)
+	}
+
+	// The freeze is per crawl, not permanent: a *new* crawl (CursorFirst)
+	// re-freezes at the live user count, so a hub first crawled in a
+	// small user space isn't capped forever once the population grows.
+	clock2 := simclock.NewVirtualAtEpoch()
+	small := twitter.NewStore(clock2, 1)
+	for i := 0; i < 4000; i++ {
+		small.MustCreateUser(twitter.UserParams{})
+	}
+	hub2 := small.MustCreateUser(twitter.UserParams{Friends: 12000})
+	svc2 := NewService(small)
+	page, err := svc2.FriendIDs(hub2, CursorFirst)
+	if err != nil || len(page.IDs) != 4000 { // 4001 users minus self
+		t.Fatalf("clamped first crawl = %d ids, %v; want 4000", len(page.IDs), err)
+	}
+	for i := 0; i < 20000; i++ {
+		small.MustCreateUser(twitter.UserParams{})
+	}
+	recount := 0
+	for cursor := CursorFirst; ; {
+		page, err := svc2.FriendIDs(hub2, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recount += len(page.IDs)
+		if page.NextCursor == CursorDone {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if recount != 12000 {
+		t.Fatalf("post-growth crawl = %d friends, want the full 12000", recount)
 	}
 }
 
