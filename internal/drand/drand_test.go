@@ -1,6 +1,7 @@
 package drand
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -288,5 +289,68 @@ func TestPermIsPermutation(t *testing.T) {
 			t.Fatalf("invalid permutation: %v", p)
 		}
 		seen[v] = true
+	}
+}
+
+// TestSeedForMatchesFNV pins the inlined FNV-64a fold to the stdlib
+// implementation: derived seeds are persisted (every account record stores
+// one), so the fold must stay bit-identical across refactors.
+func TestSeedForMatchesFNV(t *testing.T) {
+	ref := func(seed uint64, n *int64, label string) uint64 {
+		h := fnv.New64a()
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(seed >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+		if n != nil {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(uint64(*n) >> (8 * i))
+			}
+			_, _ = h.Write(buf[:])
+		}
+		_, _ = h.Write([]byte(label))
+		return h.Sum64()
+	}
+	seeds := []uint64{0, 1, 42, 1<<63 + 12345, ^uint64(0)}
+	ns := []int64{0, 1, -1, 999999, 1 << 40}
+	labels := []string{"", "user", "timeline", "a much longer label with spaces"}
+	for _, seed := range seeds {
+		src := New(seed)
+		for _, label := range labels {
+			if got, want := src.SeedFor(label), ref(seed, nil, label); got != want {
+				t.Errorf("SeedFor(%d, %q) = %d, want %d", seed, label, got, want)
+			}
+			for _, n := range ns {
+				n := n
+				if got, want := src.SeedForN(label, n), ref(seed, &n, label); got != want {
+					t.Errorf("SeedForN(%d, %q, %d) = %d, want %d", seed, label, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedForDoesNotAllocate guards the account-creation hot path: one
+// derived seed per created account must not mean one heap allocation per
+// created account.
+func TestSeedForDoesNotAllocate(t *testing.T) {
+	src := New(7)
+	if avg := testing.AllocsPerRun(1000, func() {
+		_ = src.SeedFor("user")
+		_ = src.SeedForN("user", 12345)
+	}); avg != 0 {
+		t.Fatalf("SeedFor/SeedForN allocate %.1f times per call, want 0", avg)
+	}
+}
+
+// TestHashStringMatchesFNV pins the exported string hash to the stdlib.
+func TestHashStringMatchesFNV(t *testing.T) {
+	for _, s := range []string{"", "a", "genpop_target", "une assez longue chaîne"} {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(s))
+		if got, want := HashString(s), h.Sum64(); got != want {
+			t.Errorf("HashString(%q) = %d, want %d", s, got, want)
+		}
 	}
 }

@@ -1,0 +1,103 @@
+package monitord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fakeproject/internal/auditd"
+)
+
+// TestConcurrentSubmitsDuringScheduling is the paced-planes race regression
+// test: interactive auditd submissions (with cache invalidations, the
+// monitor-adversarial path) hammer the service WHILE the monitor's Tick
+// loop schedules and awaits re-audit rounds over the same targets and the
+// virtual clock advances concurrently. Run under -race in CI, it proves the
+// scheduling planes — auditd queue/dedup/cache, monitord watch state, and
+// the shard-striped store underneath the sim engines — share no unguarded
+// state. Every interactive job must complete successfully, every tick must
+// return cleanly, and each watch must accumulate rounds.
+func TestConcurrentSubmitsDuringScheduling(t *testing.T) {
+	tools := []*scriptedAuditor{
+		{name: "alpha", frames: []frame{{fakePct: 20, followers: 1000}, {fakePct: 30, followers: 1100}}},
+		{name: "beta", frames: []frame{{fakePct: 25, followers: 990}}},
+	}
+	mon, svc, clock := harness(t, Config{}, tools...)
+
+	targets := make([]string, 6)
+	for i := range targets {
+		targets[i] = fmt.Sprintf("celebrity%d", i)
+		mustWatch(t, mon, WatchSpec{Target: targets[i], Cadence: time.Hour})
+	}
+
+	const (
+		ticks      = 30
+		submitters = 4
+		submits    = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*submits+ticks)
+
+	// The scheduling plane: ticks with the clock racing forward past each
+	// watch's next-due instant.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			clock.Advance(30 * time.Minute)
+			if _, err := mon.Tick(context.Background()); err != nil {
+				errs <- fmt.Errorf("tick %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	// The interactive plane: concurrent high-priority submits over the same
+	// targets, half of them invalidating the cache first so the re-audit
+	// and interactive paths collide on fresh engine runs, not cache hits.
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < submits; i++ {
+				target := targets[(s+i)%len(targets)]
+				if i%2 == 0 {
+					svc.Invalidate(target)
+				}
+				snap, err := svc.Submit(auditd.JobSpec{Target: target, Priority: 10})
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d: %w", s, err)
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				snap, err = svc.Await(ctx, snap.ID)
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d await: %w", s, err)
+					return
+				}
+				if snap.State != auditd.StateDone {
+					errs <- fmt.Errorf("submitter %d: job %s ended %s: %s", s, snap.ID, snap.State, snap.Err)
+					return
+				}
+			}
+		}(s)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for _, target := range targets {
+		status, ok := mon.Status(target)
+		if !ok {
+			t.Fatalf("watch %s vanished", target)
+		}
+		if status.Rounds == 0 {
+			t.Errorf("watch %s completed no rounds despite %d ticks", target, ticks)
+		}
+	}
+}

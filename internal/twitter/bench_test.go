@@ -1,9 +1,12 @@
 package twitter
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"fakeproject/internal/benchjson"
 	"fakeproject/internal/simclock"
 )
 
@@ -93,4 +96,163 @@ func BenchmarkSynthTimeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCreateUserPostGrow is the Grow contract as a benchmark: with
+// capacity split across shards up front, the population build hot path must
+// run allocation-free (b.ReportAllocs makes the 0 allocs/op visible).
+func BenchmarkCreateUserPostGrow(b *testing.B) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1)
+	store.Grow(b.N)
+	params := UserParams{CreatedAt: simclock.Epoch, Statuses: 10, Friends: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.MustCreateUser(params)
+	}
+}
+
+// buildMixedStore assembles the parallel-mixed fixture: `targets` accounts
+// with materialised follower lists (seeded with initial edges) plus a pool
+// of plain accounts serving as followers and profile-read subjects.
+func buildMixedStore(tb testing.TB, shards, targets, accounts, seedEdges int) *Store {
+	tb.Helper()
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1, WithShards(shards))
+	store.Grow(accounts)
+	params := UserParams{
+		CreatedAt: simclock.Epoch.AddDate(-2, 0, 0),
+		LastTweet: simclock.Epoch.AddDate(0, 0, -3),
+		Statuses:  120, Friends: 200, Followers: 90,
+		Bio:      true,
+		Behavior: Behavior{RetweetRatio: 0.2, LinkRatio: 0.3},
+	}
+	for i := 0; i < accounts; i++ {
+		store.MustCreateUser(params)
+	}
+	at := simclock.Epoch.AddDate(-1, 0, 0)
+	for t := 0; t < targets; t++ {
+		target := UserID(t + 1)
+		for e := 0; e < seedEdges; e++ {
+			follower := UserID(targets + 1 + (t*seedEdges+e)%(accounts-targets))
+			if err := store.AddFollower(target, follower, at); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return store
+}
+
+// benchmarkParallelMixed measures mixed read/write throughput under
+// contention: `workers` goroutines split b.N ops — 50% follower pages, 20%
+// profile lookups, 10% timeline synthesis, 20% follower appends — across 64
+// targets. Uniform skew spreads ops over all targets (every shard active);
+// hot skew sends 90% of ops to one target, the celebrity-audit worst case
+// where striping can only help the bystanders. The shards=1 variants ARE
+// the pre-striping store (one RWMutex for everything) and serve as the
+// baseline the striped variants are compared against.
+func benchmarkParallelMixed(b *testing.B, shards, workers int, hot bool) {
+	const (
+		targets   = 64
+		accounts  = 8192
+		seedEdges = 300
+	)
+	store := buildMixedStore(b, shards, targets, accounts, seedEdges)
+	at := store.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w < b.N%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+			for i := 0; i < n; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				r := rng >> 33
+				target := UserID(1 + r%targets)
+				if hot && r%10 < 9 {
+					target = 1
+				}
+				switch op := (r >> 8) % 10; {
+				case op < 5: // follower page
+					if _, err := store.FollowersPage(target, SeqNewest, 100); err != nil {
+						b.Error(err)
+						return
+					}
+				case op < 7: // profile materialisation
+					if _, err := store.Profile(UserID(1 + (r>>12)%accounts)); err != nil {
+						b.Error(err)
+						return
+					}
+				case op < 8: // synthetic timeline
+					if _, err := store.Timeline(UserID(1+targets+(r>>12)%(accounts-targets)), 10); err != nil {
+						b.Error(err)
+						return
+					}
+				default: // follower append (20% writes)
+					follower := UserID(1 + targets + (r>>12)%(accounts-targets))
+					if err := store.AddFollower(target, follower, at); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelMixed is the striping contention suite. Compare
+// shards=1 (the pre-shard global-lock store) against shards=16 at the same
+// goroutine count:
+//
+//	go test ./internal/twitter -bench ParallelMixed -cpu 8
+func BenchmarkParallelMixed(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		for _, skew := range []string{"uniform", "hot"} {
+			for _, workers := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("shards=%d/skew=%s/goroutines=%d", shards, skew, workers), func(b *testing.B) {
+					benchmarkParallelMixed(b, shards, workers, skew == "hot")
+				})
+			}
+		}
+	}
+}
+
+// TestBenchJSON emits BENCH_twitter.json with the striping suite's numbers
+// when BENCH_JSON=<dir> is set (the CI bench step):
+//
+//	BENCH_JSON=. go test ./internal/twitter -run BenchJSON
+//
+// The shards=1 rows are the pre-shard baseline; the speedup criterion for
+// the striped store is ParallelMixed uniform @8 goroutines, shards=16 vs
+// shards=1.
+func TestBenchJSON(t *testing.T) {
+	if !benchjson.Enabled() {
+		t.Skipf("set %s=<dir> to emit benchmark JSON", benchjson.EnvVar)
+	}
+	results := []benchjson.Result{
+		benchjson.Measure("CreateUserPostGrow", BenchmarkCreateUserPostGrow),
+		benchjson.Measure("FollowersPage/followers=50000", BenchmarkFollowersPage),
+	}
+	for _, shards := range []int{1, DefaultShards} {
+		for _, skew := range []string{"uniform", "hot"} {
+			for _, workers := range []int{1, 4, 8} {
+				shards, skew, workers := shards, skew, workers
+				results = append(results, benchjson.Measure(
+					fmt.Sprintf("ParallelMixed/shards=%d/skew=%s/goroutines=%d", shards, skew, workers),
+					func(b *testing.B) { benchmarkParallelMixed(b, shards, workers, skew == "hot") },
+				))
+			}
+		}
+	}
+	path, err := benchjson.Write("twitter", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
 }

@@ -1,0 +1,284 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// TestShardedStoreMatchesReference is the core differential proof: randomized
+// op streams replayed against the lock-striped store and the single-lock
+// reference model must agree on every op result and every observation. Each
+// fixed seed pairs with a different shard count so striping itself varies.
+func TestShardedStoreMatchesReference(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		shards int
+	}{
+		{seed: 1, shards: 1},
+		{seed: 2, shards: 2},
+		{seed: 3, shards: 8},
+		{seed: 4, shards: 16},
+		{seed: 5, shards: 7}, // non-power-of-two
+	}
+	if testing.Short() {
+		// The CI race job runs short mode; three seeds at full stream
+		// length keep the 10k-ops-per-seed guarantee within its budget.
+		cases = cases[:3]
+	}
+	const n = 10_000
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", tc.seed, tc.shards), func(t *testing.T) {
+			RunDiff(t, RunConfig{
+				Seed: tc.seed,
+				MakeA: func() Applier {
+					return NewStoreApplier(99, twitter.WithShards(tc.shards))
+				},
+				MakeB: func() Applier {
+					return NewRef(simclock.NewVirtualAtEpoch())
+				},
+				Logical: true,
+			}, n)
+		})
+	}
+}
+
+// TestShardCountTransparency replays the same streams against two sharded
+// stores with different shard counts and compares FULL observations:
+// synthesised screen names, bios, synthetic timelines — and snapshot bytes,
+// which must be identical regardless of shard layout (the v4 canonical-
+// encoding guarantee).
+func TestShardCountTransparency(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		a, b int
+	}{
+		{seed: 11, a: 1, b: 16},
+		{seed: 12, a: 2, b: 5},
+		{seed: 13, a: 8, b: 3},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	const n = 10_000
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/%dv%d", tc.seed, tc.a, tc.b), func(t *testing.T) {
+			RunDiff(t, RunConfig{
+				Seed: tc.seed,
+				// Identical store seed on both sides: synthesis must match.
+				MakeA: func() Applier { return NewStoreApplier(42, twitter.WithShards(tc.a)) },
+				MakeB: func() Applier { return NewStoreApplier(42, twitter.WithShards(tc.b)) },
+			}, n)
+		})
+	}
+}
+
+// buggyPager corrupts pagination anchors — an injected bug the harness must
+// catch and shrink, proving the differential loop actually has teeth.
+type buggyPager struct {
+	*StoreApplier
+}
+
+func (b buggyPager) FollowersPage(target twitter.UserID, fromSeq uint64, limit int) (twitter.FollowerPage, error) {
+	page, err := b.StoreApplier.FollowersPage(target, fromSeq, limit)
+	if err == nil && page.NextSeq > 1 {
+		page.NextSeq-- // skew every non-final anchor
+	}
+	return page, err
+}
+
+func TestHarnessCatchesInjectedBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness self-test with full shrink; run in the long tier")
+	}
+	cfg := RunConfig{
+		Seed:  77,
+		Ops:   Generate(77, 4000),
+		MakeA: func() Applier { return NewStoreApplier(1, twitter.WithShards(8)) },
+		MakeB: func() Applier { return buggyPager{NewStoreApplier(1, twitter.WithShards(8))} },
+	}
+	mis := RunOnce(cfg)
+	if mis == nil {
+		t.Fatal("harness did not catch a corrupted pagination anchor")
+	}
+	shrunk := Shrink(cfg.Ops, func(ops []Op) bool {
+		c := cfg
+		c.Ops = ops
+		return RunOnce(c) != nil
+	})
+	if len(shrunk) == 0 || len(shrunk) >= len(cfg.Ops)/10 {
+		t.Fatalf("shrink ineffective: %d ops from %d", len(shrunk), len(cfg.Ops))
+	}
+	c := cfg
+	c.Ops = shrunk
+	if RunOnce(c) == nil {
+		t.Fatal("shrunk stream no longer reproduces the mismatch")
+	}
+	t.Logf("injected bug caught (%s) and shrunk %d -> %d ops", mis, len(cfg.Ops), len(shrunk))
+}
+
+// genTargetStream builds a per-target op stream (no creates, no tweets —
+// ops whose results stay deterministic when streams for different targets
+// interleave) with per-target monotone event times.
+func genTargetStream(seed int64, target twitter.UserID, users, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	now := simclock.Epoch
+	advance := func() time.Time {
+		now = now.Add(time.Duration(1+rng.Intn(120)) * time.Second)
+		return now
+	}
+	follower := func() twitter.UserID { return twitter.UserID(1 + rng.Intn(users)) }
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch roll := rng.Intn(100); {
+		case roll < 55:
+			ops = append(ops, Op{Kind: OpFollow, Target: target, Follower: follower(), At: advance()})
+		case roll < 65:
+			ops = append(ops, Op{Kind: OpUnfollow, Target: target, Follower: follower(), At: advance()})
+		case roll < 75:
+			batch := make([]twitter.UserID, 1+rng.Intn(8))
+			for i := range batch {
+				batch[i] = follower()
+			}
+			ops = append(ops, Op{Kind: OpPurge, Target: target, Purge: batch, At: advance()})
+		default:
+			op := Op{Kind: OpPage, Target: target, FromSeq: twitter.SeqNewest, Limit: 1 + rng.Intn(30)}
+			if rng.Intn(4) == 0 {
+				op.FromSeq = rng.Uint64() % 500
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// TestConcurrentPerShardWriters is the -race leg of the differential proof:
+// 8 goroutines drive disjoint target sets on ONE sharded store (targets
+// spread across all shards, followers read cross-shard) while a chaos
+// reader hammers batch profiles and snapshots. Per-target streams commute,
+// so every op result and the final observable state must match a sequential
+// replay into the reference model.
+func TestConcurrentPerShardWriters(t *testing.T) {
+	const (
+		users      = 160
+		numTargets = 16
+		shards     = 8
+		workers    = 8
+	)
+	perTarget := 400
+	if testing.Short() {
+		perTarget = 150
+	}
+	store := NewStoreApplier(21, twitter.WithShards(shards))
+	ref := NewRef(simclock.NewVirtualAtEpoch())
+	for i := 0; i < users; i++ {
+		p := twitter.UserParams{
+			CreatedAt: simclock.Epoch.AddDate(0, 0, -2-i%90),
+			Statuses:  i % 40,
+			Followers: i * 3 % 97,
+			Bio:       i%2 == 0,
+			Class:     twitter.Class(1 + i%3),
+		}
+		ida, errA := store.CreateUser(p)
+		idb, errB := ref.CreateUser(p)
+		if errA != nil || errB != nil || ida != idb {
+			t.Fatalf("create %d: %v/%v %d/%d", i, errA, errB, ida, idb)
+		}
+	}
+	streams := make([][]Op, numTargets)
+	for ti := range streams {
+		streams[ti] = genTargetStream(int64(1000+ti), twitter.UserID(ti+1), users, perTarget)
+	}
+
+	results := make([][]Result, numTargets)
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for ti := w; ti < numTargets; ti += workers {
+				res := make([]Result, len(streams[ti]))
+				for j, op := range streams[ti] {
+					res[j] = Apply(store, op)
+				}
+				results[ti] = res
+			}
+		}(w)
+	}
+	// Chaos reader: cross-shard batch reads and full-store snapshots racing
+	// the writers. Results are not compared (they depend on interleaving);
+	// the point is that they are race-free and never error.
+	done := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		probe := make([]twitter.UserID, 0, users)
+		for id := twitter.UserID(1); int(id) <= users; id++ {
+			probe = append(probe, id)
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if got := store.Profiles(probe); len(got) != users {
+				t.Errorf("batch profiles: %d of %d", len(got), users)
+				return
+			}
+			if i%8 == 0 {
+				if err := store.Store().WriteSnapshot(io.Discard); err != nil {
+					t.Errorf("snapshot under load: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	writersDone := make(chan struct{})
+	go func() {
+		writers.Wait()
+		close(writersDone)
+	}()
+	select {
+	case <-writersDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("concurrent writers did not finish")
+	}
+	close(done)
+	chaos.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Sequential replay into the reference model must reproduce every
+	// result the concurrent run observed.
+	for ti := range streams {
+		for j, op := range streams[ti] {
+			rb := Apply(ref, op)
+			if !reflect.DeepEqual(results[ti][j], rb) {
+				t.Fatalf("target %d op %d (%s): concurrent %+v vs sequential %+v", ti+1, j, op, results[ti][j], rb)
+			}
+		}
+	}
+	ocfg := ObserveConfig{}
+	oa, errA := Observe(store, ocfg)
+	ob, errB := Observe(ref, ocfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("observe: %v / %v", errA, errB)
+	}
+	Normalize(&oa, nil)
+	Normalize(&ob, nil)
+	if d := DiffObservations(oa, ob); d != "" {
+		t.Fatalf("final state diverged: %s", d)
+	}
+}

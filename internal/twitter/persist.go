@@ -6,9 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
-	"fakeproject/internal/drand"
 	"fakeproject/internal/simclock"
 )
 
@@ -28,13 +28,22 @@ func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 //	3: adds per-edge sequence numbers (persistFollow.Seq) and the
 //	   per-target seq counter (persistTarget.SeqCounter), the anchors
 //	   churn-proof pagination resumes from
+//	4: canonical encoding, introduced with the lock-striped store. Explicit
+//	   names move from a gob map (iteration-order dependent bytes) to a
+//	   slice sorted by ID, and targets are emitted sorted by ID instead of
+//	   in map order. Two stores holding the same logical state produce
+//	   byte-identical snapshots regardless of their shard counts — the
+//	   property the differential harness asserts.
 //
 // Writers always emit the current version; readers accept every version
 // back to 1 — gob leaves fields absent from old streams at their zero
 // values, so a pre-churn snapshot simply loads with empty removal logs,
-// and a pre-seq snapshot gets dense seqs (1..n) reassigned to its live
-// edges on load.
-const snapshotVersion = 3
+// a pre-seq snapshot gets dense seqs (1..n) reassigned to its live edges
+// on load, and a pre-canonical snapshot carries its names in the legacy
+// map field. The on-disk layout never encodes the shard count: any
+// snapshot loads into a store with any shard count, and the reader
+// redistributes records, names and targets into the configured shards.
+const snapshotVersion = 4
 
 // minSnapshotVersion is the oldest version ReadSnapshot still understands.
 const minSnapshotVersion = 1
@@ -92,13 +101,26 @@ type persistTarget struct {
 	SeqCounter uint64
 }
 
+// persistName is one explicit screen-name registration (version >= 4).
+type persistName struct {
+	ID   int64
+	Name string
+}
+
 type snapshot struct {
 	Version  int
 	NameSeed uint64
 	TweetSeq int64
 	Records  []persistRecord
-	Names    map[int64]string
-	Targets  []persistTarget
+	// Names carries explicit screen names in streams up to version 3.
+	// gob encodes maps in iteration order, so this field made snapshot
+	// bytes nondeterministic; v4 streams leave it nil.
+	Names map[int64]string
+	// NameList carries explicit screen names sorted by ID (version >= 4).
+	NameList []persistName
+	// Targets is sorted by ID in version >= 4 streams; older streams may
+	// carry any order and the reader accepts both.
+	Targets []persistTarget
 	// ClockUnix is the store clock's position at snapshot time (version
 	// >= 2; 0 in v1 streams). An evolved population's edge timestamps run
 	// up to this instant, so a reader must resume at or after it for
@@ -106,20 +128,28 @@ type snapshot struct {
 	ClockUnix int64
 }
 
-// WriteSnapshot serialises the full store state.
+// WriteSnapshot serialises the full store state. Creation is quiesced and
+// every shard is read-locked (in index order) for the duration, so the
+// snapshot is a consistent cut. The encoding is canonical: records, names
+// and targets are emitted in ascending ID order, never in shard or map
+// order, so equal logical state yields equal bytes for any shard count.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	s.rlockAll()
+	defer s.runlockAll()
 
+	n := int(s.users.Load())
 	snap := snapshot{
 		Version:   snapshotVersion,
 		NameSeed:  s.nameSeed.Seed(),
-		TweetSeq:  int64(s.tweetSeq),
-		Records:   make([]persistRecord, len(s.recs)),
-		Names:     make(map[int64]string, len(s.names)),
+		TweetSeq:  s.tweetSeq.Load(),
+		Records:   make([]persistRecord, n),
 		ClockUnix: s.clock.Now().Unix(),
 	}
-	for i, r := range s.recs {
+	for i := 0; i < n; i++ {
+		id := UserID(i + 1)
+		r := &s.shardFor(id).recs[s.slotFor(id)]
 		snap.Records[i] = persistRecord{
 			CreatedAt:   r.createdAt,
 			LastTweetAt: r.lastTweetAt,
@@ -135,43 +165,49 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			DupPct:      r.dupPct,
 		}
 	}
-	for id, name := range s.names {
-		snap.Names[int64(id)] = name
+	for si := range s.shards {
+		for id, name := range s.shards[si].names {
+			snap.NameList = append(snap.NameList, persistName{ID: int64(id), Name: name})
+		}
 	}
-	for id, td := range s.targets {
-		pt := persistTarget{ID: int64(id), SeqCounter: td.seq}
-		pt.Follows = make([]persistFollow, len(td.follows))
-		for i, f := range td.follows {
-			pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
-		}
-		pt.Tweets = make([]persistTweet, len(td.tweets))
-		for i, tw := range td.tweets {
-			pt.Tweets[i] = persistTweet{
-				ID:        int64(tw.ID),
-				CreatedAt: tw.CreatedAt.Unix(),
-				Text:      tw.Text,
-				IsRetweet: tw.IsRetweet,
-				HasLink:   tw.HasLink,
-				IsReply:   tw.IsReply,
-				Mentions:  int32(tw.Mentions),
-				Hashtags:  int32(tw.Hashtags),
-				Source:    tw.Source,
+	sort.Slice(snap.NameList, func(i, j int) bool { return snap.NameList[i].ID < snap.NameList[j].ID })
+	for si := range s.shards {
+		for id, td := range s.shards[si].targets {
+			pt := persistTarget{ID: int64(id), SeqCounter: td.seq}
+			pt.Follows = make([]persistFollow, len(td.follows))
+			for i, f := range td.follows {
+				pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
 			}
-		}
-		if td.friends != nil {
-			pt.Friends = make([]int64, len(td.friends))
-			for i, f := range td.friends {
-				pt.Friends[i] = int64(f)
+			pt.Tweets = make([]persistTweet, len(td.tweets))
+			for i, tw := range td.tweets {
+				pt.Tweets[i] = persistTweet{
+					ID:        int64(tw.ID),
+					CreatedAt: tw.CreatedAt.Unix(),
+					Text:      tw.Text,
+					IsRetweet: tw.IsRetweet,
+					HasLink:   tw.HasLink,
+					IsReply:   tw.IsReply,
+					Mentions:  int32(tw.Mentions),
+					Hashtags:  int32(tw.Hashtags),
+					Source:    tw.Source,
+				}
 			}
-		}
-		if len(td.removed) > 0 {
-			pt.Removed = make([]persistFollow, len(td.removed))
-			for i, f := range td.removed {
-				pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
+			if td.friends != nil {
+				pt.Friends = make([]int64, len(td.friends))
+				for i, f := range td.friends {
+					pt.Friends[i] = int64(f)
+				}
 			}
+			if len(td.removed) > 0 {
+				pt.Removed = make([]persistFollow, len(td.removed))
+				for i, f := range td.removed {
+					pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
+				}
+			}
+			snap.Targets = append(snap.Targets, pt)
 		}
-		snap.Targets = append(snap.Targets, pt)
 	}
+	sort.Slice(snap.Targets, func(i, j int) bool { return snap.Targets[i].ID < snap.Targets[j].ID })
 
 	bw := bufio.NewWriter(w)
 	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
@@ -184,7 +220,11 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 // clock. A virtual clock lagging behind the snapshot's recorded position
 // is advanced to it, so an evolved population resumes where it left off
 // instead of rejecting further growth/churn as non-monotonic.
-func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
+//
+// Options configure the reconstructed store exactly as for NewStore; the
+// snapshot itself is shard-layout free, so a population written by a store
+// with one shard count loads into a store with any other.
+func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -200,17 +240,14 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 			}
 		}
 	}
-	store := &Store{
-		clock:    clock,
-		nameSeed: drand.New(snap.NameSeed),
-		recs:     make([]record, len(snap.Records)),
-		names:    make(map[UserID]string, len(snap.Names)),
-		byName:   make(map[string]UserID, len(snap.Names)),
-		targets:  make(map[UserID]*targetData, len(snap.Targets)),
-		tweetSeq: TweetID(snap.TweetSeq),
-	}
+	store := NewStore(clock, snap.NameSeed, opts...)
+	store.tweetSeq.Store(snap.TweetSeq)
+	// Redistribute records into the configured shards. IDs ascend, so each
+	// shard's segment is filled in slot order by plain appends.
 	for i, pr := range snap.Records {
-		store.recs[i] = record{
+		id := UserID(i + 1)
+		sh := store.shardFor(id)
+		sh.recs = append(sh.recs, record{
 			createdAt:   pr.CreatedAt,
 			lastTweetAt: pr.LastTweetAt,
 			statuses:    pr.Statuses,
@@ -223,28 +260,43 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 			linkPct:     pr.LinkPct,
 			spamPct:     pr.SpamPct,
 			dupPct:      pr.DupPct,
+		})
+	}
+	store.users.Store(int64(len(snap.Records)))
+	names := snap.NameList
+	if snap.Version < 4 {
+		names = names[:0]
+		for id, name := range snap.Names {
+			names = append(names, persistName{ID: id, Name: name})
 		}
 	}
-	for id, name := range snap.Names {
-		uid := UserID(id)
-		if id < 1 || int(id) > len(store.recs) {
-			return nil, fmt.Errorf("%w: name %q for unknown user %d", ErrBadSnapshot, name, id)
+	for _, pn := range names {
+		id := UserID(pn.ID)
+		if pn.ID < 1 || int(pn.ID) > len(snap.Records) {
+			return nil, fmt.Errorf("%w: name %q for unknown user %d", ErrBadSnapshot, pn.Name, pn.ID)
 		}
-		if _, dup := store.byName[name]; dup {
-			return nil, fmt.Errorf("%w: duplicate name %q", ErrBadSnapshot, name)
+		sh := store.shardFor(id)
+		if _, dup := sh.names[id]; dup {
+			// Impossible in legacy map streams (map keys are unique) but a
+			// real corruption class for the v4 list encoding.
+			return nil, fmt.Errorf("%w: user %d named twice", ErrBadSnapshot, pn.ID)
 		}
-		store.names[uid] = name
-		store.byName[name] = uid
+		stripe := store.stripeFor(pn.Name)
+		if _, dup := stripe.byName[pn.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate name %q", ErrBadSnapshot, pn.Name)
+		}
+		sh.names[id] = pn.Name
+		stripe.byName[pn.Name] = id
 	}
 	for _, pt := range snap.Targets {
-		if pt.ID < 1 || int(pt.ID) > len(store.recs) {
+		if pt.ID < 1 || int(pt.ID) > len(snap.Records) {
 			return nil, fmt.Errorf("%w: target %d out of range", ErrBadSnapshot, pt.ID)
 		}
 		td := &targetData{}
 		var prev int64
 		var prevSeq uint64
 		for i, pf := range pt.Follows {
-			if pf.Follower < 1 || int(pf.Follower) > len(store.recs) {
+			if pf.Follower < 1 || int(pf.Follower) > len(snap.Records) {
 				return nil, fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, pf.Follower)
 			}
 			if pf.At < prev {
@@ -293,7 +345,7 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 		}
 		var prevRemoved int64
 		for _, pf := range pt.Removed {
-			if pf.Follower < 1 || int(pf.Follower) > len(store.recs) {
+			if pf.Follower < 1 || int(pf.Follower) > len(snap.Records) {
 				return nil, fmt.Errorf("%w: removed follower %d out of range", ErrBadSnapshot, pf.Follower)
 			}
 			if pf.At < prevRemoved {
@@ -309,7 +361,7 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock) (*Store, error) {
 				Seq:      pf.Seq,
 			})
 		}
-		store.targets[UserID(pt.ID)] = td
+		store.shardFor(UserID(pt.ID)).targets[UserID(pt.ID)] = td
 	}
 	return store, nil
 }

@@ -439,3 +439,139 @@ func TestSnapshotEmptyStore(t *testing.T) {
 		t.Fatalf("count = %d", loaded.UserCount())
 	}
 }
+
+// buildRichStoreSharded is buildRichStore with an explicit shard count,
+// including churn so removal logs are covered.
+func buildRichStoreSharded(t *testing.T, shards int) (*Store, UserID) {
+	t.Helper()
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 99, WithShards(shards))
+	target := store.MustCreateUser(UserParams{
+		ScreenName: "target",
+		CreatedAt:  simclock.Epoch.AddDate(-2, 0, 0),
+	})
+	at := simclock.Epoch.AddDate(-1, 0, 0)
+	for i := 0; i < 200; i++ {
+		params := UserParams{
+			CreatedAt: simclock.Epoch.AddDate(-3, 0, 0),
+			LastTweet: simclock.Epoch.AddDate(0, 0, -10),
+			Statuses:  50, Friends: 20, Followers: 30,
+			Bio:      i%2 == 0,
+			Class:    ClassFake,
+			Behavior: Behavior{RetweetRatio: 0.3},
+		}
+		if i%10 == 0 {
+			params.ScreenName = "member" + string(rune('a'+i/10))
+		}
+		id := store.MustCreateUser(params)
+		if err := store.AddFollower(target, id, at); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Minute)
+	}
+	if _, err := store.AppendTweet(target, Tweet{CreatedAt: simclock.Epoch, Text: "t", Source: "web"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.RemoveFollowers(target, []UserID{5, 9, 33}, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+	return store, target
+}
+
+// TestSnapshotBytesShardCountIndependent is the v4 canonical-encoding
+// guarantee: the same logical state serialises to the same bytes no matter
+// how many shards the store uses, and repeated writes are byte-stable (no
+// map-iteration-order leakage).
+func TestSnapshotBytesShardCountIndependent(t *testing.T) {
+	var golden []byte
+	for _, shards := range []int{1, 3, 16} {
+		store, _ := buildRichStoreSharded(t, shards)
+		var first, second bytes.Buffer
+		if err := store.WriteSnapshot(&first); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WriteSnapshot(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("shards=%d: two writes of the same store differ", shards)
+		}
+		if golden == nil {
+			golden = first.Bytes()
+		} else if !bytes.Equal(golden, first.Bytes()) {
+			t.Fatalf("shards=%d: snapshot bytes differ from shards=1 encoding", shards)
+		}
+	}
+}
+
+// TestSnapshotLoadsAcrossShardCounts proves the format is shard-layout
+// free: a snapshot written by a 16-shard store loads into 1- and 5-shard
+// stores with identical observables, and reserialises to identical bytes.
+func TestSnapshotLoadsAcrossShardCounts(t *testing.T) {
+	store, target := buildRichStoreSharded(t, 16)
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, shards := range []int{1, 5} {
+		loaded, err := ReadSnapshot(bytes.NewReader(raw), simclock.NewVirtualAtEpoch(), WithShards(shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if loaded.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", loaded.Shards(), shards)
+		}
+		if loaded.UserCount() != store.UserCount() {
+			t.Fatalf("shards=%d: user count %d vs %d", shards, loaded.UserCount(), store.UserCount())
+		}
+		for id := UserID(1); int(id) <= store.UserCount(); id++ {
+			pa, err1 := store.Profile(id)
+			pb, err2 := loaded.Profile(id)
+			if err1 != nil || err2 != nil || pa != pb {
+				t.Fatalf("shards=%d: profile %d differs (%v, %v)", shards, id, err1, err2)
+			}
+		}
+		if id, err := loaded.LookupName("membera"); err != nil || id != 2 {
+			t.Fatalf("shards=%d: LookupName = %d, %v", shards, id, err)
+		}
+		ea, _ := store.FollowEdges(target)
+		eb, _ := loaded.FollowEdges(target)
+		if len(ea) != len(eb) {
+			t.Fatalf("shards=%d: edge counts differ", shards)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("shards=%d: edge %d differs", shards, i)
+			}
+		}
+		var again bytes.Buffer
+		if err := loaded.WriteSnapshot(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, again.Bytes()) {
+			t.Fatalf("shards=%d: reserialised snapshot differs from original bytes", shards)
+		}
+	}
+}
+
+// TestSnapshotRejectsDuplicateNameListIDs covers the corruption class the
+// v4 list encoding makes possible (the legacy map's keys were structurally
+// unique): one user carrying two explicit names must fail loading, not
+// silently overwrite.
+func TestSnapshotRejectsDuplicateNameListIDs(t *testing.T) {
+	snap := snapshot{
+		Version:  4,
+		NameSeed: 1,
+		Records:  make([]persistRecord, 3),
+		NameList: []persistName{{ID: 2, Name: "a"}, {ID: 2, Name: "b"}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadSnapshot(&buf, simclock.NewVirtualAtEpoch())
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("duplicate NameList IDs loaded: %v", err)
+	}
+}

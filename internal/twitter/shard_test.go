@@ -1,0 +1,114 @@
+package twitter
+
+import (
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+// TestShardPlacement pins the ownership arithmetic: dense IDs round-robin
+// across shards, each shard's record segment filling in slot order.
+func TestShardPlacement(t *testing.T) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1, WithShards(4))
+	for i := 0; i < 13; i++ {
+		store.MustCreateUser(UserParams{CreatedAt: simclock.Epoch})
+	}
+	wantLens := []int{4, 3, 3, 3} // ids 1,5,9,13 / 2,6,10 / 3,7,11 / 4,8,12
+	for si := range store.shards {
+		if got := len(store.shards[si].recs); got != wantLens[si] {
+			t.Errorf("shard %d holds %d records, want %d", si, got, wantLens[si])
+		}
+	}
+	for id := UserID(1); id <= 13; id++ {
+		sh := store.shardFor(id)
+		if sh != &store.shards[(int(id)-1)%4] {
+			t.Errorf("id %d mapped to wrong shard", id)
+		}
+		if got := store.slotFor(id); got != (int(id)-1)/4 {
+			t.Errorf("id %d slot %d, want %d", id, got, (int(id)-1)/4)
+		}
+	}
+}
+
+// TestWithShardsFloor ensures degenerate shard counts clamp to one shard
+// rather than panicking on modulo-by-zero.
+func TestWithShardsFloor(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		store := NewStore(simclock.NewVirtualAtEpoch(), 1, WithShards(n))
+		if store.Shards() < 1 {
+			t.Fatalf("WithShards(%d) produced %d shards", n, store.Shards())
+		}
+		store.MustCreateUser(UserParams{})
+		if store.UserCount() != 1 {
+			t.Fatalf("WithShards(%d): store unusable", n)
+		}
+	}
+}
+
+// TestProfilesRegroupedAcrossShards drives the batch path with inputs that
+// interleave shards, repeat IDs and include unknowns: output must follow
+// input order with unknowns silently dropped, exactly like the per-ID path.
+func TestProfilesRegroupedAcrossShards(t *testing.T) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 7, WithShards(4))
+	for i := 0; i < 40; i++ {
+		store.MustCreateUser(UserParams{CreatedAt: simclock.Epoch, Statuses: i})
+	}
+	ids := []UserID{40, 1, 999, 17, 17, -2, 4, 0, 23, 8}
+	got := store.Profiles(ids)
+	want := []UserID{40, 1, 17, 17, 4, 23, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %d profiles, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.ID != want[i] {
+			t.Errorf("profile %d: ID %d, want %d", i, p.ID, want[i])
+		}
+		single, err := store.Profile(want[i])
+		if err != nil || single != p {
+			t.Errorf("batch profile %d differs from single lookup", want[i])
+		}
+	}
+	counts := store.ClassCounts(ids)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(want) {
+		t.Errorf("ClassCounts tallied %d accounts, want %d", total, len(want))
+	}
+}
+
+// TestGrowPreSizesShards is the Grow fix's contract: after Grow(n), n
+// account creations perform zero allocations per call in every shard —
+// capacity was split across shards, not reserved in one global slab.
+func TestGrowPreSizesShards(t *testing.T) {
+	for _, shards := range []int{1, 5, 16} {
+		store := NewStore(simclock.NewVirtualAtEpoch(), 1, WithShards(shards))
+		const n = 5000
+		store.Grow(n + 100)
+		params := UserParams{
+			CreatedAt: simclock.Epoch,
+			LastTweet: simclock.Epoch.Add(-time.Hour),
+			Statuses:  10, Friends: 100, Followers: 50,
+			Bio: true, Class: ClassGenuine,
+			Behavior: Behavior{RetweetRatio: 0.25},
+		}
+		if avg := testing.AllocsPerRun(n, func() {
+			store.MustCreateUser(params)
+		}); avg != 0 {
+			t.Errorf("shards=%d: CreateUser after Grow allocates %.2f times per call, want 0", shards, avg)
+		}
+	}
+}
+
+// TestGrowNonPositive ensures Grow tolerates the degenerate sizes callers
+// produce (empty populations, already-counted remainders).
+func TestGrowNonPositive(t *testing.T) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1)
+	store.Grow(0)
+	store.Grow(-5)
+	if id := store.MustCreateUser(UserParams{}); id != 1 {
+		t.Fatalf("id = %d", id)
+	}
+}

@@ -12,6 +12,11 @@
 //     and their screen names, bios and timelines are synthesised
 //     deterministically from a per-user seed on demand.
 //  3. Everything is reproducible from a single root seed and a virtual clock.
+//  4. The store is lock-striped (see shard.go): state is sharded by account
+//     ID so concurrent audits of different targets never serialise on a
+//     global lock. Operations on a single account take one shard lock;
+//     batch paths regroup their inputs per shard; snapshots lock all shards
+//     in index order.
 //
 // The ground-truth archetype of every account (genuine / inactive / fake) is
 // retained in the store but deliberately NOT exposed through the API layer:
@@ -24,10 +29,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
-	"fakeproject/internal/drand"
 	"fakeproject/internal/simclock"
 )
 
@@ -227,41 +230,6 @@ type UserParams struct {
 	Behavior            Behavior
 }
 
-// Store is the platform state. It is safe for concurrent use.
-type Store struct {
-	mu       sync.RWMutex
-	clock    simclock.Clock
-	nameSeed *drand.Source
-	recs     []record // recs[i] holds UserID(i+1)
-	names    map[UserID]string
-	byName   map[string]UserID
-	targets  map[UserID]*targetData
-	tweetSeq TweetID
-}
-
-// NewStore creates an empty platform using the given clock and root seed
-// (the seed drives name/bio/timeline synthesis).
-func NewStore(clock simclock.Clock, seed uint64) *Store {
-	return &Store{
-		clock:    clock,
-		nameSeed: drand.New(seed),
-		names:    make(map[UserID]string),
-		byName:   make(map[string]UserID),
-		targets:  make(map[UserID]*targetData),
-	}
-}
-
-// Grow pre-allocates capacity for n additional accounts.
-func (s *Store) Grow(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if need := len(s.recs) + n; need > cap(s.recs) {
-		recs := make([]record, len(s.recs), need)
-		copy(recs, s.recs)
-		s.recs = recs
-	}
-}
-
 // ErrUnknownUser reports an operation on a user ID that does not exist.
 var ErrUnknownUser = errors.New("twitter: unknown user")
 
@@ -286,11 +254,10 @@ func pct(f float64) uint8 {
 	return uint8(f*100 + 0.5)
 }
 
-// CreateUser adds an account and returns its ID.
+// CreateUser adds an account and returns its ID. A failed creation (duplicate
+// explicit name) consumes no ID: the name is checked before allocation, so
+// IDs stay dense.
 func (s *Store) CreateUser(p UserParams) (UserID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := UserID(len(s.recs) + 1)
 	var flags uint8
 	if p.DefaultProfileImage {
 		flags |= flagDefaultImage
@@ -318,6 +285,20 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 	if created.IsZero() {
 		created = s.clock.Now()
 	}
+
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	var stripe *nameStripe
+	if p.ScreenName != "" {
+		stripe = s.stripeFor(p.ScreenName)
+		stripe.mu.RLock()
+		_, dup := stripe.byName[p.ScreenName]
+		stripe.mu.RUnlock()
+		if dup {
+			return 0, fmt.Errorf("%w: %q", ErrDuplicateName, p.ScreenName)
+		}
+	}
+	id := UserID(s.users.Load() + 1)
 	rec := record{
 		createdAt:   created.Unix(),
 		lastTweetAt: lastTweet,
@@ -332,14 +313,23 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 		spamPct:     pct(p.Behavior.SpamRatio),
 		dupPct:      pct(p.Behavior.DuplicateRatio),
 	}
-	s.recs = append(s.recs, rec)
+	// Creation is serialised and IDs are dense, so the owning shard's next
+	// free slot is exactly this ID's slot: a plain append commits it.
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.recs = append(sh.recs, rec)
 	if p.ScreenName != "" {
-		if _, dup := s.byName[p.ScreenName]; dup {
-			s.recs = s.recs[:len(s.recs)-1]
-			return 0, fmt.Errorf("%w: %q", ErrDuplicateName, p.ScreenName)
-		}
-		s.names[id] = p.ScreenName
-		s.byName[p.ScreenName] = id
+		sh.names[id] = p.ScreenName
+	}
+	sh.mu.Unlock()
+	// Publish existence only after the record is committed, and the name
+	// only after that: LookupName never yields an ID whose profile is not
+	// yet readable.
+	s.users.Add(1)
+	if stripe != nil {
+		stripe.mu.Lock()
+		stripe.byName[p.ScreenName] = id
+		stripe.mu.Unlock()
 	}
 	return id, nil
 }
@@ -356,32 +346,26 @@ func (s *Store) MustCreateUser(p UserParams) UserID {
 
 // UserCount returns the number of accounts in the store.
 func (s *Store) UserCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.recs)
-}
-
-func (s *Store) recordOf(id UserID) (*record, error) {
-	if id < 1 || int(id) > len(s.recs) {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
-	}
-	return &s.recs[id-1], nil
+	return int(s.users.Load())
 }
 
 // ScreenName returns the screen name of id, synthesising one if the account
 // was created without an explicit name.
 func (s *Store) ScreenName(id UserID) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.screenNameLocked(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return s.screenNameIn(sh, id)
 }
 
-func (s *Store) screenNameLocked(id UserID) (string, error) {
-	rec, err := s.recordOf(id)
+// screenNameIn resolves id's screen name within its owning shard; the
+// caller must hold sh's lock.
+func (s *Store) screenNameIn(sh *shard, id UserID) (string, error) {
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return "", err
 	}
-	if name, ok := s.names[id]; ok {
+	if name, ok := sh.names[id]; ok {
 		return name, nil
 	}
 	return synthScreenName(uint64(rec.seed)), nil
@@ -390,9 +374,10 @@ func (s *Store) screenNameLocked(id UserID) (string, error) {
 // LookupName resolves an explicit screen name to a user ID.
 // Synthetic (auto-generated) names are not indexed.
 func (s *Store) LookupName(name string) (UserID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.byName[name]
+	stripe := s.stripeFor(name)
+	stripe.mu.RLock()
+	id, ok := stripe.byName[name]
+	stripe.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownName, name)
 	}
@@ -401,9 +386,10 @@ func (s *Store) LookupName(name string) (UserID, error) {
 
 // TrueClass returns the ground-truth archetype of id (evaluation only).
 func (s *Store) TrueClass(id UserID) (Class, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, err := s.recordOf(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return 0, err
 	}
@@ -412,22 +398,27 @@ func (s *Store) TrueClass(id UserID) (Class, error) {
 
 // Profile materialises the full lookup view of an account.
 func (s *Store) Profile(id UserID) (Profile, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.profileLocked(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return s.profileIn(sh, id)
 }
 
-func (s *Store) profileLocked(id UserID) (Profile, error) {
-	rec, err := s.recordOf(id)
+// profileIn materialises id's profile within its owning shard; the caller
+// must hold sh's lock. Everything a profile needs — record, explicit name,
+// materialised follower count — lives in the same shard, so a profile is a
+// single-shard read.
+func (s *Store) profileIn(sh *shard, id UserID) (Profile, error) {
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return Profile{}, err
 	}
-	name, err := s.screenNameLocked(id)
+	name, err := s.screenNameIn(sh, id)
 	if err != nil {
 		return Profile{}, err
 	}
 	followers := int(rec.followers)
-	if td, isTarget := s.targets[id]; isTarget {
+	if td, isTarget := sh.targets[id]; isTarget {
 		followers = len(td.follows)
 	}
 	var lastTweet time.Time
@@ -469,17 +460,30 @@ func (s *Store) profileLocked(id UserID) (Profile, error) {
 
 // Profiles materialises several accounts at once (the users/lookup shape).
 // Unknown IDs are skipped, mirroring the real API's behaviour of silently
-// dropping unknown users from the response.
+// dropping unknown users from the response. The batch is regrouped per
+// shard so each shard lock is taken once, however the input interleaves
+// across shards; output order follows input order regardless.
 func (s *Store) Profiles(ids []UserID) []Profile {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Profile, 0, len(ids))
-	for _, id := range ids {
-		p, err := s.profileLocked(id)
-		if err != nil {
+	profiles := make([]Profile, len(ids))
+	ok := make([]bool, len(ids))
+	for si, group := range s.groupByShard(ids) {
+		if len(group) == 0 {
 			continue
 		}
-		out = append(out, p)
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, i := range group {
+			if p, err := s.profileIn(sh, ids[i]); err == nil {
+				profiles[i], ok[i] = p, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := profiles[:0]
+	for i := range profiles {
+		if ok[i] {
+			out = append(out, profiles[i])
+		}
 	}
 	return out
 }
@@ -487,20 +491,22 @@ func (s *Store) Profiles(ids []UserID) []Profile {
 // AddFollower appends a follow edge (follower -> target) at time at.
 // Edges must arrive in non-decreasing time order; this is the invariant the
 // Section IV-B experiment verifies from the outside.
+//
+// This is the one mutation that touches two accounts; only the target's
+// shard is locked. The follower's existence check is lock-free (accounts
+// are never deleted), so followers landing on different targets in
+// different shards proceed fully in parallel.
 func (s *Store) AddFollower(target, follower UserID, at time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.recordOf(target); err != nil {
+	if err := s.checkExists(target); err != nil {
 		return err
 	}
-	if _, err := s.recordOf(follower); err != nil {
+	if err := s.checkExists(follower); err != nil {
 		return err
 	}
-	td := s.targets[target]
-	if td == nil {
-		td = &targetData{}
-		s.targets[target] = td
-	}
+	sh := s.shardFor(target)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	td := sh.target(target)
 	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
 		return fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
 	}
@@ -512,13 +518,14 @@ func (s *Store) AddFollower(target, follower UserID, at time.Time) error {
 // FollowerCount returns the number of followers of id: the materialised edge
 // count for targets, the synthetic counter otherwise.
 func (s *Store) FollowerCount(id UserID) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, err := s.recordOf(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return 0, err
 	}
-	if td, ok := s.targets[id]; ok {
+	if td, ok := sh.targets[id]; ok {
 		return len(td.follows), nil
 	}
 	return int(rec.followers), nil
@@ -527,12 +534,13 @@ func (s *Store) FollowerCount(id UserID) (int, error) {
 // FollowersChronological returns a copy of the follower IDs of target in
 // follow order (oldest first). Non-target accounts yield an empty list.
 func (s *Store) FollowersChronological(target UserID) ([]UserID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.recordOf(target); err != nil {
+	sh := s.shardFor(target)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, err := s.recordIn(sh, target); err != nil {
 		return nil, err
 	}
-	td := s.targets[target]
+	td := sh.targets[target]
 	if td == nil {
 		return nil, nil
 	}
@@ -583,12 +591,13 @@ type FollowerPage struct {
 // costs O(log n + limit) and copies only the requested window. limit <= 0
 // yields an empty page.
 func (s *Store) FollowersPage(target UserID, fromSeq uint64, limit int) (FollowerPage, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.recordOf(target); err != nil {
+	sh := s.shardFor(target)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, err := s.recordIn(sh, target); err != nil {
 		return FollowerPage{}, err
 	}
-	td := s.targets[target]
+	td := sh.targets[target]
 	if td == nil {
 		return FollowerPage{}, nil
 	}
@@ -627,12 +636,13 @@ func (s *Store) FollowersPage(target UserID, fromSeq uint64, limit int) (Followe
 // follower purges, suspension sweeps. Removal times must be monotonically
 // non-decreasing across calls, mirroring the follow-side invariant.
 func (s *Store) RemoveFollowers(target UserID, followers []UserID, at time.Time) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.recordOf(target); err != nil {
+	if err := s.checkExists(target); err != nil {
 		return 0, err
 	}
-	td := s.targets[target]
+	sh := s.shardFor(target)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	td := sh.targets[target]
 	if td == nil || len(td.follows) == 0 || len(followers) == 0 {
 		return 0, nil
 	}
@@ -674,12 +684,13 @@ func (s *Store) Unfollow(target, follower UserID, at time.Time) (bool, error) {
 // RemovedEdges returns a copy of target's removal log (unfollow events in
 // removal order). Evaluation/monitoring only; the API layer never exposes it.
 func (s *Store) RemovedEdges(target UserID) ([]Follow, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.recordOf(target); err != nil {
+	sh := s.shardFor(target)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, err := s.recordIn(sh, target); err != nil {
 		return nil, err
 	}
-	td := s.targets[target]
+	td := sh.targets[target]
 	if td == nil {
 		return nil, nil
 	}
@@ -688,12 +699,13 @@ func (s *Store) RemovedEdges(target UserID) ([]Follow, error) {
 
 // RemovedCount returns how many follow edges target has lost to churn.
 func (s *Store) RemovedCount(target UserID) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.recordOf(target); err != nil {
+	sh := s.shardFor(target)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, err := s.recordIn(sh, target); err != nil {
 		return 0, err
 	}
-	td := s.targets[target]
+	td := sh.targets[target]
 	if td == nil {
 		return 0, nil
 	}
@@ -702,12 +714,13 @@ func (s *Store) RemovedCount(target UserID) (int, error) {
 
 // FollowEdges returns a copy of the raw follow edges of target, oldest first.
 func (s *Store) FollowEdges(target UserID) ([]Follow, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, err := s.recordOf(target); err != nil {
+	sh := s.shardFor(target)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if _, err := s.recordIn(sh, target); err != nil {
 		return nil, err
 	}
-	td := s.targets[target]
+	td := sh.targets[target]
 	if td == nil {
 		return nil, nil
 	}
@@ -716,31 +729,28 @@ func (s *Store) FollowEdges(target UserID) ([]Follow, error) {
 
 // IsTarget reports whether id has a materialised follower list.
 func (s *Store) IsTarget(id UserID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.targets[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.targets[id]
 	return ok
 }
 
 // AppendTweet records an explicit tweet for a target account and updates its
 // counters. Tweets must be appended in chronological order.
 func (s *Store) AppendTweet(author UserID, tw Tweet) (Tweet, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, err := s.recordOf(author)
+	sh := s.shardFor(author)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, err := s.recordIn(sh, author)
 	if err != nil {
 		return Tweet{}, err
 	}
-	td := s.targets[author]
-	if td == nil {
-		td = &targetData{}
-		s.targets[author] = td
-	}
+	td := sh.target(author)
 	if n := len(td.tweets); n > 0 && tw.CreatedAt.Before(td.tweets[n-1].CreatedAt) {
 		return Tweet{}, fmt.Errorf("%w: tweet at %v before %v", ErrNotMonotonic, tw.CreatedAt, td.tweets[n-1].CreatedAt)
 	}
-	s.tweetSeq++
-	tw.ID = s.tweetSeq
+	tw.ID = TweetID(s.tweetSeq.Add(1))
 	tw.Author = author
 	td.tweets = append(td.tweets, tw)
 	rec.statuses++
@@ -755,16 +765,17 @@ func (s *Store) AppendTweet(author UserID, tw Tweet) (Tweet, error) {
 // deterministic timeline generated from their behaviour record. max <= 0
 // returns an empty slice.
 func (s *Store) Timeline(id UserID, max int) ([]Tweet, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, err := s.recordOf(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return nil, err
 	}
 	if max <= 0 {
 		return nil, nil
 	}
-	if td, ok := s.targets[id]; ok && len(td.tweets) > 0 {
+	if td, ok := sh.targets[id]; ok && len(td.tweets) > 0 {
 		n := len(td.tweets)
 		if max > n {
 			max = n
@@ -784,17 +795,14 @@ func (s *Store) Timeline(id UserID, max int) ([]Tweet, error) {
 // for all others the API layer synthesises a deterministic list matching the
 // synthetic friends counter.
 func (s *Store) SetFriends(id UserID, friends []UserID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, err := s.recordOf(id)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return err
 	}
-	td := s.targets[id]
-	if td == nil {
-		td = &targetData{}
-		s.targets[id] = td
-	}
+	td := sh.target(id)
 	td.friends = append([]UserID(nil), friends...)
 	rec.friends = int32(len(friends))
 	return nil
@@ -803,9 +811,10 @@ func (s *Store) SetFriends(id UserID, friends []UserID) error {
 // Friends returns the materialised friend list of id (newest first) and
 // whether one exists.
 func (s *Store) Friends(id UserID) ([]UserID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	td, ok := s.targets[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	td, ok := sh.targets[id]
 	if !ok || td.friends == nil {
 		return nil, false
 	}
@@ -814,9 +823,10 @@ func (s *Store) Friends(id UserID) ([]UserID, bool) {
 
 // FriendsCount returns the friends (following) count of id.
 func (s *Store) FriendsCount(id UserID) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, err := s.recordOf(id)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return 0, err
 	}
@@ -830,17 +840,24 @@ func (s *Store) Now() time.Time { return s.clock.Now() }
 func (s *Store) Clock() simclock.Clock { return s.clock }
 
 // ClassCounts tallies the ground-truth classes of the given accounts,
-// used by evaluation and the genpop CLI.
+// used by evaluation and the genpop CLI. Like Profiles, the batch is
+// regrouped so each shard lock is taken once.
 func (s *Store) ClassCounts(ids []UserID) map[Class]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[Class]int, 4)
-	for _, id := range ids {
-		rec, err := s.recordOf(id)
-		if err != nil {
+	for si, group := range s.groupByShard(ids) {
+		if len(group) == 0 {
 			continue
 		}
-		out[Class(rec.class)]++
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, i := range group {
+			rec, err := s.recordIn(sh, ids[i])
+			if err != nil {
+				continue
+			}
+			out[Class(rec.class)]++
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -1,0 +1,167 @@
+package twitterapi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+)
+
+// Cursor-codec fuzzing. The follower cursor is the one piece of wire input
+// a client fully controls: fabricated, truncated, bit-flipped and
+// cross-target tokens all arrive here. The invariants, for ANY (cursor,
+// target) pair:
+//
+//  1. decodeCursor never panics;
+//  2. rejection is always ErrBadCursor (callers map it to the API's
+//     code-44 response; any other error class would leak a 5xx);
+//  3. anything accepted is canonical — it re-encodes, for that target, to
+//     exactly the token that was presented. Fabricated tokens therefore
+//     cannot smuggle in an out-of-range seq or masquerade as another
+//     target's anchor: a 15-bit-checksum collision IS that target's
+//     canonical token for that seq, indistinguishable by construction and
+//     resolving to a harmless (correct) page for the colliding target.
+
+// FuzzDecodeCursor throws arbitrary token/target pairs at the decoder.
+func FuzzDecodeCursor(f *testing.F) {
+	f.Add(int64(0), int64(1))
+	f.Add(int64(-1), int64(1))
+	f.Add(int64(1), int64(1))
+	f.Add(encodeCursor(42, 12345), int64(42))   // well-formed
+	f.Add(encodeCursor(42, 12345), int64(43))   // foreign target
+	f.Add(encodeCursor(42, 12345)+1, int64(42)) // bit-flipped
+	f.Add(encodeCursor(7, 1)>>13, int64(7))     // truncated
+	f.Add(int64(1)<<62, int64(9))
+	f.Add(int64(cursorSeqMask), int64(-5))
+	f.Fuzz(func(t *testing.T, cursor int64, target int64) {
+		seq, err := decodeCursor(twitter.UserID(target), cursor)
+		if err != nil {
+			if !errors.Is(err, ErrBadCursor) {
+				t.Fatalf("decodeCursor(%d, %d): rejection is %v, want ErrBadCursor", target, cursor, err)
+			}
+			return
+		}
+		if seq == 0 || seq > cursorSeqMask {
+			t.Fatalf("decodeCursor(%d, %d) accepted out-of-range seq %d", target, cursor, seq)
+		}
+		if re := encodeCursor(twitter.UserID(target), seq); re != cursor {
+			t.Fatalf("decodeCursor(%d, %d) accepted non-canonical token: seq %d re-encodes to %d",
+				target, cursor, seq, re)
+		}
+	})
+}
+
+// FuzzCursorRoundTrip is the well-formed half: every mintable cursor must
+// survive the round trip, never collide with the CursorFirst/CursorDone
+// sentinels, and decode under a different target only if it happens to be
+// that target's canonical token too.
+func FuzzCursorRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint64(1))
+	f.Add(int64(1), uint64(cursorSeqMask))
+	f.Add(int64(1<<40), uint64(999999))
+	f.Add(int64(-3), uint64(77)) // IDs are positive in practice; codec must still hold
+	f.Fuzz(func(t *testing.T, target int64, rawSeq uint64) {
+		seq := rawSeq%cursorSeqMask + 1 // [1, cursorSeqMask]
+		tgt := twitter.UserID(target)
+		cursor := encodeCursor(tgt, seq)
+		if cursor <= 0 {
+			t.Fatalf("encodeCursor(%d, %d) = %d collides with the sentinel space", target, seq, cursor)
+		}
+		got, err := decodeCursor(tgt, cursor)
+		if err != nil || got != seq {
+			t.Fatalf("round trip (%d, %d): got %d, %v", target, seq, got, err)
+		}
+		other := twitter.UserID(target + 1)
+		oseq, err := decodeCursor(other, cursor)
+		switch {
+		case err == nil:
+			if encodeCursor(other, oseq) != cursor {
+				t.Fatalf("target %d accepted target %d's token non-canonically", other, tgt)
+			}
+		case !errors.Is(err, ErrBadCursor):
+			t.Fatalf("foreign-target rejection is %v, want ErrBadCursor", err)
+		}
+	})
+}
+
+// fuzzFixture is a small service shared by fuzz workers: one target with
+// live edges, a purged hole in the middle of the seq space (so stale-anchor
+// resolution is reachable), and a second target for cross-target checks.
+var fuzzFixture struct {
+	once   sync.Once
+	svc    *Service
+	target twitter.UserID
+}
+
+func fuzzService(tb testing.TB) (*Service, twitter.UserID) {
+	fuzzFixture.once.Do(func() {
+		clock := simclock.NewVirtualAtEpoch()
+		store := twitter.NewStore(clock, 17)
+		target := store.MustCreateUser(twitter.UserParams{ScreenName: "t"})
+		at := simclock.Epoch.AddDate(0, -6, 0)
+		followers := make([]twitter.UserID, 0, 120)
+		for i := 0; i < 120; i++ {
+			id := store.MustCreateUser(twitter.UserParams{})
+			if err := store.AddFollower(target, id, at); err != nil {
+				panic(err)
+			}
+			followers = append(followers, id)
+			at = at.Add(time.Minute)
+		}
+		// Purge a band in the middle: seqs 41..80 become stale anchors.
+		if _, err := store.RemoveFollowers(target, followers[40:80], at); err != nil {
+			panic(err)
+		}
+		fuzzFixture.svc = NewService(store)
+		fuzzFixture.target = target
+	})
+	return fuzzFixture.svc, fuzzFixture.target
+}
+
+// FuzzFollowerIDsCursor drives the full endpoint with arbitrary wire
+// cursors: any outcome other than ErrBadCursor or a page the store itself
+// would serve for the decoded anchor (a genuine suffix of the live list —
+// never a fabricated, overlapping or phantom page) is a bug.
+func FuzzFollowerIDsCursor(f *testing.F) {
+	f.Add(int64(-1))
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(123456789))
+	f.Add(int64(1) << 48)
+	f.Fuzz(func(t *testing.T, cursor int64) {
+		svc, target := fuzzService(t)
+		page, err := svc.FollowerIDs(target, cursor)
+		if err != nil {
+			if !errors.Is(err, ErrBadCursor) {
+				t.Fatalf("FollowerIDs(%d): %v, want ErrBadCursor", cursor, err)
+			}
+			return
+		}
+		fromSeq := twitter.SeqNewest
+		if cursor != CursorFirst {
+			seq, derr := decodeCursor(target, cursor)
+			if derr != nil {
+				t.Fatalf("FollowerIDs accepted cursor %d the codec rejects: %v", cursor, derr)
+			}
+			fromSeq = seq
+		}
+		want, werr := svc.Store().FollowersPage(target, fromSeq, FollowerIDsPageSize)
+		if werr != nil {
+			t.Fatalf("store page: %v", werr)
+		}
+		if len(page.IDs) != len(want.IDs) {
+			t.Fatalf("cursor %d: page of %d IDs, store serves %d", cursor, len(page.IDs), len(want.IDs))
+		}
+		for i := range page.IDs {
+			if page.IDs[i] != want.IDs[i] {
+				t.Fatalf("cursor %d: ID %d is %d, store serves %d", cursor, i, page.IDs[i], want.IDs[i])
+			}
+		}
+		if want.NextSeq == 0 && page.NextCursor != CursorDone {
+			t.Fatalf("cursor %d: exhausted page advertises cursor %d", cursor, page.NextCursor)
+		}
+	})
+}
