@@ -1,0 +1,182 @@
+// Command loadd is the end-to-end load generator for the HTTP plane: it
+// assembles the full platform in-process (population, the simulated Twitter
+// API and the audit service, each on its own loopback TCP port) or aims at
+// externally running daemons, then drives one or more workload mixes with
+// an open-loop (fixed-arrival-rate) schedule and reports per-endpoint
+// latency percentiles, throughput and error counts.
+//
+//	loadd -mix all -duration 5s                  # the four standard mixes
+//	loadd -mix churn-storm -rate 800 -duration 10s
+//	loadd -mix crawl-heavy -api http://127.0.0.1:8080 -accounts davc
+//
+// Results are written as BENCH_e2e.json (-out, or $BENCH_JSON/BENCH_e2e.json
+// when the variable is set), the artifact CI archives and diffs across
+// commits. Mixes: crawl-heavy, audit-heavy, churn-storm, celebrity-hotspot;
+// -duration is per mix. See docs/OPERATIONS.md for the full runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"fakeproject/internal/benchjson"
+	"fakeproject/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mix        = flag.String("mix", "all", "workload mix to run: all, or a comma list of "+strings.Join(loadgen.MixNames(), ", "))
+		duration   = flag.Duration("duration", 5*time.Second, "run length per mix")
+		rate       = flag.Float64("rate", 300, "steady arrival rate, requests/second")
+		burstRate  = flag.Float64("burst-rate", 0, "arrival rate during bursts (0 = steady only)")
+		burstEvery = flag.Duration("burst-every", time.Second, "burst period, start to start")
+		burstLen   = flag.Duration("burst-len", 200*time.Millisecond, "burst length")
+		inflight   = flag.Int("inflight", 256, "max outstanding requests; arrivals beyond it are shed and reported")
+		out        = flag.String("out", "", "write BENCH_e2e.json here (default ./BENCH_e2e.json, or $BENCH_JSON/BENCH_e2e.json)")
+
+		// In-process platform shape.
+		seed      = flag.Uint64("seed", 20140301, "population and sampling seed")
+		targets   = flag.Int("targets", 8, "audit targets to build (sizes follow a 1/k series)")
+		followers = flag.Int("followers", 20000, "materialised followers of the largest target")
+		workers   = flag.Int("workers", 4, "auditd worker pool size")
+		tools     = flag.String("tools", "", "comma list of audit tools (default the three commercial engines; add fakeproject-fc to pay training once)")
+		limits    = flag.Bool("table1-limits", false, "apply the paper's Table I budgets on the API server (429s become expected)")
+
+		// External daemons instead of the in-process platform.
+		api      = flag.String("api", "", "drive an external twitterd at this base URL instead of building in-process")
+		audit    = flag.String("audit", "", "external auditd base URL (with -api; enables audit-heavy)")
+		accounts = flag.String("accounts", "", "comma list of target screen names (required with -api)")
+	)
+	flag.Parse()
+
+	mixes, err := resolveMixes(*mix)
+	if err != nil {
+		return err
+	}
+
+	h, err := buildHarness(*api, *audit, *accounts, loadgen.Config{
+		Seed:         *seed,
+		Targets:      *targets,
+		Followers:    *followers,
+		AuditWorkers: *workers,
+		AuditTools:   splitList(*tools),
+		TableILimits: *limits,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	pattern := loadgen.Pattern{
+		Rate:       *rate,
+		BurstRate:  *burstRate,
+		BurstEvery: *burstEvery,
+		BurstLen:   *burstLen,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var results []loadgen.Result
+	for _, name := range mixes {
+		fmt.Fprintf(os.Stderr, "running %s for %v at %.0f/s...\n", name, *duration, *rate)
+		res, err := h.RunMix(ctx, name, pattern, *duration, *inflight)
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", name, err)
+		}
+		res.Format(os.Stdout)
+		results = append(results, res)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; emitting what completed")
+			break
+		}
+	}
+
+	path := *out
+	if path == "" {
+		if dir := os.Getenv(benchjson.EnvVar); dir != "" {
+			path = filepath.Join(dir, "BENCH_e2e.json")
+		} else {
+			path = "BENCH_e2e.json"
+		}
+	}
+	if err := benchjson.WriteFile(path, loadgen.BenchFile(results)); err != nil {
+		return fmt.Errorf("writing results: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "results written to %s\n", path)
+
+	var failures uint64
+	for _, r := range results {
+		failures += r.TotalErrors()
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d unexpected (non-429) errors across %d mixes", failures, len(results))
+	}
+	return nil
+}
+
+func resolveMixes(spec string) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return loadgen.MixNames(), nil
+	}
+	known := map[string]bool{}
+	for _, m := range loadgen.MixNames() {
+		known[m] = true
+	}
+	var out []string
+	for _, name := range splitList(spec) {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown mix %q (have: all, %s)", name, strings.Join(loadgen.MixNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mixes in %q", spec)
+	}
+	return out, nil
+}
+
+func buildHarness(api, audit, accounts string, cfg loadgen.Config) (*loadgen.Harness, error) {
+	if api == "" {
+		if audit != "" || accounts != "" {
+			return nil, fmt.Errorf("-audit/-accounts require -api")
+		}
+		fmt.Fprintf(os.Stderr, "building in-process platform (%d targets, %d followers at the head)...\n",
+			cfg.Targets, cfg.Followers)
+		h, err := loadgen.NewLocal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "api on %s, auditd on %s\n", h.APIBase, h.AuditBase)
+		return h, nil
+	}
+	names := splitList(accounts)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-api requires -accounts")
+	}
+	return loadgen.NewRemote(api, audit, names)
+}
+
+func splitList(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -4,6 +4,13 @@
 // representative benchmarks through testing.Benchmark and writes a
 // BENCH_<component>.json file CI can archive and diff across commits —
 // regressions in the hot paths become data, not anecdotes.
+//
+// Two result shapes share the format: micro-benchmarks (Measure, filling
+// the ns/op and alloc columns) and end-to-end measurements (cmd/loadd,
+// filling Metrics with latency percentiles and throughput). Read loads an
+// emitted file back, and Merge folds several component files into one
+// artifact with stable ordering, so CI can diff a single combined document
+// across commits.
 package benchjson
 
 import (
@@ -11,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 )
@@ -26,6 +34,11 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries free-form named measurements that do not fit the
+	// ns/op columns — latency percentiles, throughput, error counts.
+	// encoding/json marshals map keys in sorted order, so emitted files
+	// diff cleanly across commits regardless of insertion order.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the emitted document.
@@ -63,12 +76,53 @@ func Write(component string, results []Result) (string, error) {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Results:     results,
 	}
+	return path, WriteFile(path, doc)
+}
+
+// WriteFile stores a document at an explicit path, for emitters that are
+// not gated on the environment variable (cmd/loadd's -out flag).
+func WriteFile(path string, doc File) error {
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return "", err
+		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return "", err
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a previously emitted document.
+func Read(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
 	}
-	return path, nil
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return File{}, fmt.Errorf("benchjson: decoding %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// Merge folds several component documents into one artifact under the given
+// component name. Every result is prefixed with its source component
+// ("auditd/BenchmarkCached...") and the combined list is sorted by name, so
+// the merged file's ordering is independent of the input file order and
+// diffs cleanly in CI. GeneratedAt is the newest stamp among the inputs,
+// keeping Merge itself deterministic.
+func Merge(component string, files ...File) File {
+	out := File{Component: component}
+	for _, f := range files {
+		if f.GeneratedAt > out.GeneratedAt {
+			out.GeneratedAt = f.GeneratedAt
+		}
+		for _, r := range f.Results {
+			if f.Component != "" {
+				r.Name = f.Component + "/" + r.Name
+			}
+			out.Results = append(out.Results, r)
+		}
+	}
+	sort.SliceStable(out.Results, func(i, j int) bool {
+		return out.Results[i].Name < out.Results[j].Name
+	})
+	return out
 }

@@ -1,0 +1,133 @@
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleFile(component string) File {
+	return File{
+		Component:   component,
+		GeneratedAt: "2026-07-29T12:00:00Z",
+		Results: []Result{
+			{Name: "BenchmarkB", N: 100, NsPerOp: 1234.5, AllocsPerOp: 3, BytesPerOp: 64},
+			{Name: "BenchmarkA", N: 10, NsPerOp: 9.5,
+				Metrics: map[string]float64{"p99_ns": 1500, "errors": 0, "throughput_rps": 812.5}},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(EnvVar, dir)
+	if !Enabled() {
+		t.Fatal("Enabled() = false with env set")
+	}
+	want := sampleFile("roundtrip")
+	path, err := Write("roundtrip", want.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "BENCH_roundtrip.json") {
+		t.Fatalf("unexpected path %q", path)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Component != "roundtrip" || got.GeneratedAt == "" {
+		t.Fatalf("header lost in transit: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("results lost in transit:\n got %+v\nwant %+v", got.Results, want.Results)
+	}
+}
+
+func TestWriteFileExplicitPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := WriteFile(path, sampleFile("e2e")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Component != "e2e" || len(got.Results) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Read accepted a missing file")
+	}
+}
+
+// TestMerge folds two emitters into one artifact: results are prefixed with
+// their source component and sorted by name regardless of input order.
+func TestMerge(t *testing.T) {
+	a, b := sampleFile("auditd"), sampleFile("twitterapi")
+	b.GeneratedAt = "2026-07-29T13:00:00Z"
+
+	merged := Merge("all", a, b)
+	if merged.Component != "all" {
+		t.Fatalf("component = %q", merged.Component)
+	}
+	if merged.GeneratedAt != "2026-07-29T13:00:00Z" {
+		t.Fatalf("GeneratedAt = %q, want the newest input stamp", merged.GeneratedAt)
+	}
+	var names []string
+	for _, r := range merged.Results {
+		names = append(names, r.Name)
+	}
+	want := []string{
+		"auditd/BenchmarkA", "auditd/BenchmarkB",
+		"twitterapi/BenchmarkA", "twitterapi/BenchmarkB",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("merged names = %v, want %v", names, want)
+	}
+
+	// Input order must not matter beyond the per-component prefix sort.
+	flipped := Merge("all", b, a)
+	if !reflect.DeepEqual(merged.Results, flipped.Results) {
+		t.Fatal("merge result depends on input file order")
+	}
+}
+
+// TestStableKeyOrdering pins the property CI diffs rely on: the Metrics map
+// marshals with sorted keys, so two semantically equal documents produce
+// byte-identical JSON no matter the map's insertion order.
+func TestStableKeyOrdering(t *testing.T) {
+	r1 := Result{Name: "x", Metrics: map[string]float64{}}
+	r2 := Result{Name: "x", Metrics: map[string]float64{}}
+	keys := []string{"p50_ns", "p999_ns", "errors", "throughput_rps", "p90_ns", "max_ns"}
+	for i, k := range keys {
+		r1.Metrics[k] = float64(i)
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		r2.Metrics[keys[i]] = float64(i)
+	}
+	b1, err := json.Marshal(File{Component: "c", Results: []Result{r1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(File{Component: "c", Results: []Result{r2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("marshalled bytes depend on insertion order:\n%s\n%s", b1, b2)
+	}
+}

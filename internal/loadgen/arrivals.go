@@ -1,0 +1,57 @@
+package loadgen
+
+import "time"
+
+// Pattern describes an open-loop arrival process: requests are issued at
+// scheduled instants regardless of whether earlier requests have completed.
+// This is the load shape that exposes queueing collapse — a closed loop
+// (issue, wait, issue) self-throttles exactly when the server slows down,
+// hiding the latencies users would actually see.
+//
+// The base process is a fixed rate; an optional square-wave burst overlays
+// the spiky arrival patterns the social-explosion literature motivates:
+// every BurstEvery, the rate switches to BurstRate for BurstLen.
+type Pattern struct {
+	// Rate is the steady arrival rate in requests per second. Must be > 0
+	// for any arrivals to be scheduled.
+	Rate float64
+	// BurstRate, when > 0, replaces Rate during burst windows.
+	BurstRate float64
+	// BurstEvery is the burst period (start-to-start). Zero disables bursts.
+	BurstEvery time.Duration
+	// BurstLen is how long each burst lasts. Zero disables bursts.
+	BurstLen time.Duration
+}
+
+// maxArrivals caps a schedule so a misconfigured rate cannot exhaust
+// memory; 2M arrivals is ~16MB of offsets and far beyond what a single
+// harness process can issue anyway.
+const maxArrivals = 2 << 20
+
+// rateAt reports the arrival rate in effect at offset t.
+func (p Pattern) rateAt(t time.Duration) float64 {
+	if p.BurstRate > 0 && p.BurstEvery > 0 && p.BurstLen > 0 && t%p.BurstEvery < p.BurstLen {
+		return p.BurstRate
+	}
+	return p.Rate
+}
+
+// Schedule returns the arrival offsets for a run of the given duration,
+// in increasing order starting at 0. The schedule is a pure function of
+// (pattern, duration), so a run is reproducible arrival-for-arrival.
+func (p Pattern) Schedule(d time.Duration) []time.Duration {
+	if p.Rate <= 0 || d <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := time.Duration(0)
+	for t < d && len(out) < maxArrivals {
+		out = append(out, t)
+		gap := time.Duration(float64(time.Second) / p.rateAt(t))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketEdgesCoverTheRange(t *testing.T) {
+	// Every nanosecond value maps to a bucket whose upper edge is >= the
+	// value, and bucket indexes are monotone in the value.
+	prev := 0
+	for _, ns := range []int64{0, 1, 1023, 1024, 1025, 5000, 1e6, 1e9, 17e9, 1 << 40} {
+		idx := bucketOf(ns)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d, below previous %d (not monotone)", ns, idx, prev)
+		}
+		prev = idx
+		if idx > 0 && idx < histBuckets-1 && bucketUpper(idx) < ns {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, bucketUpper(idx), ns)
+		}
+	}
+	if bucketOf(0) != 0 || bucketOf(1<<histMinExp-1) != 0 {
+		t.Fatal("sub-resolution values must land in the underflow bucket")
+	}
+	if bucketOf(1<<62) != histBuckets-1 {
+		t.Fatal("huge values must land in the overflow bucket")
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 10,000 samples spread uniformly over [1ms, 100ms]: quantiles must
+	// come back within the bucket resolution (~3%) of the true values.
+	n := 10000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Millisecond + time.Duration(i)*99*time.Millisecond/time.Duration(n))
+	}
+	if h.Count() != uint64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		rel := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if rel > 0.05 {
+			t.Errorf("Quantile(%.2f) = %v, want ~%v (rel err %.3f)", tc.q, got, tc.want, rel)
+		}
+		if got < tc.want {
+			t.Errorf("Quantile(%.2f) = %v under-reports %v (edges must round up)", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %v, want the exact max %v", got, h.Max())
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(7 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want exactly the one sample", q, got)
+		}
+	}
+	if h.Mean() != 7*time.Millisecond || h.Max() != 7*time.Millisecond {
+		t.Fatalf("Mean/Max = %v/%v", h.Mean(), h.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	a.Record(2 * time.Millisecond)
+	b.Record(100 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 100*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	if got := a.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("merged p100 = %v", got)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d (lost samples under concurrency)", h.Count(), goroutines*per)
+	}
+	want := time.Duration(goroutines*per-1) * time.Microsecond
+	if h.Max() != want {
+		t.Fatalf("Max = %v, want %v", h.Max(), want)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+}

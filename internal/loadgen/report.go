@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"fakeproject/internal/benchjson"
+)
+
+// BenchResults renders one mix run into benchjson rows: a row per endpoint
+// ("<mix>/<endpoint>", latency percentiles and throughput in Metrics) plus
+// a "<mix>/run" summary row (offered/shed arrivals, churn totals).
+func (r Result) BenchResults() []benchjson.Result {
+	out := make([]benchjson.Result, 0, len(r.Endpoints)+1)
+	for _, e := range r.Endpoints {
+		out = append(out, benchjson.Result{
+			Name:    r.Mix + "/" + e.Endpoint,
+			N:       int(e.Count),
+			NsPerOp: float64(e.Mean.Nanoseconds()),
+			Metrics: map[string]float64{
+				"p50_ns":         float64(e.P50.Nanoseconds()),
+				"p90_ns":         float64(e.P90.Nanoseconds()),
+				"p99_ns":         float64(e.P99.Nanoseconds()),
+				"p999_ns":        float64(e.P999.Nanoseconds()),
+				"max_ns":         float64(e.Max.Nanoseconds()),
+				"throughput_rps": e.Throughput,
+				"errors":         float64(e.Errors),
+				"throttled_429":  float64(e.Throttled),
+			},
+		})
+	}
+	out = append(out, benchjson.Result{
+		Name: r.Mix + "/run",
+		N:    int(r.TotalCount()),
+		Metrics: map[string]float64{
+			"duration_s":    r.Duration.Seconds(),
+			"offered":       float64(r.Offered),
+			"shed":          float64(r.Shed),
+			"errors":        float64(r.TotalErrors()),
+			"churn_added":   float64(r.ChurnAdded),
+			"churn_removed": float64(r.ChurnRemoved),
+		},
+	})
+	return out
+}
+
+// BenchFile folds several mix runs into the BENCH_e2e document.
+func BenchFile(results []Result) benchjson.File {
+	var rows []benchjson.Result
+	for _, r := range results {
+		rows = append(rows, r.BenchResults()...)
+	}
+	return benchjson.File{
+		Component:   "e2e",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:     rows,
+	}
+}
+
+// Format writes a human-readable summary of one mix run.
+func (r Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "mix %s: %d requests in %v (%d offered, %d shed",
+		r.Mix, r.TotalCount(), r.Duration.Round(time.Millisecond), r.Offered, r.Shed)
+	if r.ChurnAdded > 0 || r.ChurnRemoved > 0 {
+		fmt.Fprintf(w, "; churn +%d/-%d followers", r.ChurnAdded, r.ChurnRemoved)
+	}
+	fmt.Fprintln(w, ")")
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  endpoint\trps\tp50\tp90\tp99\tp999\tmax\terr\t429")
+	for _, e := range r.Endpoints {
+		fmt.Fprintf(tw, "  %s\t%.0f\t%v\t%v\t%v\t%v\t%v\t%d\t%d\n",
+			e.Endpoint, e.Throughput,
+			round(e.P50), round(e.P90), round(e.P99), round(e.P999), round(e.Max),
+			e.Errors, e.Throttled)
+	}
+	tw.Flush()
+	for _, e := range r.Endpoints {
+		for _, msg := range e.ErrorSamples {
+			fmt.Fprintf(w, "  ! %s: %s\n", e.Endpoint, msg)
+		}
+	}
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,365 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fakeproject/internal/drand"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// The standard workload mixes, in canonical order.
+//
+//   - crawl-heavy: followers/ids page walks (with live cursors) and
+//     friends/ids first pages, while mild churn mutates the hottest list —
+//     the monitord crawl plane under organic platform motion.
+//   - audit-heavy: interactive fakecheck submissions with Zipf-skewed
+//     targets plus status polls — the auditd front door, where dedup,
+//     caching and queue backpressure live.
+//   - churn-storm: purchase bursts and purge sweeps hammering the hottest
+//     target while readers page and resolve it — the churn-proof-cursor
+//     contract under fire.
+//   - celebrity-hotspot: every request aimed at the single hottest account
+//     (profile, pages, timeline), concentrating all load on one store
+//     shard — the worst case for lock striping.
+const (
+	MixCrawlHeavy       = "crawl-heavy"
+	MixAuditHeavy       = "audit-heavy"
+	MixChurnStorm       = "churn-storm"
+	MixCelebrityHotspot = "celebrity-hotspot"
+)
+
+// MixNames lists the standard mixes in canonical order.
+func MixNames() []string {
+	return []string{MixCrawlHeavy, MixAuditHeavy, MixChurnStorm, MixCelebrityHotspot}
+}
+
+// churnPlan describes the background platform churn a mix runs under.
+type churnPlan struct {
+	interval      time.Duration
+	burst         int
+	purgeFraction float64
+}
+
+// mixSpec pairs a Mix with its background churn requirement.
+type mixSpec struct {
+	mix   Mix
+	churn *churnPlan
+}
+
+// buildMix assembles the named mix over this harness.
+func (h *Harness) buildMix(name string, seed uint64) (mixSpec, error) {
+	rnd := rand.New(rand.NewSource(int64(seed)))
+	switch name {
+	case MixCrawlHeavy:
+		if h.store == nil {
+			return mixSpec{mix: newCrawlMix(h, name, rnd, 32, h.Targets)}, nil
+		}
+		return mixSpec{
+			mix:   newCrawlMix(h, name, rnd, 32, h.Targets),
+			churn: &churnPlan{interval: 60 * time.Millisecond, burst: 150, purgeFraction: 0.05},
+		}, nil
+	case MixAuditHeavy:
+		if h.AuditBase == "" {
+			return mixSpec{}, fmt.Errorf("mix %s needs an audit service (none configured)", name)
+		}
+		return mixSpec{mix: newAuditMix(h, rnd)}, nil
+	case MixChurnStorm:
+		if h.store == nil {
+			return mixSpec{}, fmt.Errorf("mix %s needs an in-process platform to churn", name)
+		}
+		return mixSpec{
+			mix:   newStormMix(h, rnd),
+			churn: &churnPlan{interval: 25 * time.Millisecond, burst: 400, purgeFraction: 0.25},
+		}, nil
+	case MixCelebrityHotspot:
+		mix, err := newHotspotMix(h, rnd)
+		if err != nil {
+			return mixSpec{}, err
+		}
+		return mixSpec{mix: mix}, nil
+	default:
+		return mixSpec{}, fmt.Errorf("unknown mix %q (have %v)", name, MixNames())
+	}
+}
+
+// RunMix executes one named mix under the pattern, driving any background
+// churn the mix calls for concurrently with the load.
+func (h *Harness) RunMix(ctx context.Context, name string, p Pattern, d time.Duration, maxInFlight int) (Result, error) {
+	spec, err := h.buildMix(name, drand.New(h.seed).SeedFor("loadgen/"+name))
+	if err != nil {
+		return Result{}, err
+	}
+
+	churnCtx, stopChurn := context.WithCancel(ctx)
+	defer stopChurn()
+	type churnOutcome struct {
+		added, removed int
+		err            error
+	}
+	churnDone := make(chan churnOutcome, 1)
+	if spec.churn != nil {
+		go func() {
+			a, r, err := h.runChurn(churnCtx, spec.churn.interval, spec.churn.burst, spec.churn.purgeFraction)
+			churnDone <- churnOutcome{a, r, err}
+		}()
+	}
+
+	res := Run(ctx, spec.mix, p, d, maxInFlight)
+
+	if spec.churn != nil {
+		stopChurn()
+		outcome := <-churnDone
+		if outcome.err != nil {
+			return res, fmt.Errorf("background churn: %w", outcome.err)
+		}
+		res.ChurnAdded, res.ChurnRemoved = outcome.added, outcome.removed
+	}
+	return res, nil
+}
+
+// --- crawl-heavy ---
+
+// crawlSlot is one long-running follower crawl: arrivals assigned to the
+// slot advance its cursor one page per request, restarting from the top
+// when the list is exhausted — exactly the shape of a monitord re-crawl.
+type crawlSlot struct {
+	mu     sync.Mutex
+	target Target
+	cursor int64
+	token  string
+}
+
+type crawlMix struct {
+	name  string
+	h     *Harness
+	slots []*crawlSlot
+	rnd   *rand.Rand
+}
+
+func newCrawlMix(h *Harness, name string, rnd *rand.Rand, slots int, targets []Target) *crawlMix {
+	m := &crawlMix{name: name, h: h, rnd: rnd}
+	for i := 0; i < slots; i++ {
+		m.slots = append(m.slots, &crawlSlot{
+			target: targets[i%len(targets)],
+			cursor: twitterapi.CursorFirst,
+			token:  fmt.Sprintf("%s-slot%d", name, i),
+		})
+	}
+	return m
+}
+
+func (m *crawlMix) Name() string { return m.name }
+
+func (m *crawlMix) Next(i int) Op {
+	if i%5 == 4 {
+		// A friends/ids first page of a random account: procedural lists
+		// exercise the Feistel synthesis path.
+		id := m.h.randomUserID(m.rnd)
+		token := fmt.Sprintf("%s-friends%d", m.name, i%8)
+		return Op{Endpoint: "friends/ids", Do: func(ctx context.Context) error {
+			_, err := m.h.get(ctx, m.h.idsURL("/1.1/friends/ids.json", id, twitterapi.CursorFirst), token)
+			return err
+		}}
+	}
+	slot := m.slots[i%len(m.slots)]
+	return Op{Endpoint: "followers/ids", Do: func(ctx context.Context) error {
+		return slot.advance(ctx, m.h)
+	}}
+}
+
+// advance fetches the slot's next page and moves its cursor.
+func (s *crawlSlot) advance(ctx context.Context, h *Harness) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := h.get(ctx, h.idsURL("/1.1/followers/ids.json", s.target.ID, s.cursor), s.token)
+	if err != nil {
+		return err
+	}
+	var page struct {
+		NextCursor int64 `json:"next_cursor"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return fmt.Errorf("decoding ids page: %w", err)
+	}
+	if page.NextCursor == twitterapi.CursorDone {
+		s.cursor = twitterapi.CursorFirst
+	} else {
+		s.cursor = page.NextCursor
+	}
+	return nil
+}
+
+// randomUserID picks an account to probe: any platform account locally,
+// a known target remotely.
+func (h *Harness) randomUserID(rnd *rand.Rand) twitter.UserID {
+	if h.store != nil {
+		return twitter.UserID(rnd.Int63n(int64(h.store.UserCount())) + 1)
+	}
+	return h.Targets[rnd.Intn(len(h.Targets))].ID
+}
+
+// --- audit-heavy ---
+
+type auditMix struct {
+	h     *Harness
+	zipf  *rand.Zipf
+	rnd   *rand.Rand
+	tools []string
+	// lastJob remembers the most recent submission's id for status polls.
+	lastJob atomic.Value // string
+}
+
+func newAuditMix(h *Harness, rnd *rand.Rand) *auditMix {
+	return &auditMix{
+		h: h,
+		// Zipf exponent 1.2 over the target family: the hottest target
+		// draws the bulk of the submissions, so dedup and the result
+		// cache carry realistic skew.
+		zipf:  rand.NewZipf(rnd, 1.2, 1, uint64(len(h.Targets)-1)),
+		rnd:   rnd,
+		tools: h.tools,
+	}
+}
+
+func (m *auditMix) Name() string { return MixAuditHeavy }
+
+func (m *auditMix) Next(i int) Op {
+	switch {
+	case i%8 == 7:
+		return Op{Endpoint: "audits/stats", Do: func(ctx context.Context) error {
+			_, err := m.h.get(ctx, m.h.AuditBase+"/v1/stats", "loadd")
+			return err
+		}}
+	case i%8 == 3:
+		if id, _ := m.lastJob.Load().(string); id != "" {
+			return Op{Endpoint: "audits/status", Do: func(ctx context.Context) error {
+				_, err := m.h.get(ctx, m.h.AuditBase+"/v1/audits/"+url.PathEscape(id), "loadd")
+				return err
+			}}
+		}
+		fallthrough
+	default:
+		target := m.h.Targets[m.zipf.Uint64()].Name
+		spec := struct {
+			Target string   `json:"target"`
+			Tools  []string `json:"tools,omitempty"`
+		}{Target: target, Tools: m.tools}
+		body, _ := json.Marshal(spec)
+		return Op{Endpoint: "audits/submit", Do: func(ctx context.Context) error {
+			resp, err := m.h.post(ctx, m.h.AuditBase+"/v1/audits", body)
+			if err != nil {
+				return err
+			}
+			var snap struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(resp, &snap); err != nil {
+				return fmt.Errorf("decoding submit response: %w", err)
+			}
+			if snap.ID != "" {
+				m.lastJob.Store(snap.ID)
+			}
+			return nil
+		}}
+	}
+}
+
+// --- churn-storm ---
+
+// stormMix reads the one target the churn loop is simultaneously growing
+// and purging: continuing page walks (live cursors racing removals below
+// their anchors), fresh first pages, and profile reads whose follower
+// counters move between calls.
+type stormMix struct {
+	h     *Harness
+	crawl *crawlMix
+	// slotSeq selects crawl slots round-robin independently of the
+	// arrival index: slot = i%N with the branch on i%4 would alias and
+	// leave the slots whose residues never coincide permanently unused.
+	slotSeq int
+}
+
+func newStormMix(h *Harness, rnd *rand.Rand) *stormMix {
+	hot := []Target{h.Targets[0]}
+	return &stormMix{h: h, crawl: newCrawlMix(h, MixChurnStorm, rnd, 16, hot)}
+}
+
+func (m *stormMix) Name() string { return MixChurnStorm }
+
+func (m *stormMix) Next(i int) Op {
+	hot := m.h.Targets[0]
+	switch i % 4 {
+	case 0, 1:
+		slot := m.crawl.slots[m.slotSeq%len(m.crawl.slots)]
+		m.slotSeq++
+		return Op{Endpoint: "followers/ids", Do: func(ctx context.Context) error {
+			return slot.advance(ctx, m.h)
+		}}
+	case 2:
+		token := fmt.Sprintf("storm-first%d", i%8)
+		return Op{Endpoint: "followers/ids:first", Do: func(ctx context.Context) error {
+			_, err := m.h.get(ctx, m.h.idsURL("/1.1/followers/ids.json", hot.ID, twitterapi.CursorFirst), token)
+			return err
+		}}
+	default:
+		return Op{Endpoint: "users/show", Do: func(ctx context.Context) error {
+			params := url.Values{"screen_name": {hot.Name}}
+			_, err := m.h.get(ctx, m.h.APIBase+"/1.1/users/show.json?"+params.Encode(), "storm-show")
+			return err
+		}}
+	}
+}
+
+// --- celebrity-hotspot ---
+
+// hotspotMix aims every request at the single hottest account. Account
+// state is sharded by ID, so profile reads, follower pages and timeline
+// pages here all serialise on one shard's lock — the adversarial case for
+// the striped store that uniform load never exhibits.
+type hotspotMix struct {
+	h       *Harness
+	crawl   *crawlMix
+	slotSeq int // see stormMix.slotSeq
+}
+
+func newHotspotMix(h *Harness, rnd *rand.Rand) (*hotspotMix, error) {
+	hot := []Target{h.Targets[0]}
+	return &hotspotMix{h: h, crawl: newCrawlMix(h, MixCelebrityHotspot, rnd, 16, hot)}, nil
+}
+
+func (m *hotspotMix) Name() string { return MixCelebrityHotspot }
+
+func (m *hotspotMix) Next(i int) Op {
+	hot := m.h.Targets[0]
+	switch i % 4 {
+	case 0:
+		return Op{Endpoint: "users/show", Do: func(ctx context.Context) error {
+			params := url.Values{"screen_name": {hot.Name}}
+			_, err := m.h.get(ctx, m.h.APIBase+"/1.1/users/show.json?"+params.Encode(), "hotspot-show")
+			return err
+		}}
+	case 1:
+		token := fmt.Sprintf("hotspot-tl%d", i%8)
+		return Op{Endpoint: "statuses/user_timeline", Do: func(ctx context.Context) error {
+			u := m.h.APIBase + "/1.1/statuses/user_timeline.json?user_id=" +
+				strconv.FormatInt(int64(hot.ID), 10) + "&count=200"
+			_, err := m.h.get(ctx, u, token)
+			return err
+		}}
+	default:
+		slot := m.crawl.slots[m.slotSeq%len(m.crawl.slots)]
+		m.slotSeq++
+		return Op{Endpoint: "followers/ids", Do: func(ctx context.Context) error {
+			return slot.advance(ctx, m.h)
+		}}
+	}
+}

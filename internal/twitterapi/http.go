@@ -1,12 +1,14 @@
 package twitterapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"fakeproject/internal/ratelimit"
@@ -180,16 +182,26 @@ type Server struct {
 	svc     *Service
 	clock   simclock.Clock
 	limiter *ratelimit.Limiter
+	limits  map[string]ratelimit.Limit
 	mux     *http.ServeMux
 }
 
-// NewServer builds the HTTP front end. Rate-limit budgets are per
-// (endpoint, bearer token) pair, as on the real platform.
+// NewServer builds the HTTP front end with the Table I budgets. Rate-limit
+// budgets are per (endpoint, bearer token) pair, as on the real platform.
 func NewServer(svc *Service, clock simclock.Clock) *Server {
+	return NewServerLimits(svc, clock, DefaultLimits())
+}
+
+// NewServerLimits builds the HTTP front end with an explicit per-endpoint
+// budget table. Endpoints absent from the table are unlimited; a nil table
+// disables rate limiting entirely — the configuration the load harness uses
+// to measure the serving hot path rather than the limiter's rejections.
+func NewServerLimits(svc *Service, clock simclock.Clock, limits map[string]ratelimit.Limit) *Server {
 	s := &Server{
 		svc:     svc,
 		clock:   clock,
 		limiter: ratelimit.New(clock, nil),
+		limits:  limits,
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/1.1/followers/ids.json", s.handleFollowerIDs)
@@ -216,7 +228,7 @@ func tokenOf(r *http.Request) string {
 func (s *Server) gate(w http.ResponseWriter, r *http.Request, endpoint string) bool {
 	key := endpoint + "|" + tokenOf(r)
 	if _, ok := s.limiter.LimitFor(key); !ok {
-		if lim, exists := DefaultLimits()[endpoint]; exists {
+		if lim, exists := s.limits[endpoint]; exists {
 			s.limiter.SetLimit(key, lim)
 		}
 	}
@@ -228,21 +240,79 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, endpoint string) b
 	if retry%time.Second != 0 {
 		secs++
 	}
+	// Advertise both the relative back-off and the absolute window
+	// boundary. The absolute form (epoch seconds, as on api.twitter.com)
+	// is what concurrent clients need: a relative Retry-After is stamped
+	// at rejection time and goes stale the moment the sleep starts late.
+	// Rounded up so a client honouring it never wakes inside the window.
+	reset := s.clock.Now().Add(retry)
+	epoch := reset.Unix()
+	if reset.Nanosecond() != 0 {
+		epoch++
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	w.Header().Set("X-Rate-Limit-Remaining", "0")
+	w.Header().Set("X-Rate-Limit-Reset", strconv.FormatInt(epoch, 10))
 	writeError(w, http.StatusTooManyRequests, 88, "Rate limit exceeded")
 	return false
 }
 
-func writeError(w http.ResponseWriter, status, code int, msg string) {
+// responseBuffers recycles the per-response encode buffers. Responses are
+// staged in a buffer and written in one shot so the server can set
+// Content-Length (keeping keep-alive connections parseable without chunking)
+// and so the hot endpoints do not allocate a fresh encoder state per call.
+var responseBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuffer bounds what goes back in the pool: a celebrity follower
+// page is ~60KB, so anything larger is an outlier not worth retaining.
+const maxPooledBuffer = 1 << 18
+
+func writeBuffered(w http.ResponseWriter, status int, buf *bytes.Buffer) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorJSON{Errors: []errorItemJSON{{Code: code, Message: msg}}})
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuffer {
+		responseBuffers.Put(buf)
+	}
+}
+
+func writeError(w http.ResponseWriter, status, code int, msg string) {
+	buf := responseBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(errorJSON{Errors: []errorItemJSON{{Code: code, Message: msg}}})
+	writeBuffered(w, status, buf)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	buf := responseBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		writeError(w, http.StatusInternalServerError, 131, err.Error())
+		return
+	}
+	writeBuffered(w, http.StatusOK, buf)
+}
+
+// writeIDPage emits an ids page without reflection or an intermediate
+// []int64 copy — followers/ids is the fattest response on the wire (5,000
+// IDs ≈ 60KB of JSON) and the one the load harness leans on hardest.
+func writeIDPage(w http.ResponseWriter, page IDPage) {
+	buf := responseBuffers.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"ids":[`)
+	scratch := make([]byte, 0, 20)
+	for i, id := range page.IDs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		scratch = strconv.AppendInt(scratch[:0], int64(id), 10)
+		buf.Write(scratch)
+	}
+	buf.WriteString(`],"next_cursor":`)
+	buf.Write(strconv.AppendInt(scratch[:0], page.NextCursor, 10))
+	buf.WriteString("}\n")
+	writeBuffered(w, http.StatusOK, buf)
 }
 
 // resolveUser supports both user_id and screen_name parameters.
@@ -288,11 +358,7 @@ func (s *Server) handleIDsEndpoint(w http.ResponseWriter, r *http.Request, endpo
 		writeError(w, http.StatusNotFound, 34, err.Error())
 		return
 	}
-	ids := make([]int64, len(page.IDs))
-	for i, v := range page.IDs {
-		ids[i] = int64(v)
-	}
-	writeJSON(w, idPageJSON{IDs: ids, NextCursor: page.NextCursor})
+	writeIDPage(w, page)
 }
 
 func (s *Server) handleFollowerIDs(w http.ResponseWriter, r *http.Request) {

@@ -16,9 +16,9 @@ import (
 )
 
 // HTTPClient implements Client over a real HTTP connection to a Server,
-// honouring 429 Retry-After back-offs on the supplied clock. When the server
+// honouring 429 rate-limit back-offs on the supplied clock. When the server
 // runs in-process on the same virtual clock (as in the test suite and
-// cmd/twitterd demos), a Retry-After sleep advances the shared clock and the
+// cmd/twitterd demos), a rate-limit sleep advances the shared clock and the
 // retry succeeds immediately in real time.
 type HTTPClient struct {
 	base   string
@@ -35,6 +35,17 @@ type HTTPClient struct {
 
 var _ Client = (*HTTPClient)(nil)
 
+// sharedTransport is the connection pool behind every HTTPClient. The
+// default transport keeps only two idle connections per host, which under a
+// worker pool (auditd's remote backend) or the open-loop load generator
+// means most requests pay a fresh TCP handshake; a generous per-host idle
+// pool keeps the connections alive instead.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 256,
+	IdleConnTimeout:     90 * time.Second,
+}
+
 // NewHTTPClient creates a client for the API server at base (e.g.
 // "http://127.0.0.1:8080"), authenticating with the given bearer token.
 func NewHTTPClient(base, token string, clock simclock.Clock) *HTTPClient {
@@ -42,10 +53,51 @@ func NewHTTPClient(base, token string, clock simclock.Clock) *HTTPClient {
 		base:       strings.TrimSuffix(base, "/"),
 		token:      token,
 		clock:      clock,
-		client:     &http.Client{Timeout: 30 * time.Second},
+		client:     &http.Client{Timeout: 30 * time.Second, Transport: sharedTransport},
 		maxRetries: 100,
 		calls:      make(map[string]int),
 	}
+}
+
+// defaultRetryAfter is the back-off used when a 429 carries no usable
+// rate-limit headers at all.
+const defaultRetryAfter = 60 * time.Second
+
+// resetSkewTolerance bounds how far from now an X-Rate-Limit-Reset stamp is
+// still trusted. Within it, a past stamp means "the window boundary already
+// passed, retry now" and a future stamp is slept to. Beyond it — in either
+// direction — the server is on a different clock (a virtual-epoch server
+// behind a real-clock client, or vice versa), absolute times are
+// meaningless, and only the relative Retry-After can be honoured.
+const resetSkewTolerance = time.Hour
+
+// retryBackoff computes how long to wait before retrying a 429, preferring
+// the absolute X-Rate-Limit-Reset stamp over the relative Retry-After.
+//
+// The absolute form is what makes concurrent callers back off to the window
+// boundary instead of past it: a relative Retry-After is computed at
+// rejection time, so a sleeper that starts late — or a second goroutine
+// whose sibling already slept the shared virtual clock across the boundary
+// — over-sleeps by up to a whole window per waiter. Against the reset
+// stamp, every waiter sleeps exactly to the boundary, and one whose clock
+// is already past it retries immediately.
+func retryBackoff(h http.Header, now time.Time) time.Duration {
+	if raw := h.Get("X-Rate-Limit-Reset"); raw != "" {
+		if epoch, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			switch d := time.Unix(epoch, 0).Sub(now); {
+			case d > 0 && d <= resetSkewTolerance:
+				return d
+			case d <= 0 && d > -resetSkewTolerance:
+				return 0
+			}
+			// Stamp far from now in either direction: clock domains
+			// differ, fall through to the relative header.
+		}
+	}
+	if secs, err := strconv.Atoi(h.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return defaultRetryAfter
 }
 
 func (c *HTTPClient) count(endpoint string) {
@@ -83,11 +135,9 @@ func (c *HTTPClient) get(endpoint, path string, params url.Values, out any) erro
 			}
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries:
-			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-			if secs <= 0 {
-				secs = 60
+			if wait := retryBackoff(resp.Header, c.clock.Now()); wait > 0 {
+				c.clock.Sleep(wait)
 			}
-			c.clock.Sleep(time.Duration(secs) * time.Second)
 		default:
 			var apiErr errorJSON
 			if json.Unmarshal(body, &apiErr) == nil && len(apiErr.Errors) > 0 {

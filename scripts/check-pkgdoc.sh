@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# check-pkgdoc.sh — fail when an internal package has no package-level godoc
+# comment. Every internal/ package is expected to open with a "Package xyz
+# ..." comment (docs/ARCHITECTURE.md leans on them as the per-subsystem
+# source of truth). Run from the repo root; CI runs it after the build step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for pkg in $(go list ./internal/...); do
+    # `go doc` prints a "Package <name> ..." synopsis line only when the
+    # package has a doc comment adjacent to its package clause.
+    if ! go doc "$pkg" 2>/dev/null | grep -q '^Package '; then
+        echo "missing package comment: $pkg" >&2
+        missing=1
+    fi
+done
+
+if [ "$missing" -ne 0 ]; then
+    echo "add a package-level godoc comment (// Package xyz ...) to the packages above" >&2
+    exit 1
+fi
+echo "package docs: ok"
