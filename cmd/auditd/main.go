@@ -25,6 +25,13 @@
 //	curl -s -X POST localhost:8081/v1/watch -d '{"target":"davc","cadence":"12h"}'
 //	curl -s localhost:8081/v1/series/davc
 //	curl -s localhost:8081/v1/alerts
+//
+// Observability (see docs/OPERATIONS.md): -metrics serves the registry at
+// /metrics (Prometheus text) and /metrics.json — queue depth, cache
+// outcomes, per-endpoint latency, and the monitord counters when -monitor
+// is on — -dashboard mounts the embedded ops dashboard at /dashboard/
+// (with a live alert feed when -monitor is on), and -pprof mounts
+// net/http/pprof at /debug/pprof/.
 package main
 
 import (
@@ -42,7 +49,9 @@ import (
 	"fakeproject/internal/auditd"
 	"fakeproject/internal/core"
 	"fakeproject/internal/experiments"
+	"fakeproject/internal/metrics"
 	"fakeproject/internal/monitord"
+	"fakeproject/internal/opsui"
 	"fakeproject/internal/population"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
@@ -71,6 +80,10 @@ func run() error {
 		watch    = flag.String("watch", "", "comma-separated initial watches, name[:cadence] (requires -monitor)")
 		pace     = flag.Duration("monitor-pace", 2*time.Second, "wall-clock interval between monitor scheduler rounds on virtual-clock backends")
 		churn    = flag.Bool("churn", false, "evolve watched targets between re-audit rounds (organic growth + churn; in-process backends only)")
+
+		metricsOn = flag.Bool("metrics", true, "serve /metrics (Prometheus text) and /metrics.json")
+		dashboard = flag.Bool("dashboard", true, "serve the embedded ops dashboard at /dashboard/ (needs -metrics)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	)
 	flag.Parse()
 	if !*monitor && (*watch != "" || *churn) {
@@ -84,7 +97,24 @@ func run() error {
 		return err
 	}
 
-	handler := http.Handler(auditd.NewHandler(svc))
+	var reg *metrics.Registry
+	if *metricsOn {
+		reg = metrics.NewRegistry()
+	}
+
+	auditHandler := http.Handler(auditd.NewHandler(svc))
+	if reg != nil {
+		auditHandler = auditd.NewHandlerObserved(svc, reg)
+		if plat.store != nil {
+			twitterapi.ObserveStore(reg, plat.store)
+		}
+	}
+
+	// The root mux is unconditional now: even a bare audit service carries
+	// the observability surfaces next to /v1/.
+	root := http.NewServeMux()
+	root.Handle("/", auditHandler)
+
 	var mon *monitord.Monitor
 	monitorCtx, stopMonitor := context.WithCancel(context.Background())
 	defer stopMonitor()
@@ -94,15 +124,26 @@ func run() error {
 			return err
 		}
 		defer mon.Close()
-		root := http.NewServeMux()
-		mh := monitord.NewHandler(mon)
+		mh := http.Handler(monitord.NewHandler(mon))
+		if reg != nil {
+			mh = monitord.NewHandlerObserved(mon, reg)
+		}
 		root.Handle("/v1/watch", mh)
 		root.Handle("/v1/watch/", mh)
 		root.Handle("/v1/series/", mh)
 		root.Handle("/v1/alerts", mh)
-		root.Handle("/", handler)
-		handler = root
 	}
+	if reg != nil {
+		root.Handle("GET /metrics", reg)
+		root.Handle("GET /metrics.json", reg)
+		if *dashboard {
+			root.Handle("/dashboard/", opsui.Handler("/dashboard/"))
+		}
+	}
+	if *pprofOn {
+		metrics.MountPprof(root)
+	}
+	handler := http.Handler(root)
 
 	httpServer := &http.Server{
 		Addr:         *addr,
@@ -116,6 +157,13 @@ func run() error {
 	go func() {
 		fmt.Fprintf(os.Stderr, "auditd serving on http://%s/v1/ (tools: %s)\n",
 			*addr, strings.Join(svc.Tools(), ", "))
+		if reg != nil {
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics", *addr)
+			if *dashboard {
+				fmt.Fprintf(os.Stderr, ", dashboard on http://%s/dashboard/", *addr)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		errc <- httpServer.ListenAndServe()
 	}()
 	stop := make(chan os.Signal, 1)

@@ -13,12 +13,21 @@
 // when the variable is set), the artifact CI archives and diffs across
 // commits. Mixes: crawl-heavy, audit-heavy, churn-storm, celebrity-hotspot;
 // -duration is per mix. See docs/OPERATIONS.md for the full runbook.
+//
+// While a mix runs, a status line reports per-endpoint throughput and
+// latency every -progress interval (suppress with -quiet), and -metrics
+// starts an observability sidecar server on -obs-addr serving /metrics,
+// /metrics.json and the live dashboard at /dashboard/ — the same surfaces
+// the daemons expose, fed by both the in-process platform and the
+// generator's own client-side histograms.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -28,6 +37,8 @@ import (
 
 	"fakeproject/internal/benchjson"
 	"fakeproject/internal/loadgen"
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/opsui"
 )
 
 func main() {
@@ -47,6 +58,14 @@ func run() error {
 		burstLen   = flag.Duration("burst-len", 200*time.Millisecond, "burst length")
 		inflight   = flag.Int("inflight", 256, "max outstanding requests; arrivals beyond it are shed and reported")
 		out        = flag.String("out", "", "write BENCH_e2e.json here (default ./BENCH_e2e.json, or $BENCH_JSON/BENCH_e2e.json)")
+		progress   = flag.Duration("progress", 2*time.Second, "live status-line interval (0 disables)")
+		quiet      = flag.Bool("quiet", false, "suppress the live status line")
+
+		// Observability sidecar (same flag vocabulary as the daemons).
+		metricsOn = flag.Bool("metrics", true, "serve /metrics and /metrics.json on -obs-addr during the run")
+		dashboard = flag.Bool("dashboard", true, "serve the embedded ops dashboard at /dashboard/ on -obs-addr (needs -metrics)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof on -obs-addr")
+		obsAddr   = flag.String("obs-addr", "127.0.0.1:8089", "observability server listen address")
 
 		// In-process platform shape.
 		seed      = flag.Uint64("seed", 20140301, "population and sampling seed")
@@ -68,6 +87,18 @@ func run() error {
 		return err
 	}
 
+	var reg *metrics.Registry
+	if *metricsOn {
+		reg = metrics.NewRegistry()
+	}
+	if *metricsOn || *pprofOn {
+		stopObs, err := serveObservability(reg, *obsAddr, *dashboard, *pprofOn)
+		if err != nil {
+			return err
+		}
+		defer stopObs()
+	}
+
 	h, err := buildHarness(*api, *audit, *accounts, loadgen.Config{
 		Seed:         *seed,
 		Targets:      *targets,
@@ -75,11 +106,15 @@ func run() error {
 		AuditWorkers: *workers,
 		AuditTools:   splitList(*tools),
 		TableILimits: *limits,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer h.Close()
+	if reg != nil {
+		h.Observe(reg)
+	}
 
 	pattern := loadgen.Pattern{
 		Rate:       *rate,
@@ -94,7 +129,16 @@ func run() error {
 	var results []loadgen.Result
 	for _, name := range mixes {
 		fmt.Fprintf(os.Stderr, "running %s for %v at %.0f/s...\n", name, *duration, *rate)
-		res, err := h.RunMix(ctx, name, pattern, *duration, *inflight)
+		col := loadgen.NewCollector()
+		if reg != nil {
+			col.Publish(reg, metrics.L("mix", name))
+		}
+		runCtx, stopProgress := context.WithCancel(ctx)
+		if *progress > 0 && !*quiet {
+			go progressLoop(runCtx, col, *progress)
+		}
+		res, err := h.RunMixWith(ctx, name, pattern, *duration, *inflight, col)
+		stopProgress()
 		if err != nil {
 			return fmt.Errorf("mix %s: %w", name, err)
 		}
@@ -127,6 +171,79 @@ func run() error {
 		return fmt.Errorf("%d unexpected (non-429) errors across %d mixes", failures, len(results))
 	}
 	return nil
+}
+
+// serveObservability starts the sidecar HTTP server: /metrics and
+// /metrics.json when reg is non-nil, the dashboard, and pprof. It returns a
+// closer; a busy port is an error (the caller chose the address).
+func serveObservability(reg *metrics.Registry, addr string, dashboard, pprofOn bool) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("observability server: %w", err)
+	}
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("GET /metrics", reg)
+		mux.Handle("GET /metrics.json", reg)
+		if dashboard {
+			mux.Handle("/dashboard/", opsui.Handler("/dashboard/"))
+		}
+	}
+	if pprofOn {
+		metrics.MountPprof(mux)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "metrics on %s/metrics", base)
+		if dashboard {
+			fmt.Fprintf(os.Stderr, ", dashboard on %s/dashboard/", base)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return func() { _ = srv.Close() }, nil
+}
+
+// progressLoop prints one status line per interval while a mix runs:
+// per-endpoint throughput over the last interval (not cumulative, so rate
+// changes are visible immediately) plus cumulative p50/p99.
+func progressLoop(ctx context.Context, col *loadgen.Collector, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	prev := map[string]uint64{}
+	start := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			stats := col.Stats(time.Since(start))
+			if len(stats) == 0 {
+				continue
+			}
+			parts := make([]string, 0, len(stats))
+			for _, s := range stats {
+				delta := s.Count - prev[s.Endpoint]
+				prev[s.Endpoint] = s.Count
+				parts = append(parts, fmt.Sprintf("%s %.0f/s p50 %s p99 %s",
+					s.Endpoint, float64(delta)/interval.Seconds(), fmtDur(s.P50), fmtDur(s.P99)))
+			}
+			fmt.Fprintf(os.Stderr, "  [%5.1fs] %s\n", time.Since(start).Seconds(), strings.Join(parts, " | "))
+		}
+	}
+}
+
+// fmtDur renders a latency compactly at the precision that matters for it.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
 }
 
 func resolveMixes(spec string) ([]string, error) {

@@ -9,6 +9,11 @@
 //
 // Rate limits follow Table I per bearer token; exhausted budgets return 429
 // with a Retry-After header, exactly like api.twitter.com/1.1.
+//
+// Observability (see docs/OPERATIONS.md): -metrics serves the registry at
+// /metrics (Prometheus text) and /metrics.json, -dashboard mounts the
+// embedded ops dashboard at /dashboard/, -pprof mounts net/http/pprof at
+// /debug/pprof/.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"time"
 
 	"fakeproject/internal/core"
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/opsui"
 	"fakeproject/internal/population"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
@@ -40,8 +47,13 @@ func run() error {
 		scale    = flag.Int("scale", 50000, "max materialised followers per account")
 		seed     = flag.Uint64("seed", 20140301, "population seed")
 		load     = flag.String("load", "", "serve a store snapshot (from genpop -out) instead of building accounts")
+
+		metricsOn = flag.Bool("metrics", true, "serve /metrics (Prometheus text) and /metrics.json")
+		dashboard = flag.Bool("dashboard", true, "serve the embedded ops dashboard at /dashboard/ (needs -metrics)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	)
 	flag.Parse()
+	obs := obsConfig{Metrics: *metricsOn, Dashboard: *dashboard, Pprof: *pprofOn}
 
 	clock := simclock.Real{}
 
@@ -56,7 +68,7 @@ func run() error {
 			return fmt.Errorf("loading snapshot: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded snapshot with %d accounts\n", store.UserCount())
-		return serve(*addr, store, clock)
+		return serve(*addr, store, clock, obs)
 	}
 
 	store := twitter.NewStore(clock, *seed)
@@ -95,16 +107,57 @@ func run() error {
 		return fmt.Errorf("no known accounts in %q (see the paper testbed)", *accounts)
 	}
 	fmt.Fprintf(os.Stderr, "built %d accounts\n", built)
-	return serve(*addr, store, clock)
+	return serve(*addr, store, clock, obs)
 }
 
-func serve(addr string, store *twitter.Store, clock simclock.Clock) error {
-	server := twitterapi.NewServer(twitterapi.NewService(store), clock)
+// obsConfig selects the observability surfaces mounted next to the API.
+type obsConfig struct {
+	Metrics   bool
+	Dashboard bool
+	Pprof     bool
+}
+
+// newRootHandler assembles the daemon's full HTTP surface: the API plane at
+// /1.1/, and — per flags — /metrics, /metrics.json, /dashboard/ and
+// /debug/pprof/. Factored out of serve so the smoke test can boot the exact
+// production handler on an httptest server.
+func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig) http.Handler {
+	svc := twitterapi.NewService(store)
+	if !obs.Metrics && !obs.Pprof {
+		return twitterapi.NewServer(svc, clock)
+	}
+	mux := http.NewServeMux()
+	if obs.Metrics {
+		reg := metrics.NewRegistry()
+		mux.Handle("/", twitterapi.NewServerObserved(svc, clock, twitterapi.DefaultLimits(), reg))
+		twitterapi.ObserveStore(reg, store)
+		mux.Handle("GET /metrics", reg)
+		mux.Handle("GET /metrics.json", reg)
+		if obs.Dashboard {
+			mux.Handle("/dashboard/", opsui.Handler("/dashboard/"))
+		}
+	} else {
+		mux.Handle("/", twitterapi.NewServer(svc, clock))
+	}
+	if obs.Pprof {
+		metrics.MountPprof(mux)
+	}
+	return mux
+}
+
+func serve(addr string, store *twitter.Store, clock simclock.Clock, obs obsConfig) error {
 	fmt.Fprintf(os.Stderr, "serving on http://%s/1.1/ (try followers/ids.json, users/lookup.json, users/show.json, statuses/user_timeline.json)\n",
 		addr)
+	if obs.Metrics {
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics", addr)
+		if obs.Dashboard {
+			fmt.Fprintf(os.Stderr, ", dashboard on http://%s/dashboard/", addr)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	httpServer := &http.Server{
 		Addr:         addr,
-		Handler:      server,
+		Handler:      newRootHandler(store, clock, obs),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"fakeproject/internal/metrics"
 )
 
 // Handler exposes a Service over an HTTP JSON API:
@@ -31,12 +33,40 @@ type Handler struct {
 // NewHandler builds the HTTP API for svc.
 func NewHandler(svc *Service) *Handler {
 	h := &Handler{svc: svc, mux: http.NewServeMux(), maxWait: 5 * time.Minute}
-	h.mux.HandleFunc("POST /v1/audits", h.submit)
-	h.mux.HandleFunc("GET /v1/audits", h.list)
-	h.mux.HandleFunc("GET /v1/audits/{id}", h.get)
-	h.mux.HandleFunc("GET /v1/stats", h.stats)
-	h.mux.HandleFunc("GET /healthz", h.health)
+	for _, rt := range h.routes() {
+		h.mux.HandleFunc(rt.pattern, rt.handler)
+	}
 	return h
+}
+
+// NewHandlerObserved is NewHandler with every route wrapped in the shared
+// HTTP instrumentation (plane "audit") and the service's operational
+// counters exported into reg.
+func NewHandlerObserved(svc *Service, reg *metrics.Registry) *Handler {
+	h := &Handler{svc: svc, mux: http.NewServeMux(), maxWait: 5 * time.Minute}
+	plane := metrics.NewHTTPPlane(reg, "audit", svc.clock)
+	for _, rt := range h.routes() {
+		h.mux.Handle(rt.pattern, plane.WrapFunc(rt.endpoint, rt.handler))
+	}
+	svc.Observe(reg)
+	return h
+}
+
+// handlerRoute binds one mux pattern to its metrics endpoint label.
+type handlerRoute struct {
+	pattern  string
+	endpoint string
+	handler  http.HandlerFunc
+}
+
+func (h *Handler) routes() []handlerRoute {
+	return []handlerRoute{
+		{"POST /v1/audits", "audits/submit", h.submit},
+		{"GET /v1/audits", "audits/list", h.list},
+		{"GET /v1/audits/{id}", "audits/get", h.get},
+		{"GET /v1/stats", "stats", h.stats},
+		{"GET /healthz", "healthz", h.health},
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -166,9 +196,15 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.svc.Stats())
 }
 
+// health answers the readiness probe. A degraded service (queue at
+// capacity, or workers stalled with jobs waiting) answers 503 so load
+// balancers and orchestrators actually take it out of rotation — the
+// probe is a real signal, not a static "ok".
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string   `json:"status"`
-		Tools  []string `json:"tools"`
-	}{Status: "ok", Tools: h.svc.Tools()})
+	health := h.svc.Health()
+	status := http.StatusOK
+	if health.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, health)
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fakeproject/internal/core"
+	"fakeproject/internal/metrics"
 	"fakeproject/internal/simclock"
 )
 
@@ -30,6 +32,10 @@ type Config struct {
 	RetainJobs int
 	// Clock drives timestamps and cache expiry (default the real clock).
 	Clock simclock.Clock
+	// StallAfter is how long the pool may go without making progress (a
+	// job starting or finishing) while jobs are queued before Health
+	// reports degraded (default 30s).
+	StallAfter time.Duration
 	// Tools maps tool name → per-worker engine factory. Required.
 	Tools map[string]Factory
 	// ToolOrder is the canonical order used when a job requests "all
@@ -49,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = simclock.Real{}
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 30 * time.Second
 	}
 	return c
 }
@@ -91,6 +100,11 @@ type Service struct {
 	runSeq uint64
 	closed bool
 	stats  Stats
+
+	// progressNs is the clock instant (UnixNano) of the pool's last sign of
+	// life — a job starting or finishing. Health compares it against
+	// StallAfter when jobs are queued.
+	progressNs atomic.Int64
 
 	// flightMu guards flights, the per-(tool,target) singleflight map that
 	// prevents two workers from running the same analysis concurrently.
@@ -138,6 +152,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.stats.Workers = cfg.Workers
 	s.stats.QueueCap = cfg.QueueCap
+	s.progressNs.Store(cfg.Clock.Now().UnixNano())
 	// Workers are numbered from 1 so a JobSnapshot's zero Worker always
 	// means "not yet assigned".
 	for w := 1; w <= cfg.Workers; w++ {
@@ -335,6 +350,76 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
+// Health is the readiness assessment behind GET /healthz.
+type Health struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Detail explains a degraded status.
+	Detail     string   `json:"detail,omitempty"`
+	QueueDepth int      `json:"queue_depth"`
+	QueueCap   int      `json:"queue_cap"`
+	Tools      []string `json:"tools"`
+}
+
+// Health assesses readiness: degraded when the job queue is at capacity
+// (submissions are bouncing) or when jobs are queued but the worker pool
+// has shown no sign of life for StallAfter.
+func (s *Service) Health() Health {
+	h := Health{
+		Status:     "ok",
+		QueueDepth: s.queue.depth(),
+		QueueCap:   s.cfg.QueueCap,
+		Tools:      s.Tools(),
+	}
+	switch idle := s.clock.Now().Sub(time.Unix(0, s.progressNs.Load())); {
+	case h.QueueDepth >= h.QueueCap:
+		h.Status = "degraded"
+		h.Detail = fmt.Sprintf("job queue at capacity (%d/%d): submissions are being rejected",
+			h.QueueDepth, h.QueueCap)
+	case h.QueueDepth > 0 && idle > s.cfg.StallAfter:
+		h.Status = "degraded"
+		h.Detail = fmt.Sprintf("workers stalled: %d jobs queued, no progress for %s",
+			h.QueueDepth, idle.Round(time.Second))
+	}
+	return h
+}
+
+// Observe exports the service's operational counters into reg, evaluated
+// from Stats at scrape time so nothing is double-tracked.
+func (s *Service) Observe(reg *metrics.Registry) {
+	gauge := func(name, help string, pick func(Stats) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return pick(s.Stats()) })
+	}
+	counter := func(name, help string, pick func(Stats) float64, labels ...metrics.Label) {
+		reg.CounterFunc(name, help, func() float64 { return pick(s.Stats()) }, labels...)
+	}
+	gauge("auditd_queue_depth", "Audit jobs waiting in the queue.",
+		func(st Stats) float64 { return float64(st.QueueDepth) })
+	gauge("auditd_queue_capacity", "Configured queue bound.",
+		func(st Stats) float64 { return float64(st.QueueCap) })
+	gauge("auditd_workers", "Configured worker pool size.",
+		func(st Stats) float64 { return float64(st.Workers) })
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Submitted) }, metrics.L("event", "submitted"))
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Completed) }, metrics.L("event", "completed"))
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Failed) }, metrics.L("event", "failed"))
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Canceled) }, metrics.L("event", "canceled"))
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Rejected) }, metrics.L("event", "rejected"))
+	counter("auditd_jobs_total", "Jobs submitted, by outcome so far.",
+		func(st Stats) float64 { return float64(st.Deduped) }, metrics.L("event", "deduped"))
+	counter("auditd_cache_total", "Result-cache lookups, by outcome.",
+		func(st Stats) float64 { return float64(st.CacheHits) }, metrics.L("outcome", "hit"))
+	counter("auditd_cache_total", "Result-cache lookups, by outcome.",
+		func(st Stats) float64 { return float64(st.CacheMisses) }, metrics.L("outcome", "miss"))
+	counter("auditd_inline_cache_serves_total",
+		"Submissions answered entirely from cache without queueing.",
+		func(st Stats) float64 { return float64(st.InlineCache) })
+}
+
 // Cache exposes the shared result cache (nil when disabled).
 func (s *Service) Cache() *core.ResultCache { return s.cache }
 
@@ -432,6 +517,7 @@ func (s *Service) runJob(worker int, engines map[string]core.Auditor, j *job) {
 	s.runSeq++
 	j.runSeq = s.runSeq
 	s.mu.Unlock()
+	s.progressNs.Store(j.started.UnixNano())
 
 	results := make(map[string]ToolResult, len(j.spec.Tools))
 	failed := false
@@ -460,6 +546,7 @@ func (s *Service) runJob(worker int, engines map[string]core.Auditor, j *job) {
 		s.stats.Completed++
 	}
 	s.mu.Unlock()
+	s.progressNs.Store(j.finished.UnixNano())
 	close(j.done)
 }
 

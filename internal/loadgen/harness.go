@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fakeproject/internal/auditd"
+	"fakeproject/internal/metrics"
 	"fakeproject/internal/population"
 	"fakeproject/internal/ratelimit"
 	"fakeproject/internal/simclock"
@@ -47,6 +48,10 @@ type Config struct {
 	// open-loop generator against 1-per-minute budgets measures only the
 	// limiter. With limits on, 429s are expected and counted.
 	TableILimits bool
+	// Metrics, when non-nil, builds the platform observed: both HTTP planes
+	// get the shared per-endpoint instrumentation and the store/audit
+	// internals are exported into this registry (see also Harness.Observe).
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -166,7 +171,11 @@ func NewLocal(cfg Config) (*Harness, error) {
 	if cfg.TableILimits {
 		limits = twitterapi.DefaultLimits()
 	}
-	apiBase, err := h.listen(twitterapi.NewServerLimits(apiSvc, clock, limits))
+	apiServer := twitterapi.NewServerLimits(apiSvc, clock, limits)
+	if cfg.Metrics != nil {
+		apiServer = twitterapi.NewServerObserved(apiSvc, clock, limits, cfg.Metrics)
+	}
+	apiBase, err := h.listen(apiServer)
 	if err != nil {
 		h.Close()
 		return nil, err
@@ -205,7 +214,12 @@ func NewLocal(cfg Config) (*Harness, error) {
 		return nil, fmt.Errorf("building audit service: %w", err)
 	}
 	h.svc = svc
-	auditBase, err := h.listen(auditd.NewHandler(svc))
+	auditHandler := http.Handler(auditd.NewHandler(svc))
+	if cfg.Metrics != nil {
+		auditHandler = auditd.NewHandlerObserved(svc, cfg.Metrics)
+		twitterapi.ObserveStore(cfg.Metrics, store)
+	}
+	auditBase, err := h.listen(auditHandler)
 	if err != nil {
 		h.Close()
 		return nil, err
@@ -322,6 +336,18 @@ func (h *Harness) do(req *http.Request) ([]byte, error) {
 func (h *Harness) idsURL(path string, id twitter.UserID, cursor int64) string {
 	return h.APIBase + path + "?user_id=" + strconv.FormatInt(int64(id), 10) +
 		"&cursor=" + strconv.FormatInt(cursor, 10)
+}
+
+// Observe exports the local platform's internal signals into reg: store
+// shard heat and the audit service's queue/cache counters. Remote
+// harnesses have neither and Observe is a no-op for them.
+func (h *Harness) Observe(reg *metrics.Registry) {
+	if h.store != nil {
+		twitterapi.ObserveStore(reg, h.store)
+	}
+	if h.svc != nil {
+		h.svc.Observe(reg)
+	}
 }
 
 // churnStep applies one step of background churn to the hottest target:

@@ -1,153 +1,9 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "fakeproject/internal/metrics"
 
-// Histogram layout: one underflow bucket, then 2^histSubBits linear
-// sub-buckets per power-of-two octave between 2^histMinExp and
-// 2^histMaxExp nanoseconds, then one overflow bucket. With 5 sub-bits the
-// worst-case relative error of a reported quantile is 1/32 ≈ 3%, and the
-// whole histogram is a flat array of 834 atomic counters — recording a
-// sample is a couple of bit operations and one atomic add, no allocation,
-// no lock.
-const (
-	histMinExp  = 10 // 2^10 ns = 1.024µs: everything below lands in bucket 0
-	histMaxExp  = 36 // 2^36 ns ≈ 68.7s: everything above is overflow
-	histSubBits = 5
-	histSubMask = 1<<histSubBits - 1
-
-	histBuckets = (histMaxExp-histMinExp)<<histSubBits + 2
-)
-
-// Histogram is a fixed-bucket log-linear latency histogram safe for
-// concurrent recording. The zero value is ready to use.
-type Histogram struct {
-	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sumNs  atomic.Uint64
-	maxNs  atomic.Int64
-}
-
-// bucketOf maps a nanosecond value to its bucket index.
-func bucketOf(ns int64) int {
-	if ns < 1<<histMinExp {
-		return 0
-	}
-	exp := bits.Len64(uint64(ns)) - 1 // position of the highest set bit
-	if exp >= histMaxExp {
-		return histBuckets - 1
-	}
-	sub := int(ns>>(exp-histSubBits)) & histSubMask
-	return 1 + (exp-histMinExp)<<histSubBits + sub
-}
-
-// bucketUpper is the inclusive upper edge of a bucket in nanoseconds.
-// Quantiles report this edge, so a percentile is never under-stated by
-// more than the bucket's ~3% width.
-func bucketUpper(idx int) int64 {
-	switch {
-	case idx <= 0:
-		return 1<<histMinExp - 1
-	case idx >= histBuckets-1:
-		return 1 << 62
-	}
-	idx--
-	exp := idx>>histSubBits + histMinExp
-	sub := int64(idx&histSubMask) + 1
-	return 1<<exp + sub<<(exp-histSubBits) - 1
-}
-
-// Record adds one sample.
-func (h *Histogram) Record(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	h.counts[bucketOf(ns)].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(uint64(ns))
-	for {
-		cur := h.maxNs.Load()
-		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
-
-// Count reports the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean reports the arithmetic mean of the recorded samples.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNs.Load() / n)
-}
-
-// Max reports the largest recorded sample exactly (tracked outside the
-// buckets, so the tail's headline number carries no quantisation error).
-func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
-
-// Quantile reports the latency at quantile q in [0, 1]. Concurrent Record
-// calls may or may not be included; call after recording has stopped for
-// exact results.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// Rank of the q-th sample, 1-based: ceil(q*n), clamped to [1, n].
-	rank := uint64(q * float64(n))
-	if float64(rank) < q*float64(n) {
-		rank++
-	}
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	var seen uint64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			upper := bucketUpper(i)
-			if max := h.maxNs.Load(); upper > max {
-				// The top occupied bucket's edge can overshoot the true
-				// maximum; the exact max is the tighter bound.
-				upper = max
-			}
-			return time.Duration(upper)
-		}
-	}
-	return h.Max()
-}
-
-// Merge folds other's samples into h (max is kept exact; the merged mean
-// and quantiles are as exact as the shared bucket layout allows).
-func (h *Histogram) Merge(other *Histogram) {
-	for i := 0; i < histBuckets; i++ {
-		if c := other.counts[i].Load(); c > 0 {
-			h.counts[i].Add(c)
-		}
-	}
-	h.count.Add(other.count.Load())
-	h.sumNs.Add(other.sumNs.Load())
-	for {
-		cur, oth := h.maxNs.Load(), other.maxNs.Load()
-		if oth <= cur || h.maxNs.CompareAndSwap(cur, oth) {
-			return
-		}
-	}
-}
+// Histogram is the shared log-linear latency histogram, promoted to
+// internal/metrics so the daemons' HTTP instrumentation and this harness
+// quantise latencies identically. The alias keeps the harness API (and its
+// callers) unchanged.
+type Histogram = metrics.Histogram

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fakeproject/internal/metrics"
 )
 
 // ErrThrottled classifies an HTTP 429 — an expected outcome under rate
@@ -130,11 +132,37 @@ func (e *endpointRec) record(d time.Duration, err error) {
 type Collector struct {
 	mu   sync.RWMutex
 	recs map[string]*endpointRec
+
+	// publish, when set, exports each new endpoint's series into a metrics
+	// registry the moment the endpoint first records (see Publish).
+	publish func(endpoint string, r *endpointRec)
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{recs: make(map[string]*endpointRec)}
+}
+
+// Publish exports the collector into reg under the given extra labels
+// (typically the mix name): every endpoint — current and future — gets a
+// loadgen_request_duration_seconds histogram plus error and throttle
+// counters. The histograms are registered by reference, so the live
+// dashboard and the end-of-run report read the same buckets.
+func (c *Collector) Publish(reg *metrics.Registry, labels ...metrics.Label) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publish = func(endpoint string, r *endpointRec) {
+		ls := append(append([]metrics.Label(nil), labels...), metrics.L("endpoint", endpoint))
+		reg.RegisterHistogram("loadgen_request_duration_seconds",
+			"Client-observed latency from scheduled arrival to completion.", &r.hist, ls...)
+		reg.CounterFunc("loadgen_errors_total", "Non-429 request failures.",
+			func() float64 { return float64(r.errors.Load()) }, ls...)
+		reg.CounterFunc("loadgen_throttled_total", "Requests answered 429.",
+			func() float64 { return float64(r.throttled.Load()) }, ls...)
+	}
+	for name, r := range c.recs {
+		c.publish(name, r)
+	}
 }
 
 func (c *Collector) rec(endpoint string) *endpointRec {
@@ -149,6 +177,9 @@ func (c *Collector) rec(endpoint string) *endpointRec {
 	if r = c.recs[endpoint]; r == nil {
 		r = &endpointRec{}
 		c.recs[endpoint] = r
+		if c.publish != nil {
+			c.publish(endpoint, r)
+		}
 	}
 	return r
 }
@@ -194,11 +225,19 @@ func (c *Collector) Stats(runDuration time.Duration) []EndpointStats {
 // delay the generator itself accumulates counts against the server — the
 // open-loop discipline that avoids coordinated omission.
 func Run(ctx context.Context, mix Mix, p Pattern, d time.Duration, maxInFlight int) Result {
+	return RunWith(ctx, mix, p, d, maxInFlight, NewCollector())
+}
+
+// RunWith is Run recording into a caller-supplied collector, so a progress
+// reporter or a published metrics registry can watch the run live.
+func RunWith(ctx context.Context, mix Mix, p Pattern, d time.Duration, maxInFlight int, col *Collector) Result {
 	if maxInFlight <= 0 {
 		maxInFlight = 256
 	}
 	offsets := p.Schedule(d)
-	col := NewCollector()
+	if col == nil {
+		col = NewCollector()
+	}
 	sem := make(chan struct{}, maxInFlight)
 	var wg sync.WaitGroup
 	shed := 0

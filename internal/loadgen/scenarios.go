@@ -94,6 +94,13 @@ func (h *Harness) buildMix(name string, seed uint64) (mixSpec, error) {
 // RunMix executes one named mix under the pattern, driving any background
 // churn the mix calls for concurrently with the load.
 func (h *Harness) RunMix(ctx context.Context, name string, p Pattern, d time.Duration, maxInFlight int) (Result, error) {
+	return h.RunMixWith(ctx, name, p, d, maxInFlight, nil)
+}
+
+// RunMixWith is RunMix recording into a caller-supplied collector (nil for
+// a private one) so live progress and metrics publication can observe the
+// run as it happens.
+func (h *Harness) RunMixWith(ctx context.Context, name string, p Pattern, d time.Duration, maxInFlight int, col *Collector) (Result, error) {
 	spec, err := h.buildMix(name, drand.New(h.seed).SeedFor("loadgen/"+name))
 	if err != nil {
 		return Result{}, err
@@ -113,7 +120,7 @@ func (h *Harness) RunMix(ctx context.Context, name string, p Pattern, d time.Dur
 		}()
 	}
 
-	res := Run(ctx, spec.mix, p, d, maxInFlight)
+	res := RunWith(ctx, spec.mix, p, d, maxInFlight, col)
 
 	if spec.churn != nil {
 		stopChurn()

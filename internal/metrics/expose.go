@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// famView is a scrape-time snapshot of one family: the slice header is
+// copied under the registry lock so exposition never races a concurrent
+// registration's append, and callback series are evaluated after the lock
+// is dropped.
+type famView struct {
+	name, help string
+	kind       Kind
+	series     []*series
+}
+
+func (r *Registry) snapshotFamilies() []famView {
+	r.mu.RLock()
+	out := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, famView{name: f.name, help: f.help, kind: f.kind, series: f.series})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus writes the registry in Prometheus text format 0.0.4:
+// a # HELP and # TYPE line per family, one sample line per series, and
+// histograms expanded into cumulative _bucket{le=...} lines plus _sum and
+// _count. Families are ordered by name, series by registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.kind))
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			if f.kind == KindHistogram {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, s.labels, "")
+			bw.WriteByte(' ')
+			if s.counter != nil {
+				bw.WriteString(strconv.FormatUint(s.counter.Value(), 10))
+			} else {
+				bw.WriteString(formatFloat(s.value()))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits one histogram series: cumulative buckets at the
+// downsampled octave edges (seconds), then _sum and _count. The written
+// count is clamped up to the bucket total so the exposition invariant
+// "count >= every bucket" holds even when the scrape races recorders.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	var cum [expoBuckets]uint64
+	total := s.hist.cumulative(cum[:])
+	sumNs := s.hist.Sum()
+	if c := s.hist.Count(); c > total {
+		total = c
+	}
+	for i := 0; i < expoBuckets; i++ {
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.labels, formatFloat(float64(expoEdgeNs(i))/1e9))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum[i], 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, s.labels, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(total, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(sumNs.Seconds()))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(total, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels emits `{k="v",...}` (nothing for an empty set), appending an
+// le label last when le is non-empty.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// The JSON exposition: same registry contents, shaped for a polling
+// dashboard — histogram series carry precomputed quantiles (in seconds)
+// instead of raw buckets, so the consumer needs no histogram math.
+
+// SeriesJSON is one series in the JSON exposition.
+type SeriesJSON struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram summary fields (histogram kind only), durations in seconds.
+	Count *uint64  `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+	Mean  *float64 `json:"mean,omitempty"`
+	P50   *float64 `json:"p50,omitempty"`
+	P90   *float64 `json:"p90,omitempty"`
+	P99   *float64 `json:"p99,omitempty"`
+	P999  *float64 `json:"p999,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
+}
+
+// FamilyJSON is one metric family in the JSON exposition.
+type FamilyJSON struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Type   Kind         `json:"type"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// SnapshotJSON is the document served at /metrics.json.
+type SnapshotJSON struct {
+	Families []FamilyJSON `json:"families"`
+}
+
+// Snapshot captures the registry's current state in the JSON shape.
+func (r *Registry) Snapshot() SnapshotJSON {
+	fams := r.snapshotFamilies()
+	doc := SnapshotJSON{Families: make([]FamilyJSON, 0, len(fams))}
+	for _, f := range fams {
+		fj := FamilyJSON{Name: f.name, Help: f.help, Type: f.kind}
+		for _, s := range f.series {
+			sj := SeriesJSON{}
+			if len(s.labels) > 0 {
+				sj.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					sj.Labels[l.Key] = l.Value
+				}
+			}
+			if f.kind == KindHistogram {
+				h := s.hist
+				count := h.Count()
+				sj.Count = &count
+				sj.Sum = secs(h.Sum())
+				sj.Mean = secs(h.Mean())
+				sj.P50 = secs(h.Quantile(0.50))
+				sj.P90 = secs(h.Quantile(0.90))
+				sj.P99 = secs(h.Quantile(0.99))
+				sj.P999 = secs(h.Quantile(0.999))
+				sj.Max = secs(h.Max())
+			} else {
+				v := s.value()
+				sj.Value = &v
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		doc.Families = append(doc.Families, fj)
+	}
+	return doc
+}
+
+func secs(d time.Duration) *float64 {
+	v := d.Seconds()
+	return &v
+}
+
+// ServeHTTP makes the registry mountable directly: Prometheus text format
+// by default, the JSON form when the request path ends in ".json" — mount
+// the same registry at GET /metrics and GET /metrics.json.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if strings.HasSuffix(req.URL.Path, ".json") {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(r.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

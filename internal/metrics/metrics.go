@@ -1,0 +1,271 @@
+// Package metrics is the dependency-free observability registry of the
+// reproduction: named counters, gauges and log-linear latency histograms,
+// collected in a Registry and exposed in Prometheus text format 0.0.4
+// (GET /metrics) and a machine-friendly JSON form (GET /metrics.json) that
+// the embedded ops dashboard polls.
+//
+// The design splits the cost asymmetrically. Registration (Counter,
+// Gauge, Histogram, ...) happens at daemon assembly time, takes locks and
+// allocates freely, and hands back a pointer. Recording through that
+// pointer — the serving hot path — is a couple of atomic operations: no
+// lock, no map lookup, no allocation, safe from any goroutine. Scraping
+// walks the registry under a read lock and evaluates callback metrics at
+// that moment, so exporting a subsystem's internal state is one closure,
+// not a new counter to thread through its code.
+//
+// Metric and label naming follows the Prometheus conventions: snake_case
+// names with a unit suffix (_seconds, _total), label values free-form
+// (escaped on exposition). The same family name may carry many label
+// combinations; a family's kind and help are fixed by the first
+// registration and re-registering an identical (name, labels) series
+// returns the existing instance.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family, with the Prometheus TYPE vocabulary.
+type Kind string
+
+// Family kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label; registration call sites read better with it.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is usable,
+// but counters obtained from a Registry are what exposition sees.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Add adjusts the gauge by delta (CAS loop; fine off the hot path, and for
+// hot in-flight tracking IntGauge is the cheaper shape).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// IntGauge is an integer gauge with single-atomic-op Inc/Dec — the shape
+// for in-flight request tracking on the hot path.
+type IntGauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *IntGauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *IntGauge) Dec() { g.v.Add(-1) }
+
+// Set stores v.
+func (g *IntGauge) Set(v int64) { g.v.Store(v) }
+
+// Value reports the current value.
+func (g *IntGauge) Value() int64 { return g.v.Load() }
+
+// series is one labelled instance within a family. Exactly one of the
+// value fields is set, matching the family's kind.
+type series struct {
+	labels []Label // sorted by key
+
+	counter *Counter
+	gauge   *Gauge
+	intg    *IntGauge
+	fn      func() float64 // CounterFunc / GaugeFunc callback
+	hist    *Histogram
+}
+
+// value evaluates the series' scalar at scrape time (not for histograms).
+func (s *series) value() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return s.gauge.Value()
+	case s.intg != nil:
+		return float64(s.intg.Value())
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	series []*series
+	bySig  map[string]*series
+}
+
+// Registry holds metric families and exposes them; see the package comment
+// for the registration/recording split. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, KindCounter, labels, func(s *series) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// Gauge registers (or finds) a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, KindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// IntGauge registers (or finds) an integer gauge series.
+func (r *Registry) IntGauge(name, help string, labels ...Label) *IntGauge {
+	s := r.register(name, help, KindGauge, labels, func(s *series) { s.intg = &IntGauge{} })
+	return s.intg
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the shape for exporting counters a subsystem already tracks
+// internally (auditd job totals, store shard ops) without double counting.
+// fn must be safe to call from any goroutine and monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindCounter, labels, func(s *series) { s.fn = fn })
+}
+
+// GaugeFunc registers a gauge evaluated from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, labels, func(s *series) { s.fn = fn })
+}
+
+// Histogram registers (or finds) a histogram series. Samples are recorded
+// as durations; exposition reports seconds.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.register(name, help, KindHistogram, labels, func(s *series) { s.hist = &Histogram{} })
+	return s.hist
+}
+
+// RegisterHistogram exposes an existing histogram instance under the given
+// series — the bridge for recorders that embed their histogram (the load
+// generator's per-endpoint collector) rather than obtaining it here.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, KindHistogram, labels, func(s *series) { s.hist = h })
+}
+
+// register is the single get-or-create path behind every registration.
+// It panics on misuse (invalid name, kind clash, re-registering an existing
+// series as a different instance kind): registration happens at assembly
+// time with static arguments, where a panic is a build-time bug report,
+// not a runtime hazard.
+func (r *Registry) register(name, help string, kind Kind, labels []Label, init func(*series)) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) || l.Key == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	sig := signature(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bySig: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (is %s)", name, kind, f.kind))
+	}
+	if s, ok := f.bySig[sig]; ok {
+		return s
+	}
+	s := &series{labels: sorted}
+	init(s)
+	f.series = append(f.series, s)
+	f.bySig[sig] = s
+	return s
+}
+
+// signature canonicalises a sorted label set into a map key.
+func signature(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// validName reports whether s is a legal Prometheus metric/label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGoldenExposition pins the exact text-format output for one of each
+// metric shape: HELP/TYPE lines, label ordering and escaping, counter and
+// gauge value formatting, and the full histogram expansion.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.", L("queue", "audit"))
+	c.Add(42)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(3)
+	r.Counter("odd_labels_total", `Help with backslash \ and
+newline.`, L("path", `a\b"c`+"\n"))
+	h := r.Histogram("req_seconds", "Request latency.", L("ep", "x"))
+	h.Record(3 * time.Microsecond)   // octave edge 2^12ns=4.096µs (bucket 1)
+	h.Record(100 * time.Microsecond) // <= 2^17ns=131.072µs (bucket 7)
+	h.Record(90 * time.Second)       // overflow -> +Inf only
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := strings.Join([]string{
+		`# HELP jobs_total Jobs processed.`,
+		`# TYPE jobs_total counter`,
+		`jobs_total{queue="audit"} 42`,
+		`# HELP odd_labels_total Help with backslash \\ and\nnewline.`,
+		`# TYPE odd_labels_total counter`,
+		`odd_labels_total{path="a\\b\"c\n"} 0`,
+		`# HELP queue_depth Jobs waiting.`,
+		`# TYPE queue_depth gauge`,
+		`queue_depth 3`,
+		`# HELP req_seconds Request latency.`,
+		`# TYPE req_seconds histogram`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+
+	// Histogram lines: 26 finite buckets + +Inf + _sum + _count.
+	histLines := strings.Split(strings.TrimSuffix(got[len(want):], "\n"), "\n")
+	if len(histLines) != expoBuckets+3 {
+		t.Fatalf("histogram emitted %d lines, want %d", len(histLines), expoBuckets+3)
+	}
+	for _, pin := range []string{
+		`req_seconds_bucket{ep="x",le="2.048e-06"} 0`,   // first edge: 2^11ns
+		`req_seconds_bucket{ep="x",le="4.096e-06"} 1`,   // 3µs sample inside
+		`req_seconds_bucket{ep="x",le="0.000131072"} 2`, // 100µs sample inside
+		`req_seconds_bucket{ep="x",le="+Inf"} 3`,
+		`req_seconds_count{ep="x"} 3`,
+	} {
+		if !strings.Contains(got, pin+"\n") {
+			t.Errorf("exposition missing pinned line %q\nfull output:\n%s", pin, got)
+		}
+	}
+
+	// The output must round-trip through the parser with all invariants
+	// (cumulativity, +Inf == _count, label syntax) intact.
+	fams, err := ParseText(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("ParseText rejected our own output: %v", err)
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["odd_labels_total"]; len(f.Samples) != 1 || f.Samples[0].Labels["path"] != "a\\b\"c\n" {
+		t.Errorf("label escaping did not round-trip: %#v", f.Samples)
+	}
+	if f := byName["req_seconds"]; f.Type != "histogram" {
+		t.Errorf("req_seconds parsed as %q", f.Type)
+	}
+}
+
+// TestRegistryReuseAndPanics covers get-or-create semantics and the
+// assembly-time misuse panics.
+func TestRegistryReuseAndPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("k", "v"))
+	b := r.Counter("x_total", "", L("k", "v"))
+	if a != b {
+		t.Fatal("re-registering the same series must return the same counter")
+	}
+	if r.Counter("x_total", "", L("k", "w")) == a {
+		t.Fatal("different label value must be a different series")
+	}
+	for name, fn := range map[string]func(){
+		"bad name":   func() { r.Counter("bad-name", "") },
+		"kind clash": func() { r.Gauge("x_total", "") },
+		"le label":   func() { r.Histogram("h_seconds", "", L("le", "1")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestScrapeUnderConcurrentLoad hammers one registry from recorder
+// goroutines (counters, gauges, histograms, plus ongoing registrations)
+// while scraping both expositions — the -race proof that recording is
+// lock-free safe and scraping snapshots correctly.
+func TestScrapeUnderConcurrentLoad(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat_seconds", "")
+	r.GaugeFunc("derived", "", func() float64 { return g.Value() * 2 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(n))
+				h.Record(time.Duration(n) * time.Microsecond)
+				if n%100 == 0 {
+					// Concurrent registration against in-progress scrapes.
+					r.Counter("dyn_total", "", L("worker", string(rune('a'+i))), L("n", "x"))
+				}
+			}
+		}(i)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+				t.Fatalf("mid-load scrape invalid: %v\n%s", err, b.String())
+			}
+			r.Snapshot()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 {
+		t.Fatal("recorders did not run")
+	}
+}
+
+// TestServeHTTPContentNegotiation checks the two mount points.
+func TestServeHTTPContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "The one.").Inc()
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1") {
+		t.Errorf("text body:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"one_total"`) {
+		t.Errorf("json body:\n%s", rec.Body.String())
+	}
+}
+
+// TestHistogramSumAndCumulative pins the exposition downsampling math.
+func TestHistogramSumAndCumulative(t *testing.T) {
+	var h Histogram
+	h.Record(500 * time.Nanosecond) // underflow bucket -> first edge
+	h.Record(3 * time.Microsecond)
+	h.Record(time.Minute + 30*time.Second) // overflow (> 2^36ns)
+	if h.Sum() != 500*time.Nanosecond+3*time.Microsecond+90*time.Second {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	var cum [expoBuckets]uint64
+	total := h.cumulative(cum[:])
+	if total != 3 {
+		t.Fatalf("cumulative total = %d", total)
+	}
+	if cum[0] != 1 { // 500ns underflow <= 2.048µs edge
+		t.Fatalf("cum[0] = %d, want 1", cum[0])
+	}
+	if cum[expoBuckets-1] != 2 { // overflow excluded from finite edges
+		t.Fatalf("top finite edge = %d, want 2", cum[expoBuckets-1])
+	}
+	for i := 1; i < expoBuckets; i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal parser for the Prometheus text format this package writes.
+// It exists so tests (and the CI smoke step) can validate a scrape
+// structurally — names well-formed, TYPE lines consistent, histogram
+// buckets cumulative — rather than by string comparison alone.
+
+// ParsedSample is one sample line from a text-format scrape.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family from a text-format scrape. Histogram
+// samples keep their full sample names (name_bucket, name_sum, name_count).
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseText parses Prometheus text format 0.0.4 and validates it as it
+// goes: label syntax, sample values, TYPE vocabulary, histogram bucket
+// cumulativity, and that every sample belongs to a declared family when a
+// TYPE line precedes it. It returns families in the order first seen.
+func ParseText(r io.Reader) ([]ParsedFamily, error) {
+	var (
+		fams  []ParsedFamily
+		index = map[string]int{} // family name -> fams index
+	)
+	fam := func(name string) *ParsedFamily {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		index[name] = len(fams)
+		fams = append(fams, ParsedFamily{Name: name})
+		return &fams[len(fams)-1]
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			switch kind {
+			case "HELP":
+				fam(name).Help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				f := fam(name)
+				if f.Type != "" && f.Type != rest {
+					return nil, fmt.Errorf("line %d: %s re-typed %s -> %s", lineNo, name, f.Type, rest)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := familyNameOf(s.Name, index)
+		f := fam(base)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if err := checkFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// familyNameOf maps a sample name to its family: histogram samples carry
+// _bucket/_sum/_count suffixes on the declared family name.
+func familyNameOf(sample string, index map[string]int) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base != sample {
+			if _, ok := index[base]; ok {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 4 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	return fields[1], fields[2], fields[3], true
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal in the format; this writer never emits
+	// one, so any second field is rejected to keep the golden contract tight.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing field in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil && rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set, un-escaping values.
+func parseLabels(in string, out map[string]string) error {
+	for in != "" {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", in)
+		}
+		key := in[:eq]
+		if !validName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		in = in[eq+1:]
+		if len(in) == 0 || in[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		in = in[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return fmt.Errorf("dangling escape in value of %q", key)
+				}
+				i++
+				switch in[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in value of %q", in[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				in = in[i+1:]
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = b.String()
+		if in != "" {
+			if in[0] != ',' {
+				return fmt.Errorf("expected ',' after label %q", key)
+			}
+			in = in[1:]
+		}
+	}
+	return nil
+}
+
+// checkFamily enforces the per-family invariants: histogram bucket counts
+// non-decreasing in le order per series, +Inf bucket present and equal to
+// the series count sample.
+func checkFamily(f *ParsedFamily) error {
+	if f.Type != "histogram" {
+		return nil
+	}
+	type hseries struct {
+		buckets map[float64]float64 // le -> cumulative count
+		hasInf  bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+	}
+	bySig := map[string]*hseries{}
+	get := func(labels map[string]string) *hseries {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte(1)
+			b.WriteString(labels[k])
+			b.WriteByte(2)
+		}
+		sig := b.String()
+		h := bySig[sig]
+		if h == nil {
+			h = &hseries{buckets: map[float64]float64{}}
+			bySig[sig] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		h := get(s.Labels)
+		switch {
+		case s.Name == f.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le", f.Name)
+			}
+			if le == "+Inf" {
+				h.hasInf, h.inf = true, s.Value
+				break
+			}
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			h.buckets[edge] = s.Value
+		case s.Name == f.Name+"_count":
+			h.hasCnt, h.count = true, s.Value
+		}
+	}
+	for _, h := range bySig {
+		if !h.hasInf {
+			return fmt.Errorf("%s: histogram series missing +Inf bucket", f.Name)
+		}
+		edges := make([]float64, 0, len(h.buckets))
+		for e := range h.buckets {
+			edges = append(edges, e)
+		}
+		sort.Float64s(edges)
+		prev := 0.0
+		for _, e := range edges {
+			if h.buckets[e] < prev {
+				return fmt.Errorf("%s: bucket le=%g count %g < previous %g (not cumulative)", f.Name, e, h.buckets[e], prev)
+			}
+			prev = h.buckets[e]
+		}
+		if h.inf < prev {
+			return fmt.Errorf("%s: +Inf bucket %g < last finite bucket %g", f.Name, h.inf, prev)
+		}
+		if h.hasCnt && h.count != h.inf {
+			return fmt.Errorf("%s: _count %g != +Inf bucket %g", f.Name, h.count, h.inf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof mounts the net/http/pprof handlers under /debug/pprof/ on mux.
+// Every daemon gates this behind its -pprof flag: the handlers expose stack
+// traces and heap contents, so they are opt-in, never ambient.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

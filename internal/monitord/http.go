@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"fakeproject/internal/metrics"
 )
 
 // Handler exposes a Monitor over an HTTP JSON API, designed to mount next
@@ -25,12 +27,40 @@ type Handler struct {
 // NewHandler builds the HTTP API for mon.
 func NewHandler(mon *Monitor) *Handler {
 	h := &Handler{mon: mon, mux: http.NewServeMux()}
-	h.mux.HandleFunc("POST /v1/watch", h.watch)
-	h.mux.HandleFunc("GET /v1/watch", h.list)
-	h.mux.HandleFunc("DELETE /v1/watch/{target}", h.unwatch)
-	h.mux.HandleFunc("GET /v1/series/{target}", h.series)
-	h.mux.HandleFunc("GET /v1/alerts", h.alerts)
+	for _, rt := range h.routes() {
+		h.mux.HandleFunc(rt.pattern, rt.handler)
+	}
 	return h
+}
+
+// NewHandlerObserved is NewHandler with every route wrapped in the shared
+// HTTP instrumentation (plane "monitor") and the monitor's scheduler and
+// alert counters exported into reg.
+func NewHandlerObserved(mon *Monitor, reg *metrics.Registry) *Handler {
+	h := &Handler{mon: mon, mux: http.NewServeMux()}
+	plane := metrics.NewHTTPPlane(reg, "monitor", mon.clock)
+	for _, rt := range h.routes() {
+		h.mux.Handle(rt.pattern, plane.WrapFunc(rt.endpoint, rt.handler))
+	}
+	mon.Observe(reg)
+	return h
+}
+
+// handlerRoute binds one mux pattern to its metrics endpoint label.
+type handlerRoute struct {
+	pattern  string
+	endpoint string
+	handler  http.HandlerFunc
+}
+
+func (h *Handler) routes() []handlerRoute {
+	return []handlerRoute{
+		{"POST /v1/watch", "watch/create", h.watch},
+		{"GET /v1/watch", "watch/list", h.list},
+		{"DELETE /v1/watch/{target}", "watch/delete", h.unwatch},
+		{"GET /v1/series/{target}", "series", h.series},
+		{"GET /v1/alerts", "alerts", h.alerts},
+	}
 }
 
 // ServeHTTP implements http.Handler.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"fakeproject/internal/auditd"
+	"fakeproject/internal/metrics"
 	"fakeproject/internal/simclock"
 )
 
@@ -146,6 +147,15 @@ type Monitor struct {
 	closed  bool
 	// wake nudges a paced Run loop when the watchlist changes.
 	wake chan struct{}
+
+	// Observability state (all guarded by mu): alertCounts tallies every
+	// alert ever raised per detector kind (retention-independent, unlike
+	// the alert ring), roundsTotal counts completed re-audit rounds, and
+	// lastTickLag is how late the most recent Tick found its most overdue
+	// watch — the scheduler's backlog signal.
+	alertCounts map[AlertKind]uint64
+	roundsTotal uint64
+	lastTickLag time.Duration
 }
 
 // New creates a monitor over cfg.Service.
@@ -155,12 +165,13 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	cfg = cfg.withDefaults()
 	return &Monitor{
-		cfg:     cfg,
-		svc:     cfg.Service,
-		clock:   cfg.Clock,
-		watches: make(map[string]*watch),
-		alerts:  newRing[Alert](cfg.AlertCap),
-		wake:    make(chan struct{}, 1),
+		cfg:         cfg,
+		svc:         cfg.Service,
+		clock:       cfg.Clock,
+		watches:     make(map[string]*watch),
+		alerts:      newRing[Alert](cfg.AlertCap),
+		wake:        make(chan struct{}, 1),
+		alertCounts: make(map[AlertKind]uint64),
 	}, nil
 }
 
@@ -304,11 +315,16 @@ func (m *Monitor) Tick(ctx context.Context) (int, error) {
 		return 0, ErrClosed
 	}
 	due := make([]*watch, 0, len(m.watches))
+	var lag time.Duration
 	for _, w := range m.watches {
 		if !w.nextDue.After(now) {
 			due = append(due, w)
+			if l := now.Sub(w.nextDue); l > lag {
+				lag = l
+			}
 		}
 	}
+	m.lastTickLag = lag
 	m.mu.Unlock()
 	sort.Slice(due, func(i, j int) bool { return due[i].spec.Target < due[j].spec.Target })
 
@@ -396,6 +412,7 @@ func (m *Monitor) runRound(ctx context.Context, w *watch) error {
 
 	m.mu.Lock()
 	w.rounds++
+	m.roundsTotal++
 	w.lastRun = m.clock.Now()
 	w.nextDue = w.lastRun.Add(w.spec.Cadence)
 	m.mu.Unlock()
@@ -463,6 +480,7 @@ func (m *Monitor) ingest(w *watch, tool string, snap auditd.JobSnapshot) {
 	ring.push(point)
 	for _, alert := range evaluate(w.spec, tool, prev, hasPrev, point) {
 		m.alerts.push(alert)
+		m.alertCounts[alert.Kind]++
 	}
 	// The round's first successful observation carries the target-level
 	// follow-rate rules, whichever tool produced it.
@@ -471,6 +489,7 @@ func (m *Monitor) ingest(w *watch, tool string, snap auditd.JobSnapshot) {
 		if w.rateHas {
 			for _, alert := range evaluateRate(w.spec, tool, w.ratePrev, point) {
 				m.alerts.push(alert)
+				m.alertCounts[alert.Kind]++
 			}
 		}
 		w.ratePrev = point
@@ -510,6 +529,63 @@ func (m *Monitor) Alerts(target string) []Alert {
 		}
 	}
 	return out
+}
+
+// WatchCount reports the current watchlist size.
+func (m *Monitor) WatchCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.watches)
+}
+
+// AlertCounts reports how many alerts each detector kind has ever raised.
+// Unlike Alerts it is unaffected by ring retention.
+func (m *Monitor) AlertCounts() map[AlertKind]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[AlertKind]uint64, len(m.alertCounts))
+	for k, v := range m.alertCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// RoundsTotal reports completed re-audit rounds across all watches.
+func (m *Monitor) RoundsTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.roundsTotal
+}
+
+// TickLag reports how late the most recent scheduler pass found its most
+// overdue watch — persistent growth means rounds take longer than the
+// cadence allows.
+func (m *Monitor) TickLag() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastTickLag
+}
+
+// Observe exports the monitor's operational signals into reg: watchlist
+// size, scheduler lag, round throughput and one alert counter per detector
+// kind, all evaluated at scrape time.
+func (m *Monitor) Observe(reg *metrics.Registry) {
+	reg.GaugeFunc("monitord_watchlist_size", "Targets under continuous monitoring.",
+		func() float64 { return float64(m.WatchCount()) })
+	reg.GaugeFunc("monitord_tick_lag_seconds",
+		"How late the last scheduler pass found its most overdue watch.",
+		func() float64 { return m.TickLag().Seconds() })
+	reg.CounterFunc("monitord_rounds_total", "Completed re-audit rounds.",
+		func() float64 { return float64(m.RoundsTotal()) })
+	for _, kind := range []AlertKind{ThresholdAlert, SpikeAlert, BurstAlert, PurgeAlert} {
+		kind := kind
+		reg.CounterFunc("monitord_alerts_total", "Alerts raised, by detector kind.",
+			func() float64 {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				return float64(m.alertCounts[kind])
+			}, metrics.L("kind", string(kind)))
+	}
 }
 
 // Run drives the scheduler until ctx is cancelled or the monitor closes.

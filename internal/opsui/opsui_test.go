@@ -1,0 +1,52 @@
+package opsui
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The dashboard must ship all three assets inside the binary and serve them
+// under the mount prefix; a broken embed path should fail here (and at build
+// time) rather than in production.
+func TestHandlerServesEmbeddedAssets(t *testing.T) {
+	srv := httptest.NewServer(Handler("/dashboard/"))
+	defer srv.Close()
+
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/dashboard/", "<title>ops dashboard</title>"},
+		{"/dashboard/index.html", "id=\"latency\""},
+		{"/dashboard/app.js", "/metrics.json"},
+		{"/dashboard/style.css", "--accent"},
+	}
+	for _, tc := range cases {
+		resp, err := srv.Client().Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", tc.path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d, want 200", tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("GET %s: body missing %q", tc.path, tc.want)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/dashboard/nope.js")
+	if err != nil {
+		t.Fatalf("GET missing asset: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("missing asset: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,245 @@
+/* ops dashboard: polls /metrics.json (and /v1/alerts when present) and
+   renders tiles, latency quantiles, shard heat and the alert feed.
+   Counters are turned into rates by differencing consecutive polls. */
+"use strict";
+
+const POLL_MS = 2000;
+const SPARK_POINTS = 150;
+
+let prevFlat = null;
+let prevAt = 0;
+let rateHistory = [];
+let alertsAvailable = true;
+
+const $ = (sel) => document.querySelector(sel);
+
+/* ---- helpers ---------------------------------------------------------- */
+
+function seriesKey(name, labels) {
+  const ls = Object.entries(labels || {}).sort().map(([k, v]) => k + "=" + v);
+  return name + "{" + ls.join(",") + "}";
+}
+
+/* flatten a /metrics.json document into key -> {name, labels, type, ...} */
+function flatten(doc) {
+  const flat = new Map();
+  for (const fam of doc.families || []) {
+    for (const s of fam.series || []) {
+      flat.set(seriesKey(fam.name, s.labels), {
+        name: fam.name, type: fam.type, labels: s.labels || {}, ...s,
+      });
+    }
+  }
+  return flat;
+}
+
+function fmtDur(seconds) {
+  if (seconds == null) return "–";
+  if (seconds === 0) return "0";
+  if (seconds < 1e-3) return (seconds * 1e6).toFixed(0) + "µs";
+  if (seconds < 1) return (seconds * 1e3).toFixed(2) + "ms";
+  return seconds.toFixed(2) + "s";
+}
+
+function fmtCount(n) {
+  if (n == null) return "–";
+  if (n >= 1e6) return (n / 1e6).toFixed(1) + "M";
+  if (n >= 1e4) return (n / 1e3).toFixed(1) + "k";
+  return String(Math.round(n));
+}
+
+function fmtRate(r) {
+  if (r == null) return "–";
+  if (r >= 100) return r.toFixed(0) + "/s";
+  if (r >= 1) return r.toFixed(1) + "/s";
+  return r.toFixed(2) + "/s";
+}
+
+/* rate of a counter/histogram-count series between polls */
+function rateOf(flat, key, dt) {
+  if (!prevFlat || dt <= 0) return null;
+  const cur = flat.get(key), prev = prevFlat.get(key);
+  if (!cur || !prev) return null;
+  const a = cur.count != null ? cur.count : cur.value;
+  const b = prev.count != null ? prev.count : prev.value;
+  if (a == null || b == null || a < b) return null;
+  return (a - b) / dt;
+}
+
+function sumOver(flat, name, field) {
+  let total = 0, seen = false;
+  for (const s of flat.values()) {
+    if (s.name === name && s[field] != null) { total += s[field]; seen = true; }
+  }
+  return seen ? total : null;
+}
+
+/* ---- render ----------------------------------------------------------- */
+
+function renderTiles(flat, dt) {
+  const tiles = [];
+
+  let reqRate = 0, sawReq = false;
+  for (const [key, s] of flat) {
+    if (s.name === "http_requests_total") {
+      sawReq = true;
+      const r = rateOf(flat, key, dt);
+      if (r != null) reqRate += r;
+    }
+  }
+  if (sawReq) tiles.push(["requests", fmtRate(reqRate)]);
+  rateHistory.push(reqRate);
+  if (rateHistory.length > SPARK_POINTS) rateHistory.shift();
+
+  const inflight = sumOver(flat, "http_requests_in_flight", "value");
+  if (inflight != null) tiles.push(["in flight", fmtCount(inflight)]);
+
+  const depth = sumOver(flat, "auditd_queue_depth", "value");
+  if (depth != null) {
+    const cap = sumOver(flat, "auditd_queue_capacity", "value");
+    tiles.push(["queue depth", fmtCount(depth) + (cap ? ` <small>/ ${fmtCount(cap)}</small>` : "")]);
+  }
+
+  const watch = sumOver(flat, "monitord_watchlist_size", "value");
+  if (watch != null) tiles.push(["watchlist", fmtCount(watch)]);
+
+  const alerts = sumOver(flat, "monitord_alerts_total", "value");
+  if (alerts != null) tiles.push(["alerts raised", fmtCount(alerts)]);
+
+  const throttled = sumOver(flat, "ratelimit_throttled_total", "value");
+  if (throttled != null && throttled > 0) tiles.push(["throttled", fmtCount(throttled)]);
+
+  $("#tiles").innerHTML = tiles.map(([label, value]) =>
+    `<div class="tile"><div class="label">${label}</div><div class="value">${value}</div></div>`
+  ).join("");
+}
+
+function renderSpark() {
+  const canvas = $("#spark");
+  const ctx = canvas.getContext("2d");
+  const w = canvas.width, h = canvas.height;
+  ctx.clearRect(0, 0, w, h);
+  if (rateHistory.length < 2) return;
+  const peak = Math.max(...rateHistory, 1);
+  const step = w / (SPARK_POINTS - 1);
+  ctx.beginPath();
+  rateHistory.forEach((v, i) => {
+    const x = i * step, y = h - 4 - (v / peak) * (h - 12);
+    i === 0 ? ctx.moveTo(x, y) : ctx.lineTo(x, y);
+  });
+  ctx.strokeStyle = "#4cc2ff";
+  ctx.lineWidth = 1.5;
+  ctx.stroke();
+  ctx.lineTo((rateHistory.length - 1) * step, h);
+  ctx.lineTo(0, h);
+  ctx.closePath();
+  ctx.fillStyle = "rgba(76,194,255,.12)";
+  ctx.fill();
+  ctx.fillStyle = "#7d8794";
+  ctx.font = "11px monospace";
+  ctx.fillText("peak " + fmtRate(peak), 6, 14);
+}
+
+const HIST_LABELS = { http_request_duration_seconds: "http", loadgen_request_duration_seconds: "loadgen" };
+
+function renderLatency(flat, dt) {
+  const rows = [];
+  for (const [key, s] of flat) {
+    if (s.type !== "histogram") continue;
+    const kind = HIST_LABELS[s.name] || s.name.replace(/_seconds$/, "");
+    const plane = s.labels.plane || s.labels.mix || "";
+    const endpoint = s.labels.endpoint || "(all)";
+    rows.push({
+      kind, plane, endpoint,
+      count: s.count, rate: rateOf(flat, key, dt),
+      p50: s.p50, p90: s.p90, p99: s.p99, max: s.max,
+    });
+  }
+  rows.sort((a, b) => (b.count || 0) - (a.count || 0));
+  const body = rows.map(r => `<tr>
+    <td>${r.kind}${r.plane ? ` <span class="plane">${r.plane}</span>` : ""}</td>
+    <td>${r.endpoint}</td>
+    <td class="num">${fmtCount(r.count)}</td>
+    <td class="num">${fmtRate(r.rate)}</td>
+    <td class="num">${fmtDur(r.p50)}</td>
+    <td class="num">${fmtDur(r.p90)}</td>
+    <td class="num ${r.p99 > 0.5 ? "hot" : ""}">${fmtDur(r.p99)}</td>
+    <td class="num">${fmtDur(r.max)}</td>
+  </tr>`).join("");
+  $("#latency tbody").innerHTML = body ||
+    `<tr><td colspan="8" class="empty">no latency series yet</td></tr>`;
+}
+
+function renderShards(flat, dt) {
+  const shards = [];
+  for (const [key, s] of flat) {
+    if (s.name !== "store_shard_ops_total") continue;
+    shards.push({ idx: Number(s.labels.shard || 0), total: s.value, rate: rateOf(flat, key, dt) });
+  }
+  const panel = $("#shard-panel");
+  if (!shards.length) { panel.hidden = true; return; }
+  panel.hidden = false;
+  shards.sort((a, b) => a.idx - b.idx);
+  const useRate = shards.some(s => s.rate != null && s.rate > 0);
+  const metric = (s) => useRate ? (s.rate || 0) : (s.total || 0);
+  const peak = Math.max(...shards.map(metric), 1);
+  $("#shards").innerHTML = shards.map(s => {
+    const v = metric(s);
+    const hot = v > 0.5 * peak && v > 0;
+    return `<div class="bar-row ${hot ? "hot" : ""}">
+      <span class="name">shard ${s.idx}</span>
+      <span class="track"><span class="fill" style="width:${(100 * v / peak).toFixed(1)}%"></span></span>
+      <span class="val">${useRate ? fmtRate(v) : fmtCount(v)}</span>
+    </div>`;
+  }).join("");
+}
+
+async function renderAlerts() {
+  if (!alertsAvailable) return;
+  try {
+    const resp = await fetch("/v1/alerts", { cache: "no-store" });
+    if (!resp.ok) { alertsAvailable = resp.status !== 404; return; }
+    const doc = await resp.json();
+    const alerts = (doc.alerts || []).slice(-20).reverse();
+    const panel = $("#alert-panel");
+    panel.hidden = false;
+    $("#alerts").innerHTML = alerts.length ? alerts.map(a => `<li>
+      <span class="kind ${a.kind === "follow-purge" ? "purge" : ""}">${a.kind}</span>
+      <span class="target">${a.target || ""}</span>
+      <span class="msg">${a.message || a.tool || ""}</span>
+    </li>`).join("") : `<li class="empty">no alerts yet</li>`;
+  } catch {
+    /* monitord not mounted here; try again next poll */
+  }
+}
+
+/* ---- poll loop -------------------------------------------------------- */
+
+async function poll() {
+  const conn = $("#conn");
+  try {
+    const resp = await fetch("/metrics.json", { cache: "no-store" });
+    if (!resp.ok) throw new Error("HTTP " + resp.status);
+    const doc = await resp.json();
+    const now = performance.now();
+    const dt = prevAt ? (now - prevAt) / 1000 : 0;
+    const flat = flatten(doc);
+
+    renderTiles(flat, dt);
+    renderSpark();
+    renderLatency(flat, dt);
+    renderShards(flat, dt);
+    renderAlerts();
+
+    prevFlat = flat;
+    prevAt = now;
+    conn.textContent = "live · " + new Date().toLocaleTimeString();
+    conn.className = "conn ok";
+  } catch (err) {
+    conn.textContent = "disconnected: " + err.message;
+    conn.className = "conn err";
+  }
+  setTimeout(poll, POLL_MS);
+}
+
+poll();

@@ -44,6 +44,19 @@ type Limiter struct {
 	clock  simclock.Clock
 	limits map[string]Limit
 	state  map[string]*window
+	stats  Stats
+}
+
+// Stats summarises limiter activity since construction.
+type Stats struct {
+	// Rejections counts Allow calls answered false — each one is an HTTP
+	// 429 on a serving plane.
+	Rejections uint64
+	// Backoffs counts Reserve calls that returned a positive wait, and
+	// BackoffTotal sums the waits handed out — the time clients spent (or
+	// will spend) sleeping on budget windows.
+	Backoffs     uint64
+	BackoffTotal time.Duration
 }
 
 type window struct {
@@ -107,7 +120,10 @@ func (l *Limiter) Reserve(key string) time.Duration {
 		// window must wait for it, not fire immediately alongside the
 		// caller that paid for the roll.
 		if now.Before(w.start) {
-			return w.start.Sub(now)
+			wait := w.start.Sub(now)
+			l.stats.Backoffs++
+			l.stats.BackoffTotal += wait
+			return wait
 		}
 		return 0
 	}
@@ -115,7 +131,10 @@ func (l *Limiter) Reserve(key string) time.Duration {
 	// window, which is also booked as that window's first slot.
 	w.start = w.start.Add(lim.Window)
 	w.used = 1
-	return w.start.Sub(now)
+	wait := w.start.Sub(now)
+	l.stats.Backoffs++
+	l.stats.BackoffTotal += wait
+	return wait
 }
 
 // Allow reports whether a call for key may proceed right now. Unlike
@@ -143,7 +162,15 @@ func (l *Limiter) Allow(key string) (bool, time.Duration) {
 		w.used++
 		return true, 0
 	}
+	l.stats.Rejections++
 	return false, w.start.Add(lim.Window).Sub(now)
+}
+
+// Stats reports limiter activity since construction.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Remaining reports how many calls are left in the current window for key.

@@ -74,7 +74,12 @@ type shard struct {
 	recs    []record
 	names   map[UserID]string
 	targets map[UserID]*targetData
-	_       [64]byte
+	// ops counts operations routed to this shard (shard heat): one bump per
+	// single-account operation and one per batch member. The counter is the
+	// observability view of the striping argument above — under heavy-tailed
+	// load the hot target's shard should visibly run ahead of the rest.
+	ops atomic.Uint64
+	_   [64]byte
 }
 
 // target returns the materialised state of id, creating it if absent.
@@ -142,7 +147,19 @@ func (s *Store) Shards() int { return len(s.shards) }
 // shardFor returns the shard owning id. Any id (even out of range or
 // negative) maps to some shard; existence is checked separately.
 func (s *Store) shardFor(id UserID) *shard {
-	return &s.shards[uint64(id-1)%uint64(len(s.shards))]
+	sh := &s.shards[uint64(id-1)%uint64(len(s.shards))]
+	sh.ops.Add(1)
+	return sh
+}
+
+// ShardOps reports the per-shard operation counters (index = shard index).
+// The store stays metrics-free; daemons export this as shard-heat gauges.
+func (s *Store) ShardOps() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].ops.Load()
+	}
+	return out
 }
 
 // slotFor returns id's record index within its owning shard.
@@ -207,6 +224,7 @@ func (s *Store) groupByShard(ids []UserID) [][]int32 {
 			continue
 		}
 		si := uint64(id-1) % uint64(len(s.shards))
+		s.shards[si].ops.Add(1)
 		groups[si] = append(groups[si], int32(i))
 	}
 	return groups

@@ -89,6 +89,16 @@ func TestBenchJSON(t *testing.T) {
 	results := []benchjson.Result{
 		benchjson.Measure("FollowerIDsPage/followers=100000", BenchmarkFollowerIDsPage),
 	}
+	// The plain/observed HTTP pair pins the per-request cost of the metrics
+	// middleware on the hot path; the delta between the two is the number
+	// that must stay flat across commits.
+	plainSrv, observedSrv, httpTarget := benchServers(t, 20000)
+	results = append(results,
+		benchjson.Measure("FollowerIDsHTTP/plain",
+			func(b *testing.B) { benchmarkFollowerIDsHTTP(b, plainSrv, httpTarget) }),
+		benchjson.Measure("FollowerIDsHTTP/observed",
+			func(b *testing.B) { benchmarkFollowerIDsHTTP(b, observedSrv, httpTarget) }),
+	)
 	for _, count := range []int{5000, 50000, 200000} {
 		count := count
 		results = append(results, benchjson.Measure(

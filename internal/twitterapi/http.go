@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"fakeproject/internal/metrics"
 	"fakeproject/internal/ratelimit"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
@@ -184,6 +185,9 @@ type Server struct {
 	limiter *ratelimit.Limiter
 	limits  map[string]ratelimit.Limit
 	mux     *http.ServeMux
+	// throttled holds the per-endpoint 429 counters of an observed server
+	// (nil on a plain one); pre-built at assembly so gate() stays cheap.
+	throttled map[string]*metrics.Counter
 }
 
 // NewServer builds the HTTP front end with the Table I budgets. Rate-limit
@@ -204,12 +208,55 @@ func NewServerLimits(svc *Service, clock simclock.Clock, limits map[string]ratel
 		limits:  limits,
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/1.1/followers/ids.json", s.handleFollowerIDs)
-	s.mux.HandleFunc("/1.1/friends/ids.json", s.handleFriendIDs)
-	s.mux.HandleFunc("/1.1/users/lookup.json", s.handleUsersLookup)
-	s.mux.HandleFunc("/1.1/users/show.json", s.handleUsersShow)
-	s.mux.HandleFunc("/1.1/statuses/user_timeline.json", s.handleUserTimeline)
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.path, rt.handler)
+	}
 	return s
+}
+
+// NewServerObserved is NewServerLimits with the shared HTTP instrumentation
+// wrapped around every route (plane "api"): per-endpoint latency histograms
+// and status-class counters in reg, plus 429 throttle counters fed from
+// gate() and the limiter's rejection/backoff totals.
+func NewServerObserved(svc *Service, clock simclock.Clock, limits map[string]ratelimit.Limit, reg *metrics.Registry) *Server {
+	s := &Server{
+		svc:       svc,
+		clock:     clock,
+		limiter:   ratelimit.New(clock, nil),
+		limits:    limits,
+		mux:       http.NewServeMux(),
+		throttled: make(map[string]*metrics.Counter),
+	}
+	plane := metrics.NewHTTPPlane(reg, "api", clock)
+	for _, rt := range s.routes() {
+		s.mux.Handle(rt.path, plane.WrapFunc(rt.endpoint, rt.handler))
+		s.throttled[rt.endpoint] = reg.Counter("ratelimit_throttled_total",
+			"Requests rejected with 429 by the endpoint budget.",
+			metrics.L("plane", "api"), metrics.L("endpoint", rt.endpoint))
+	}
+	reg.CounterFunc("ratelimit_backoffs_total",
+		"Reserve calls that had to wait for a budget window.",
+		func() float64 { return float64(s.limiter.Stats().Backoffs) },
+		metrics.L("plane", "api"))
+	return s
+}
+
+// route binds one API path to its endpoint label (the Table I name, also
+// the rate-limit and metrics key) and handler.
+type route struct {
+	path     string
+	endpoint string
+	handler  http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"/1.1/followers/ids.json", EndpointFollowerIDs, s.handleFollowerIDs},
+		{"/1.1/friends/ids.json", EndpointFriendIDs, s.handleFriendIDs},
+		{"/1.1/users/lookup.json", EndpointUsersLookup, s.handleUsersLookup},
+		{"/1.1/users/show.json", EndpointUsersShow, s.handleUsersShow},
+		{"/1.1/statuses/user_timeline.json", EndpointUserTimeline, s.handleUserTimeline},
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -235,6 +282,9 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, endpoint string) b
 	ok, retry := s.limiter.Allow(key)
 	if ok {
 		return true
+	}
+	if c := s.throttled[endpoint]; c != nil {
+		c.Inc()
 	}
 	secs := int(retry / time.Second)
 	if retry%time.Second != 0 {

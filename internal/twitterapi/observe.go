@@ -1,0 +1,21 @@
+package twitterapi
+
+import (
+	"strconv"
+
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/twitter"
+)
+
+// ObserveStore exports the store's per-shard operation counters into reg as
+// store_shard_ops_total{shard} — the shard-heat signal the dashboard draws.
+// The store itself stays metrics-free; daemons opt in here at assembly time.
+func ObserveStore(reg *metrics.Registry, store *twitter.Store) {
+	for i := 0; i < store.Shards(); i++ {
+		i := i
+		reg.CounterFunc("store_shard_ops_total",
+			"Operations routed to each store shard (shard heat).",
+			func() float64 { return float64(store.ShardOps()[i]) },
+			metrics.L("shard", strconv.Itoa(i)))
+	}
+}
