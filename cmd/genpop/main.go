@@ -27,6 +27,7 @@ import (
 	"fakeproject/internal/population"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
+	"fakeproject/internal/wal"
 )
 
 func main() {
@@ -49,6 +50,11 @@ func run() error {
 		churnRate = flag.Float64("churn-rate", 0.001, "fraction of followers organically unfollowing per day")
 		bursts    = flag.String("burst", "", "comma-separated day:size fake-purchase bursts (e.g. 9:5000)")
 		purges    = flag.String("purge", "", "comma-separated day:fraction purge sweeps (e.g. 18:0.5)")
+
+		walDir       = flag.String("wal-dir", "", "build the population into a write-ahead log in this fresh directory (bootable by twitterd -wal-dir)")
+		walFsync     = flag.String("fsync", "off", "WAL fsync policy during the build: always, interval, off (with -wal-dir)")
+		compactEvery = flag.Uint64("compact-every", 0, "compact the WAL every N records during the build (0 = never; with -wal-dir)")
+		walCompact   = flag.Bool("wal-compact", true, "compact the WAL once after the build so boots recover from one snapshot (with -wal-dir)")
 	)
 	flag.Parse()
 
@@ -69,7 +75,31 @@ func run() error {
 	}
 
 	clock := simclock.NewVirtualAtEpoch()
-	store := twitter.NewStore(clock, *seed)
+	var store *twitter.Store
+	var wlog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		var stats wal.RecoveryStats
+		store, wlog, stats, err = wal.Open(wal.Config{
+			Dir:          *walDir,
+			Policy:       policy,
+			CompactEvery: *compactEvery,
+			Clock:        clock,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		if stats.Users > 0 {
+			return fmt.Errorf("WAL dir %s already holds %d accounts; genpop builds from scratch and needs a fresh directory", *walDir, stats.Users)
+		}
+	} else {
+		store = twitter.NewStore(clock, *seed)
+	}
 	gen := population.NewGenerator(store, *seed)
 
 	var layout population.Layout
@@ -171,6 +201,12 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nsnapshot written to %s (%d bytes)\n", *out, info.Size())
+	}
+	if wlog != nil && *walCompact {
+		if err := wlog.Compact(); err != nil {
+			return fmt.Errorf("compacting WAL: %w", err)
+		}
+		fmt.Printf("\nWAL in %s compacted; boot it with twitterd -wal-dir %s\n", *walDir, *walDir)
 	}
 
 	fmt.Println("\nexample profiles:")

@@ -79,6 +79,13 @@ func run() error {
 		api      = flag.String("api", "", "drive an external twitterd at this base URL instead of building in-process")
 		audit    = flag.String("audit", "", "external auditd base URL (with -api; enables audit-heavy)")
 		accounts = flag.String("accounts", "", "comma list of target screen names (required with -api)")
+
+		// Durability plane: back the in-process store with a write-ahead log
+		// so the mixes pay the real persistence cost.
+		walDir       = flag.String("wal-dir", "", "back the in-process store with a WAL in this (fresh) directory")
+		walFsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, off (with -wal-dir)")
+		compactEvery = flag.Uint64("compact-every", 0, "compact the WAL every N records past the newest snapshot (0 = never; with -wal-dir)")
+		walCompare   = flag.Bool("wal-compare", false, "run each mix twice — plain store, then WAL-backed (mix rows suffixed +wal) — for a durability-tax comparison")
 	)
 	flag.Parse()
 
@@ -99,7 +106,11 @@ func run() error {
 		defer stopObs()
 	}
 
-	h, err := buildHarness(*api, *audit, *accounts, loadgen.Config{
+	if (*walDir != "" || *walCompare) && *api != "" {
+		return fmt.Errorf("-wal-dir/-wal-compare back the in-process store and cannot be combined with -api")
+	}
+
+	baseCfg := loadgen.Config{
 		Seed:         *seed,
 		Targets:      *targets,
 		Followers:    *followers,
@@ -107,13 +118,27 @@ func run() error {
 		AuditTools:   splitList(*tools),
 		TableILimits: *limits,
 		Metrics:      reg,
-	})
-	if err != nil {
-		return err
 	}
-	defer h.Close()
-	if reg != nil {
-		h.Observe(reg)
+
+	// Each pass is one harness build plus a full sweep of the mixes; a
+	// -wal-compare run adds a second, WAL-backed pass whose mix rows carry a
+	// "+wal" suffix so both land side by side in one artifact.
+	type pass struct {
+		suffix string
+		walDir string
+	}
+	passes := []pass{{walDir: *walDir}}
+	if *walCompare {
+		cmpDir := *walDir
+		if cmpDir == "" {
+			tmp, err := os.MkdirTemp("", "loadd-wal-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			cmpDir = tmp
+		}
+		passes = []pass{{}, {suffix: "+wal", walDir: cmpDir}}
 	}
 
 	pattern := loadgen.Pattern{
@@ -127,27 +152,72 @@ func run() error {
 	defer stop()
 
 	var results []loadgen.Result
-	for _, name := range mixes {
-		fmt.Fprintf(os.Stderr, "running %s for %v at %.0f/s...\n", name, *duration, *rate)
-		col := loadgen.NewCollector()
-		if reg != nil {
-			col.Publish(reg, metrics.L("mix", name))
+	for _, ps := range passes {
+		cfg := baseCfg
+		cfg.WALDir = ps.walDir
+		cfg.WALFsync = *walFsync
+		cfg.WALCompactEvery = *compactEvery
+		if ps.walDir != "" {
+			fmt.Fprintf(os.Stderr, "WAL in %s (fsync %s)\n", ps.walDir, *walFsync)
 		}
-		runCtx, stopProgress := context.WithCancel(ctx)
-		if *progress > 0 && !*quiet {
-			go progressLoop(runCtx, col, *progress)
-		}
-		res, err := h.RunMixWith(ctx, name, pattern, *duration, *inflight, col)
-		stopProgress()
+		h, err := buildHarness(*api, *audit, *accounts, cfg)
 		if err != nil {
-			return fmt.Errorf("mix %s: %w", name, err)
+			return err
 		}
-		res.Format(os.Stdout)
-		results = append(results, res)
+		if reg != nil {
+			h.Observe(reg)
+		}
+		for _, name := range mixes {
+			fmt.Fprintf(os.Stderr, "running %s%s for %v at %.0f/s...\n", name, ps.suffix, *duration, *rate)
+			col := loadgen.NewCollector()
+			if reg != nil {
+				col.Publish(reg, metrics.L("mix", name+ps.suffix))
+			}
+			runCtx, stopProgress := context.WithCancel(ctx)
+			if *progress > 0 && !*quiet {
+				go progressLoop(runCtx, col, *progress)
+			}
+			res, err := h.RunMixWith(ctx, name, pattern, *duration, *inflight, col)
+			stopProgress()
+			if err != nil {
+				h.Close()
+				return fmt.Errorf("mix %s%s: %w", name, ps.suffix, err)
+			}
+			res.Mix += ps.suffix
+			res.Format(os.Stdout)
+			results = append(results, res)
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		h.Close()
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "interrupted; emitting what completed")
 			break
 		}
+	}
+
+	runConfig := map[string]any{
+		"mixes":             mixes,
+		"duration_s":        duration.Seconds(),
+		"rate":              *rate,
+		"burst_rate":        *burstRate,
+		"burst_every_s":     burstEvery.Seconds(),
+		"burst_len_s":       burstLen.Seconds(),
+		"inflight":          *inflight,
+		"seed":              *seed,
+		"targets":           *targets,
+		"followers":         *followers,
+		"audit_workers":     *workers,
+		"audit_tools":       splitList(*tools),
+		"table1_limits":     *limits,
+		"api":               *api,
+		"audit":             *audit,
+		"accounts":          splitList(*accounts),
+		"wal_dir":           *walDir,
+		"wal_fsync":         *walFsync,
+		"wal_compact_every": *compactEvery,
+		"wal_compare":       *walCompare,
 	}
 
 	path := *out
@@ -158,7 +228,7 @@ func run() error {
 			path = "BENCH_e2e.json"
 		}
 	}
-	if err := benchjson.WriteFile(path, loadgen.BenchFile(results)); err != nil {
+	if err := benchjson.WriteFile(path, loadgen.BenchFile(results, runConfig)); err != nil {
 		return fmt.Errorf("writing results: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "results written to %s\n", path)

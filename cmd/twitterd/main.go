@@ -14,6 +14,11 @@
 // /metrics (Prometheus text) and /metrics.json, -dashboard mounts the
 // embedded ops dashboard at /dashboard/, -pprof mounts net/http/pprof at
 // /debug/pprof/.
+//
+// Durability: -wal-dir runs the store on a write-ahead log — every mutation
+// is persisted before it is acknowledged (per the -fsync policy) and a
+// restart recovers the population from the newest snapshot plus the log
+// tail. -load seeds a fresh WAL directory from a genpop snapshot.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
 	"fakeproject/internal/twitterapi"
+	"fakeproject/internal/wal"
 )
 
 func main() {
@@ -51,31 +57,70 @@ func run() error {
 		metricsOn = flag.Bool("metrics", true, "serve /metrics (Prometheus text) and /metrics.json")
 		dashboard = flag.Bool("dashboard", true, "serve the embedded ops dashboard at /dashboard/ (needs -metrics)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
+
+		walDir       = flag.String("wal-dir", "", "durable mode: write-ahead log directory (recovered on boot; see docs/OPERATIONS.md)")
+		walFsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, off (with -wal-dir)")
+		compactEvery = flag.Uint64("compact-every", 100000, "compact the WAL every N records past the newest snapshot (0 = never; with -wal-dir)")
 	)
 	flag.Parse()
 	obs := obsConfig{Metrics: *metricsOn, Dashboard: *dashboard, Pprof: *pprofOn}
 
 	clock := simclock.Real{}
 
-	if *load != "" {
-		f, err := os.Open(*load)
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
 		if err != nil {
-			return fmt.Errorf("opening snapshot: %w", err)
+			return err
 		}
-		defer f.Close()
-		store, err := twitter.ReadSnapshot(f, clock)
+		store, wlog, stats, err := wal.Open(wal.Config{
+			Dir:          *walDir,
+			Policy:       policy,
+			CompactEvery: *compactEvery,
+			SeedSnapshot: *load,
+			Clock:        clock,
+			Seed:         *seed,
+		})
 		if err != nil {
-			return fmt.Errorf("loading snapshot: %w", err)
+			return err
+		}
+		defer wlog.Close()
+		torn := ""
+		if stats.TornTail {
+			torn = "; torn tail truncated"
+		}
+		fmt.Fprintf(os.Stderr, "wal: %s recovered %d accounts (snapshot %q + %d records across %d segments%s) in %v\n",
+			*walDir, stats.Users, stats.SnapshotPath, stats.RecordsReplayed, stats.SegmentsScanned, torn, stats.Elapsed.Round(time.Millisecond))
+		if stats.Users == 0 && *load == "" {
+			if err := buildAccounts(store, *accounts, *scale, *seed); err != nil {
+				return err
+			}
+		}
+		return serve(*addr, store, clock, obs, wlog.Observe)
+	}
+
+	if *load != "" {
+		store, err := twitter.LoadSnapshotFile(*load, clock)
+		if err != nil {
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "loaded snapshot with %d accounts\n", store.UserCount())
 		return serve(*addr, store, clock, obs)
 	}
 
 	store := twitter.NewStore(clock, *seed)
-	gen := population.NewGenerator(store, *seed)
+	if err := buildAccounts(store, *accounts, *scale, *seed); err != nil {
+		return err
+	}
+	return serve(*addr, store, clock, obs)
+}
 
+// buildAccounts materialises the requested paper-testbed accounts into the
+// store (which may be WAL-backed — the build then doubles as the log's
+// genesis records).
+func buildAccounts(store *twitter.Store, accounts string, scale int, seed uint64) error {
+	gen := population.NewGenerator(store, seed)
 	want := map[string]bool{}
-	for _, name := range strings.Split(*accounts, ",") {
+	for _, name := range strings.Split(accounts, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
 	built := 0
@@ -84,8 +129,8 @@ func run() error {
 			continue
 		}
 		n := acct.Followers
-		if n > *scale {
-			n = *scale
+		if n > scale {
+			n = scale
 		}
 		layout := population.DeriveLayout(n, acct.FC.Mix(), acct.SB.Mix(), acct.SP.Mix())
 		fmt.Fprintf(os.Stderr, "building @%s (%d followers)...\n", acct.ScreenName, n)
@@ -104,10 +149,10 @@ func run() error {
 		built++
 	}
 	if built == 0 {
-		return fmt.Errorf("no known accounts in %q (see the paper testbed)", *accounts)
+		return fmt.Errorf("no known accounts in %q (see the paper testbed)", accounts)
 	}
 	fmt.Fprintf(os.Stderr, "built %d accounts\n", built)
-	return serve(*addr, store, clock, obs)
+	return nil
 }
 
 // obsConfig selects the observability surfaces mounted next to the API.
@@ -120,8 +165,9 @@ type obsConfig struct {
 // newRootHandler assembles the daemon's full HTTP surface: the API plane at
 // /1.1/, and — per flags — /metrics, /metrics.json, /dashboard/ and
 // /debug/pprof/. Factored out of serve so the smoke test can boot the exact
-// production handler on an httptest server.
-func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig) http.Handler {
+// production handler on an httptest server. Extra observers (the WAL's, when
+// durable mode is on) are hooked into the same registry the daemon serves.
+func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig, observers ...func(*metrics.Registry)) http.Handler {
 	svc := twitterapi.NewService(store)
 	if !obs.Metrics && !obs.Pprof {
 		return twitterapi.NewServer(svc, clock)
@@ -131,6 +177,9 @@ func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig) h
 		reg := metrics.NewRegistry()
 		mux.Handle("/", twitterapi.NewServerObserved(svc, clock, twitterapi.DefaultLimits(), reg))
 		twitterapi.ObserveStore(reg, store)
+		for _, observe := range observers {
+			observe(reg)
+		}
 		mux.Handle("GET /metrics", reg)
 		mux.Handle("GET /metrics.json", reg)
 		if obs.Dashboard {
@@ -145,7 +194,7 @@ func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig) h
 	return mux
 }
 
-func serve(addr string, store *twitter.Store, clock simclock.Clock, obs obsConfig) error {
+func serve(addr string, store *twitter.Store, clock simclock.Clock, obs obsConfig, observers ...func(*metrics.Registry)) error {
 	fmt.Fprintf(os.Stderr, "serving on http://%s/1.1/ (try followers/ids.json, users/lookup.json, users/show.json, statuses/user_timeline.json)\n",
 		addr)
 	if obs.Metrics {
@@ -157,7 +206,7 @@ func serve(addr string, store *twitter.Store, clock simclock.Clock, obs obsConfi
 	}
 	httpServer := &http.Server{
 		Addr:         addr,
-		Handler:      newRootHandler(store, clock, obs),
+		Handler:      newRootHandler(store, clock, obs, observers...),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}

@@ -12,6 +12,7 @@ import (
 	"fakeproject/internal/population"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
+	"fakeproject/internal/wal"
 )
 
 // TestMetricsSmoke boots the exact production handler assembly, drives a few
@@ -22,7 +23,18 @@ import (
 // smoke step.
 func TestMetricsSmoke(t *testing.T) {
 	clock := simclock.Real{}
-	store := twitter.NewStore(clock, 1)
+	// Durable mode, exactly as `twitterd -wal-dir` boots it, so the WAL's
+	// metric families are part of the scraped surface under test.
+	store, wlog, _, err := wal.Open(wal.Config{
+		Dir:    t.TempDir(),
+		Policy: wal.PolicyInterval,
+		Clock:  clock,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog.Close()
 	gen := population.NewGenerator(store, 1)
 	if _, err := gen.BuildTarget(population.TargetSpec{
 		ScreenName: "smoke",
@@ -33,12 +45,15 @@ func TestMetricsSmoke(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("building population: %v", err)
 	}
+	if err := wlog.Compact(); err != nil {
+		t.Fatalf("compacting: %v", err)
+	}
 
 	srv := httptest.NewServer(newRootHandler(store, clock, obsConfig{
 		Metrics:   true,
 		Dashboard: true,
 		Pprof:     true,
-	}))
+	}, wlog.Observe))
 	defer srv.Close()
 
 	get := func(path string) (*http.Response, string) {
@@ -88,6 +103,10 @@ func TestMetricsSmoke(t *testing.T) {
 		"http_requests_in_flight",
 		"ratelimit_throttled_total",
 		"store_shard_ops_total",
+		"wal_records_total",
+		"wal_bytes_total",
+		"wal_fsync_seconds",
+		"wal_compactions_total",
 	} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("/metrics missing family %s", want)
@@ -95,6 +114,17 @@ func TestMetricsSmoke(t *testing.T) {
 	}
 	if f := byName["http_request_duration_seconds"]; f.Type != "histogram" {
 		t.Errorf("http_request_duration_seconds type %q, want histogram", f.Type)
+	}
+	if f := byName["wal_fsync_seconds"]; f.Type != "histogram" {
+		t.Errorf("wal_fsync_seconds type %q, want histogram", f.Type)
+	}
+	// The population build ran through the log: the record counter must have
+	// real traffic in it, and the post-build compaction must be visible.
+	if !walCounterPositive(body, "wal_records_total") {
+		t.Errorf("wal_records_total not positive:\n%s", grepLines(body, "wal_records_total"))
+	}
+	if !walCounterPositive(body, "wal_compactions_total") {
+		t.Errorf("wal_compactions_total not positive:\n%s", grepLines(body, "wal_compactions_total"))
 	}
 	if !strings.Contains(body, `http_requests_total{code="2xx",endpoint="users/show",plane="api"} 4`) {
 		t.Errorf("per-endpoint 2xx counter missing or wrong:\n%s", grepLines(body, "http_requests_total"))
@@ -133,6 +163,21 @@ func TestObservabilityOff(t *testing.T) {
 			t.Errorf("GET %s: served despite observability off", path)
 		}
 	}
+}
+
+// walCounterPositive reports whether the named sample appears in the
+// exposition with a value greater than zero.
+func walCounterPositive(body, name string) bool {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" && fields[1] != "0.0" {
+			return true
+		}
+	}
+	return false
 }
 
 func grepLines(s, substr string) string {

@@ -46,6 +46,10 @@ type File struct {
 	Component   string   `json:"component"`
 	GeneratedAt string   `json:"generated_at"`
 	Results     []Result `json:"results"`
+	// Config records the exact run configuration that produced the results
+	// (flags, mixes, store shape), so an archived artifact is reproducible
+	// and two artifacts are comparable or provably not.
+	Config map[string]any `json:"config,omitempty"`
 }
 
 // Enabled reports whether emission was requested via the environment.
@@ -119,6 +123,12 @@ func Merge(component string, files ...File) File {
 				r.Name = f.Component + "/" + r.Name
 			}
 			out.Results = append(out.Results, r)
+		}
+		if f.Config != nil {
+			if out.Config == nil {
+				out.Config = make(map[string]any)
+			}
+			out.Config[f.Component] = f.Config
 		}
 	}
 	sort.SliceStable(out.Results, func(i, j int) bool {

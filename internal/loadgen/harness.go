@@ -20,6 +20,7 @@ import (
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
 	"fakeproject/internal/twitterapi"
+	"fakeproject/internal/wal"
 )
 
 // Config shapes a local harness platform.
@@ -52,6 +53,17 @@ type Config struct {
 	// get the shared per-endpoint instrumentation and the store/audit
 	// internals are exported into this registry (see also Harness.Observe).
 	Metrics *metrics.Registry
+	// WALDir, when set, backs the in-process store with a write-ahead log in
+	// that directory, so every churn mutation pays the real durability cost.
+	// The directory must be fresh: the harness builds its own population and
+	// refuses to run on top of recovered state.
+	WALDir string
+	// WALFsync is the log's fsync policy ("always", "interval", "off";
+	// default interval). Only meaningful with WALDir.
+	WALFsync string
+	// WALCompactEvery compacts the log once that many records accumulate
+	// past the newest snapshot (0 = no automatic compaction).
+	WALCompactEvery uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +127,7 @@ type Harness struct {
 
 	seed  uint64
 	store *twitter.Store // nil for remote harnesses
+	wal   *wal.Log       // non-nil when Config.WALDir backs the store
 	gen   *population.Generator
 	churn *population.Driver // purge machinery for the hottest target
 
@@ -129,12 +142,38 @@ type Harness struct {
 func NewLocal(cfg Config) (*Harness, error) {
 	cfg = cfg.withDefaults()
 	clock := simclock.Real{}
-	store := twitter.NewStore(clock, cfg.Seed)
+	var store *twitter.Store
+	var wlog *wal.Log
+	if cfg.WALDir != "" {
+		policy, err := wal.ParsePolicy(cfg.WALFsync)
+		if err != nil {
+			return nil, err
+		}
+		var stats wal.RecoveryStats
+		store, wlog, stats, err = wal.Open(wal.Config{
+			Dir:          cfg.WALDir,
+			Policy:       policy,
+			CompactEvery: cfg.WALCompactEvery,
+			Clock:        clock,
+			Seed:         cfg.Seed,
+			Metrics:      cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stats.Users > 0 {
+			_ = wlog.Close()
+			return nil, fmt.Errorf("loadgen: WAL dir %s already holds %d accounts; the harness builds its own population and needs a fresh directory", cfg.WALDir, stats.Users)
+		}
+	} else {
+		store = twitter.NewStore(clock, cfg.Seed)
+	}
 	gen := population.NewGenerator(store, cfg.Seed)
 
 	h := &Harness{
 		seed:  cfg.Seed,
 		store: store,
+		wal:   wlog,
 		gen:   gen,
 		tools: cfg.AuditTools,
 		HTTP:  newLoadClient(),
@@ -272,7 +311,8 @@ func (h *Harness) listen(handler http.Handler) (string, error) {
 	return "http://" + ln.Addr().String(), nil
 }
 
-// Close tears the harness down: HTTP servers first, then the audit pool.
+// Close tears the harness down: HTTP servers first, then the audit pool,
+// then the WAL (sealing its final segment) once nothing can mutate the store.
 func (h *Harness) Close() {
 	for _, srv := range h.servers {
 		_ = srv.Close()
@@ -281,6 +321,9 @@ func (h *Harness) Close() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = h.svc.Shutdown(ctx)
+	}
+	if h.wal != nil {
+		_ = h.wal.Close()
 	}
 	h.HTTP.CloseIdleConnections()
 }
@@ -353,23 +396,61 @@ func (h *Harness) Observe(reg *metrics.Registry) {
 // churnStep applies one step of background churn to the hottest target:
 // alternating purchase bursts at the newest end of the list and purge
 // sweeps over the ground-truth fakes — the storm the crawl mixes race.
-func (h *Harness) churnStep(step, burst int, purgeFraction float64) (added, removed int, err error) {
+// When col is non-nil, the step's writes are timed into it: the burst as one
+// "write/follow-burst" sample plus individually timed "write/follow" and
+// "write/tweet" probe ops, and purge sweeps as "write/purge". The probes run
+// with and without a WAL, so the durability-tax comparison reads like for
+// like.
+func (h *Harness) churnStep(col *Collector, step, burst int, purgeFraction float64) (added, removed int, err error) {
 	if h.store == nil {
 		return 0, 0, fmt.Errorf("remote harness cannot churn the platform")
 	}
+	record := func(endpoint string, start time.Time, err error) {
+		if col != nil {
+			col.Record(endpoint, time.Since(start), err)
+		}
+	}
+	hot := h.Targets[0].ID
 	if step%2 == 0 {
-		if err := h.gen.BuyFollowers(h.Targets[0].ID, burst); err != nil {
+		start := time.Now()
+		err := h.gen.BuyFollowers(hot, burst)
+		record("write/follow-burst", start, err)
+		if err != nil {
 			return 0, 0, err
 		}
-		return burst, 0, nil
+		added = burst
+		for i := 0; i < 4; i++ {
+			start := time.Now()
+			err := h.gen.BuyFollowers(hot, 1)
+			record("write/follow", start, err)
+			if err != nil {
+				return added, 0, err
+			}
+			added++
+		}
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			_, err := h.store.AppendTweet(hot, twitter.Tweet{
+				CreatedAt: h.store.Now(),
+				Text:      "churn probe",
+				Source:    "loadgen",
+			})
+			record("write/tweet", start, err)
+			if err != nil {
+				return added, 0, err
+			}
+		}
+		return added, 0, nil
 	}
+	start := time.Now()
 	removed, err = h.churn.PurgeFakes(purgeFraction)
+	record("write/purge", start, err)
 	return 0, removed, err
 }
 
 // runChurn drives churnStep every interval until ctx is cancelled,
 // reporting the applied totals.
-func (h *Harness) runChurn(ctx context.Context, interval time.Duration, burst int, purgeFraction float64) (added, removed int, err error) {
+func (h *Harness) runChurn(ctx context.Context, col *Collector, interval time.Duration, burst int, purgeFraction float64) (added, removed int, err error) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for step := 0; ; step++ {
@@ -377,7 +458,7 @@ func (h *Harness) runChurn(ctx context.Context, interval time.Duration, burst in
 		case <-ctx.Done():
 			return added, removed, err
 		case <-ticker.C:
-			a, r, stepErr := h.churnStep(step, burst, purgeFraction)
+			a, r, stepErr := h.churnStep(col, step, burst, purgeFraction)
 			added += a
 			removed += r
 			if stepErr != nil && err == nil {

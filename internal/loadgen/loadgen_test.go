@@ -180,9 +180,12 @@ func TestBenchResultsShape(t *testing.T) {
 			t.Fatalf("row %s: p99 < p50", row.Name)
 		}
 	}
-	doc := BenchFile([]Result{res})
+	doc := BenchFile([]Result{res}, map[string]any{"rate": 500.0})
 	if doc.Component != "e2e" || len(doc.Results) != len(rows) {
 		t.Fatalf("BenchFile = %+v", doc)
+	}
+	if doc.Config["rate"] != 500.0 {
+		t.Fatalf("BenchFile dropped the run config: %+v", doc.Config)
 	}
 }
 

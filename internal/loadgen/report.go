@@ -46,8 +46,10 @@ func (r Result) BenchResults() []benchjson.Result {
 	return out
 }
 
-// BenchFile folds several mix runs into the BENCH_e2e document.
-func BenchFile(results []Result) benchjson.File {
+// BenchFile folds several mix runs into the BENCH_e2e document. config, when
+// non-nil, is stamped into the artifact so a stored BENCH_e2e.json says
+// exactly what produced it.
+func BenchFile(results []Result, config map[string]any) benchjson.File {
 	var rows []benchjson.Result
 	for _, r := range results {
 		rows = append(rows, r.BenchResults()...)
@@ -56,6 +58,7 @@ func BenchFile(results []Result) benchjson.File {
 		Component:   "e2e",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Results:     rows,
+		Config:      config,
 	}
 }
 

@@ -105,6 +105,11 @@ func (h *Harness) RunMixWith(ctx context.Context, name string, p Pattern, d time
 	if err != nil {
 		return Result{}, err
 	}
+	if col == nil {
+		// Allocate the collector here rather than inside RunWith so the
+		// churn goroutine's write-probe timings land in the same Result.
+		col = NewCollector()
+	}
 
 	churnCtx, stopChurn := context.WithCancel(ctx)
 	defer stopChurn()
@@ -115,7 +120,7 @@ func (h *Harness) RunMixWith(ctx context.Context, name string, p Pattern, d time
 	churnDone := make(chan churnOutcome, 1)
 	if spec.churn != nil {
 		go func() {
-			a, r, err := h.runChurn(churnCtx, spec.churn.interval, spec.churn.burst, spec.churn.purgeFraction)
+			a, r, err := h.runChurn(churnCtx, col, spec.churn.interval, spec.churn.burst, spec.churn.purgeFraction)
 			churnDone <- churnOutcome{a, r, err}
 		}()
 	}

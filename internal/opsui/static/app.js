@@ -48,6 +48,14 @@ function fmtCount(n) {
   return String(Math.round(n));
 }
 
+function fmtBytes(n) {
+  if (n == null) return "–";
+  if (n >= 1 << 30) return (n / (1 << 30)).toFixed(1) + "GiB";
+  if (n >= 1 << 20) return (n / (1 << 20)).toFixed(1) + "MiB";
+  if (n >= 1 << 10) return (n / (1 << 10)).toFixed(1) + "KiB";
+  return Math.round(n) + "B";
+}
+
 function fmtRate(r) {
   if (r == null) return "–";
   if (r >= 100) return r.toFixed(0) + "/s";
@@ -108,6 +116,33 @@ function renderTiles(flat, dt) {
 
   const throttled = sumOver(flat, "ratelimit_throttled_total", "value");
   if (throttled != null && throttled > 0) tiles.push(["throttled", fmtCount(throttled)]);
+
+  /* durability plane: present only when the store runs on a WAL */
+  let walRate = 0, walTotal = null;
+  for (const [key, s] of flat) {
+    if (s.name === "wal_records_total") {
+      walTotal = (walTotal || 0) + (s.value || 0);
+      const r = rateOf(flat, key, dt);
+      if (r != null) walRate += r;
+    }
+  }
+  if (walTotal != null) {
+    tiles.push(["wal appends", fmtRate(walRate) + ` <small>(${fmtCount(walTotal)})</small>`]);
+    const logBytes = sumOver(flat, "wal_log_bytes", "value");
+    const snapBytes = sumOver(flat, "wal_snapshot_bytes", "value");
+    if (logBytes != null) {
+      tiles.push(["wal on disk", fmtBytes(logBytes) +
+        (snapBytes != null ? ` <small>+ ${fmtBytes(snapBytes)} snap</small>` : "")]);
+    }
+    const compactions = sumOver(flat, "wal_compactions_total", "value");
+    if (compactions != null) tiles.push(["compactions", fmtCount(compactions)]);
+    const recovered = sumOver(flat, "wal_recovery_records", "value");
+    const recSecs = sumOver(flat, "wal_recovery_seconds", "value");
+    if (recovered != null) {
+      tiles.push(["recovered", fmtCount(recovered) +
+        (recSecs != null ? ` <small>in ${fmtDur(recSecs)}</small>` : "")]);
+    }
+  }
 
   $("#tiles").innerHTML = tiles.map(([label, value]) =>
     `<div class="tile"><div class="label">${label}</div><div class="value">${value}</div></div>`

@@ -185,6 +185,27 @@ func (a *StoreApplier) Roundtrip() error {
 	return nil
 }
 
+// wrappedStore adapts an externally constructed store — e.g. one recovered
+// from a write-ahead log — as an Applier, so Observe and Apply can drive
+// it. Roundtrip is unsupported: op streams applied through a wrapped store
+// must not contain OpSnapshot (the WAL harnesses filter it out).
+type wrappedStore struct{ *twitter.Store }
+
+// WrapStore adapts st as an Applier.
+func WrapStore(st *twitter.Store) Applier { return wrappedStore{st} }
+
+func (w wrappedStore) Roundtrip() error {
+	return errors.New("difftest: wrapped store does not support snapshot roundtrip")
+}
+
+func (w wrappedStore) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := w.Store.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // obsTweet is a Tweet with its timestamp canonicalised to unix seconds, so
 // comparisons never depend on time.Time's internal representation.
 type obsTweet struct {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 
@@ -134,10 +135,25 @@ type snapshot struct {
 // and targets are emitted in ascending ID order, never in shard or map
 // order, so equal logical state yields equal bytes for any shard count.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	return s.WriteSnapshotWith(w, nil)
+}
+
+// WriteSnapshotWith is WriteSnapshot with a cut hook: atCut runs once
+// creation is quiesced and every shard is locked — the exact logical
+// instant the snapshot captures — before any state is serialised. WAL
+// compaction rotates its log segment there, so the snapshot and the
+// post-cut segments partition the op history with no overlap and no gap.
+// An atCut error aborts the snapshot before anything is written.
+func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 	s.createMu.Lock()
 	defer s.createMu.Unlock()
 	s.rlockAll()
 	defer s.runlockAll()
+	if atCut != nil {
+		if err := atCut(); err != nil {
+			return fmt.Errorf("snapshot cut: %w", err)
+		}
+	}
 
 	n := int(s.users.Load())
 	snap := snapshot{
@@ -214,6 +230,31 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return fmt.Errorf("encoding snapshot: %w", err)
 	}
 	return bw.Flush()
+}
+
+// SnapshotVersions reports the snapshot format versions this build reads
+// (oldest..newest); writers always emit the newest.
+func SnapshotVersions() (oldest, newest int) {
+	return minSnapshotVersion, snapshotVersion
+}
+
+// LoadSnapshotFile opens and loads a snapshot file, translating the two
+// failure modes an operator actually hits — wrong path, wrong/corrupt file —
+// into errors that name the path and the version range this build supports
+// instead of surfacing a raw gob decode error.
+func LoadSnapshotFile(path string, clock simclock.Clock, opts ...Option) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("twitter: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	store, err := ReadSnapshot(f, clock, opts...)
+	if err != nil {
+		return nil, fmt.Errorf(
+			"twitter: snapshot %s is not loadable: %w (this build writes snapshot v%d and reads v%d through v%d; regenerate with genpop if the file predates v%d or is truncated)",
+			path, err, snapshotVersion, minSnapshotVersion, snapshotVersion, minSnapshotVersion)
+	}
+	return store, nil
 }
 
 // ReadSnapshot reconstructs a Store from a snapshot, bound to the given

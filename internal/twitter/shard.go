@@ -116,6 +116,10 @@ type Store struct {
 	// users is the committed account count: IDs 1..users exist, always.
 	users    atomic.Int64
 	tweetSeq atomic.Int64
+
+	// oplog, when non-nil, receives every mutation for durable logging
+	// (see oplog.go). Read-mostly: set once before concurrent use.
+	oplog OpLog
 }
 
 // NewStore creates an empty platform using the given clock and root seed

@@ -258,6 +258,14 @@ func pct(f float64) uint8 {
 // explicit name) consumes no ID: the name is checked before allocation, so
 // IDs stay dense.
 func (s *Store) CreateUser(p UserParams) (UserID, error) {
+	id, lsn, err := s.createUser(p)
+	if err != nil {
+		return 0, err
+	}
+	return id, s.opSync(lsn)
+}
+
+func (s *Store) createUser(p UserParams) (UserID, uint64, error) {
 	var flags uint8
 	if p.DefaultProfileImage {
 		flags |= flagDefaultImage
@@ -295,7 +303,7 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 		_, dup := stripe.byName[p.ScreenName]
 		stripe.mu.RUnlock()
 		if dup {
-			return 0, fmt.Errorf("%w: %q", ErrDuplicateName, p.ScreenName)
+			return 0, 0, fmt.Errorf("%w: %q", ErrDuplicateName, p.ScreenName)
 		}
 	}
 	id := UserID(s.users.Load() + 1)
@@ -312,6 +320,18 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 		linkPct:     pct(p.Behavior.LinkRatio),
 		spamPct:     pct(p.Behavior.SpamRatio),
 		dupPct:      pct(p.Behavior.DuplicateRatio),
+	}
+	// Log before the account is published: the log's create order equals ID
+	// order, and CreatedAt is logged resolved so replay never re-reads the
+	// clock.
+	var lsn uint64
+	if l := s.oplog; l != nil {
+		logged := p
+		logged.CreatedAt = created
+		var err error
+		if lsn, err = l.LogCreate(id, logged); err != nil {
+			return 0, 0, fmt.Errorf("twitter: logging create: %w", err)
+		}
 	}
 	// Creation is serialised and IDs are dense, so the owning shard's next
 	// free slot is exactly this ID's slot: a plain append commits it.
@@ -331,7 +351,7 @@ func (s *Store) CreateUser(p UserParams) (UserID, error) {
 		stripe.byName[p.ScreenName] = id
 		stripe.mu.Unlock()
 	}
-	return id, nil
+	return id, lsn, nil
 }
 
 // MustCreateUser is CreateUser for generator code paths where the only
@@ -497,22 +517,37 @@ func (s *Store) Profiles(ids []UserID) []Profile {
 // are never deleted), so followers landing on different targets in
 // different shards proceed fully in parallel.
 func (s *Store) AddFollower(target, follower UserID, at time.Time) error {
-	if err := s.checkExists(target); err != nil {
+	lsn, err := s.addFollower(target, follower, at)
+	if err != nil {
 		return err
 	}
+	return s.opSync(lsn)
+}
+
+func (s *Store) addFollower(target, follower UserID, at time.Time) (uint64, error) {
+	if err := s.checkExists(target); err != nil {
+		return 0, err
+	}
 	if err := s.checkExists(follower); err != nil {
-		return err
+		return 0, err
 	}
 	sh := s.shardFor(target)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	td := sh.target(target)
 	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
-		return fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
+		return 0, fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
+	}
+	var lsn uint64
+	if l := s.oplog; l != nil {
+		var err error
+		if lsn, err = l.LogFollow(target, follower, at); err != nil {
+			return 0, fmt.Errorf("twitter: logging follow: %w", err)
+		}
 	}
 	td.seq++
 	td.follows = append(td.follows, Follow{Follower: follower, At: at, Seq: td.seq})
-	return nil
+	return lsn, nil
 }
 
 // FollowerCount returns the number of followers of id: the materialised edge
@@ -636,18 +671,40 @@ func (s *Store) FollowersPage(target UserID, fromSeq uint64, limit int) (Followe
 // follower purges, suspension sweeps. Removal times must be monotonically
 // non-decreasing across calls, mirroring the follow-side invariant.
 func (s *Store) RemoveFollowers(target UserID, followers []UserID, at time.Time) (int, error) {
+	n, lsn, err := s.removeFollowers(target, followers, at, false)
+	if err != nil {
+		return n, err
+	}
+	return n, s.opSync(lsn)
+}
+
+func (s *Store) removeFollowers(target UserID, followers []UserID, at time.Time, single bool) (int, uint64, error) {
 	if err := s.checkExists(target); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	sh := s.shardFor(target)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	td := sh.targets[target]
 	if td == nil || len(td.follows) == 0 || len(followers) == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if n := len(td.removed); n > 0 && at.Before(td.removed[n-1].At) {
-		return 0, fmt.Errorf("%w: removal at %v before %v", ErrNotMonotonic, at, td.removed[n-1].At)
+		return 0, 0, fmt.Errorf("%w: removal at %v before %v", ErrNotMonotonic, at, td.removed[n-1].At)
+	}
+	// Logged before the scan, so a removal that matches nothing still costs
+	// a record; replaying it is the same no-op, so determinism holds.
+	var lsn uint64
+	if l := s.oplog; l != nil {
+		var err error
+		if single {
+			lsn, err = l.LogUnfollow(target, followers[0], at)
+		} else {
+			lsn, err = l.LogPurge(target, followers, at)
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("twitter: logging removal: %w", err)
+		}
 	}
 	drop := make(map[UserID]struct{}, len(followers))
 	for _, f := range followers {
@@ -671,14 +728,17 @@ func (s *Store) RemoveFollowers(target UserID, followers []UserID, at time.Time)
 		td.follows[i] = Follow{}
 	}
 	td.follows = kept
-	return removed, nil
+	return removed, lsn, nil
 }
 
 // Unfollow deletes a single follow edge at time at. It reports whether the
 // edge existed.
 func (s *Store) Unfollow(target, follower UserID, at time.Time) (bool, error) {
-	n, err := s.RemoveFollowers(target, []UserID{follower}, at)
-	return n > 0, err
+	n, lsn, err := s.removeFollowers(target, []UserID{follower}, at, true)
+	if err != nil {
+		return n > 0, err
+	}
+	return n > 0, s.opSync(lsn)
 }
 
 // RemovedEdges returns a copy of target's removal log (unfollow events in
@@ -739,25 +799,70 @@ func (s *Store) IsTarget(id UserID) bool {
 // AppendTweet records an explicit tweet for a target account and updates its
 // counters. Tweets must be appended in chronological order.
 func (s *Store) AppendTweet(author UserID, tw Tweet) (Tweet, error) {
+	out, lsn, err := s.appendTweet(author, tw, 0)
+	if err != nil {
+		return Tweet{}, err
+	}
+	return out, s.opSync(lsn)
+}
+
+// RestoreTweet reinstates a tweet exactly as logged — ID included — during
+// WAL replay. Unlike AppendTweet it allocates no ID, so a replayed timeline
+// is identical to the one the log recorded; the global tweet counter is
+// advanced past the reinstated ID so post-replay tweets never collide.
+func (s *Store) RestoreTweet(tw Tweet) error {
+	if tw.ID == 0 {
+		return fmt.Errorf("twitter: RestoreTweet needs an explicit tweet ID")
+	}
+	_, lsn, err := s.appendTweet(tw.Author, tw, tw.ID)
+	if err != nil {
+		return err
+	}
+	return s.opSync(lsn)
+}
+
+// appendTweet commits tw for author. forceID 0 assigns the next global
+// tweet ID; a nonzero forceID reinstates a logged ID (RestoreTweet).
+func (s *Store) appendTweet(author UserID, tw Tweet, forceID TweetID) (Tweet, uint64, error) {
 	sh := s.shardFor(author)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	rec, err := s.recordIn(sh, author)
 	if err != nil {
-		return Tweet{}, err
+		return Tweet{}, 0, err
 	}
 	td := sh.target(author)
 	if n := len(td.tweets); n > 0 && tw.CreatedAt.Before(td.tweets[n-1].CreatedAt) {
-		return Tweet{}, fmt.Errorf("%w: tweet at %v before %v", ErrNotMonotonic, tw.CreatedAt, td.tweets[n-1].CreatedAt)
+		return Tweet{}, 0, fmt.Errorf("%w: tweet at %v before %v", ErrNotMonotonic, tw.CreatedAt, td.tweets[n-1].CreatedAt)
 	}
-	tw.ID = TweetID(s.tweetSeq.Add(1))
+	if forceID != 0 {
+		tw.ID = forceID
+		for {
+			cur := s.tweetSeq.Load()
+			if int64(forceID) <= cur || s.tweetSeq.CompareAndSwap(cur, int64(forceID)) {
+				break
+			}
+		}
+	} else {
+		tw.ID = TweetID(s.tweetSeq.Add(1))
+	}
 	tw.Author = author
+	// Logged with the assigned ID: global IDs are handed out in arrival
+	// order, which need not match the per-target log order replay runs in,
+	// so replay must reinstate IDs rather than re-allocate them.
+	var lsn uint64
+	if l := s.oplog; l != nil {
+		var lerr error
+		if lsn, lerr = l.LogTweet(tw); lerr != nil {
+			return Tweet{}, 0, fmt.Errorf("twitter: logging tweet: %w", lerr)
+		}
+	}
 	td.tweets = append(td.tweets, tw)
 	rec.statuses++
 	if tw.CreatedAt.Unix() > rec.lastTweetAt {
 		rec.lastTweetAt = tw.CreatedAt.Unix()
 	}
-	return tw, nil
+	return tw, lsn, nil
 }
 
 // Timeline returns up to max tweets of the account, most recent first.
@@ -795,17 +900,31 @@ func (s *Store) Timeline(id UserID, max int) ([]Tweet, error) {
 // for all others the API layer synthesises a deterministic list matching the
 // synthetic friends counter.
 func (s *Store) SetFriends(id UserID, friends []UserID) error {
+	lsn, err := s.setFriends(id, friends)
+	if err != nil {
+		return err
+	}
+	return s.opSync(lsn)
+}
+
+func (s *Store) setFriends(id UserID, friends []UserID) (uint64, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	rec, err := s.recordIn(sh, id)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	var lsn uint64
+	if l := s.oplog; l != nil {
+		if lsn, err = l.LogSetFriends(id, friends); err != nil {
+			return 0, fmt.Errorf("twitter: logging friends: %w", err)
+		}
 	}
 	td := sh.target(id)
 	td.friends = append([]UserID(nil), friends...)
 	rec.friends = int32(len(friends))
-	return nil
+	return lsn, nil
 }
 
 // Friends returns the materialised friend list of id (newest first) and

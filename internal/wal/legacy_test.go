@@ -1,0 +1,218 @@
+package wal_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitter/difftest"
+	"fakeproject/internal/wal"
+)
+
+// Mirrors of the twitter package's persist structs. gob matches fields by
+// name and omits zero values, so one struct set fabricates every legacy
+// stream version: a v1 snapshot is simply one with the newer fields left
+// zero and Version set to 1.
+type legacyRecord struct {
+	CreatedAt   int64
+	LastTweetAt int64
+	Statuses    int32
+	Friends     int32
+	Followers   int32
+	Seed        uint32
+	Flags       uint8
+	Class       uint8
+	RetweetPct  uint8
+	LinkPct     uint8
+	SpamPct     uint8
+	DupPct      uint8
+}
+
+type legacyFollow struct {
+	Follower int64
+	At       int64
+	Seq      uint64
+}
+
+type legacyTweet struct {
+	ID        int64
+	CreatedAt int64
+	Text      string
+	IsRetweet bool
+	HasLink   bool
+	IsReply   bool
+	Mentions  int32
+	Hashtags  int32
+	Source    string
+}
+
+type legacyTarget struct {
+	ID         int64
+	Follows    []legacyFollow
+	Tweets     []legacyTweet
+	Friends    []int64
+	Removed    []legacyFollow
+	SeqCounter uint64
+}
+
+type legacySnapshot struct {
+	Version   int
+	NameSeed  uint64
+	TweetSeq  int64
+	Records   []legacyRecord
+	Names     map[int64]string
+	Targets   []legacyTarget
+	ClockUnix int64
+}
+
+// fabricateLegacy builds a version-v snapshot stream of a small population:
+// three accounts, one explicit name, one target with two followers and a
+// tweet, plus (v >= 2) a removal-log entry and a clock position.
+func fabricateLegacy(v int) []byte {
+	created := simclock.Epoch.AddDate(-2, 0, 0).Unix()
+	rec := func(statuses int32) legacyRecord {
+		return legacyRecord{
+			CreatedAt: created, Statuses: statuses, Friends: 10, Followers: 20,
+			Seed: 99, Class: uint8(twitter.ClassGenuine), RetweetPct: 30, LinkPct: 40,
+		}
+	}
+	snap := legacySnapshot{
+		Version:  v,
+		NameSeed: 7,
+		TweetSeq: 1,
+		Records:  []legacyRecord{rec(3), rec(0), rec(0)},
+		Names:    map[int64]string{1: "legacy_ace"},
+	}
+	t0 := simclock.Epoch.Add(-time.Hour).Unix()
+	target := legacyTarget{
+		ID: 1,
+		Follows: []legacyFollow{
+			{Follower: 2, At: t0},
+			{Follower: 3, At: t0 + 60},
+		},
+		Tweets:  []legacyTweet{{ID: 1, CreatedAt: t0 + 90, Text: "from the old world", Source: "web"}},
+		Friends: []int64{2},
+	}
+	if v >= 2 {
+		target.Removed = []legacyFollow{{Follower: 3, At: t0 + 120}}
+		snap.ClockUnix = t0 + 120
+	}
+	if v >= 3 {
+		for i := range target.Follows {
+			target.Follows[i].Seq = uint64(i + 1)
+		}
+		target.Removed[0].Seq = 3
+		target.SeqCounter = 3
+	}
+	snap.Targets = []legacyTarget{target}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLegacySnapshotThenWALReplay proves the durability plane composes with
+// every snapshot version this build reads: a fabricated v1/v2/v3 stream
+// placed in the WAL directory recovers into a sharded store, live ops append
+// to the log on top of it, and a restart replays them onto the same legacy
+// base.
+func TestLegacySnapshotThenWALReplay(t *testing.T) {
+	for v := 1; v <= 3; v++ {
+		v := v
+		t.Run(fmt.Sprintf("v%d", v), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000000.gob"), fabricateLegacy(v), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			store, wlog, stats, err := wal.Open(wal.Config{
+				Dir:    dir,
+				Policy: wal.PolicyAlways,
+				Clock:  simclock.NewVirtualAtEpoch(),
+				Seed:   7,
+				StoreOpts: []twitter.Option{twitter.WithShards(4)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.SnapshotPath == "" || stats.RecordsReplayed != 0 {
+				t.Fatalf("legacy boot stats %+v", stats)
+			}
+			if store.UserCount() != 3 {
+				t.Fatalf("legacy snapshot loaded %d users", store.UserCount())
+			}
+			if id, err := store.LookupName("legacy_ace"); err != nil || id != 1 {
+				t.Fatalf("explicit legacy name: %d, %v", id, err)
+			}
+
+			// Live traffic on top of the legacy base, through the WAL.
+			now := store.Now()
+			newbie, err := store.CreateUser(twitter.UserParams{ScreenName: "newcomer", CreatedAt: now})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.AddFollower(1, newbie, now.Add(time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.AppendTweet(1, twitter.Tweet{CreatedAt: now.Add(2 * time.Minute), Text: "still here", Source: "web"}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.RemoveFollowers(1, []twitter.UserID{2}, now.Add(3*time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+
+			explicit := map[twitter.UserID]string{1: "legacy_ace", newbie: "newcomer"}
+			ocfg := difftest.ObserveConfig{
+				PageLimit:  2,
+				TweetUsers: []twitter.UserID{1},
+				Names:      []string{"legacy_ace", "newcomer"},
+			}
+			live, err := difftest.Observe(difftest.WrapStore(store), ocfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wlog.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			store2, wlog2, stats2, err := wal.Open(wal.Config{
+				Dir:   dir,
+				Clock: simclock.NewVirtualAtEpoch(),
+				Seed:  7,
+				StoreOpts: []twitter.Option{twitter.WithShards(2)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wlog2.Close()
+			if stats2.RecordsReplayed != 4 {
+				t.Fatalf("replayed %d records on the legacy base, want 4", stats2.RecordsReplayed)
+			}
+			recovered, err := difftest.Observe(difftest.WrapStore(store2), ocfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			difftest.Normalize(&live, explicit)
+			difftest.Normalize(&recovered, explicit)
+			if d := difftest.DiffObservations(live, recovered); d != "" {
+				t.Fatalf("v%d base + WAL replay diverged: %s", v, d)
+			}
+
+			// Compaction folds the legacy base and the replayed tail into a
+			// fresh canonical (v4) snapshot; the old stream is pruned.
+			if err := wlog2.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000000.gob")); !os.IsNotExist(err) {
+				t.Fatalf("legacy snapshot not pruned after compaction: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"fakeproject/internal/twitter"
+)
+
+// Record payloads. One payload is one mutation: a kind byte followed by the
+// op's fields as uvarints/varints, strings and ID lists length-prefixed,
+// behaviour ratios as fixed 8-byte float bits, booleans packed into one
+// flag byte. Times travel as unix seconds — the store itself quantises to
+// seconds everywhere, so nothing finer exists to lose. The encoding is
+// hand-rolled rather than gob because a record is written on every store
+// mutation: no reflection, no type preamble, one small buffer per op.
+
+// Record kinds. Start at 1 so a zero byte (a zero-filled torn tail) is
+// never a valid record.
+const (
+	recCreate byte = iota + 1
+	recFollow
+	recUnfollow
+	recPurge
+	recTweet
+	recSetFriends
+)
+
+// maxPayload bounds a single record payload (16 MiB). Frames claiming more
+// are torn or garbage, never legitimate: the largest real record is a purge
+// batch, and the population driver purges thousands, not millions, per op.
+const maxPayload = 1 << 24
+
+// record is one decoded mutation.
+type record struct {
+	kind     byte
+	id       twitter.UserID // create subject / set-friends subject
+	target   twitter.UserID // follow / unfollow / purge target
+	follower twitter.UserID // follow / unfollow
+	batch    []twitter.UserID
+	at       time.Time
+	params   twitter.UserParams // create only
+	tweet    twitter.Tweet      // tweet only
+}
+
+// eventTime returns the simulated instant the record carries, used to
+// advance a virtual clock past everything replay reinstated.
+func (r record) eventTime() time.Time {
+	switch r.kind {
+	case recCreate:
+		return r.params.CreatedAt
+	case recTweet:
+		return r.tweet.CreatedAt
+	default:
+		return r.at
+	}
+}
+
+// apply re-executes the mutation against st. The store must have no OpLog
+// attached (recovery runs before the writer opens), so nothing re-logs.
+func (r record) apply(st *twitter.Store) error {
+	switch r.kind {
+	case recCreate:
+		id, err := st.CreateUser(r.params)
+		if err != nil {
+			return err
+		}
+		if id != r.id {
+			return fmt.Errorf("create replayed as id %d, logged as %d", id, r.id)
+		}
+		return nil
+	case recFollow:
+		return st.AddFollower(r.target, r.follower, r.at)
+	case recUnfollow:
+		_, err := st.Unfollow(r.target, r.follower, r.at)
+		return err
+	case recPurge:
+		_, err := st.RemoveFollowers(r.target, r.batch, r.at)
+		return err
+	case recTweet:
+		return st.RestoreTweet(r.tweet)
+	case recSetFriends:
+		return st.SetFriends(r.id, r.batch)
+	}
+	return fmt.Errorf("unknown record kind %d", r.kind)
+}
+
+// unix0 maps a time to unix seconds with zero preserved: the store uses the
+// zero Time as its "never" sentinel (LastTweet) and second 0 for everything
+// else, so the one overlap (an instant exactly at the epoch) already
+// conflates inside the store itself.
+func unix0(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.Unix()
+}
+
+func time0(sec int64) time.Time {
+	if sec == 0 {
+		return time.Time{}
+	}
+	return time.Unix(sec, 0).UTC()
+}
+
+// Create-record profile booleans, packed into one byte.
+const (
+	encBio = 1 << iota
+	encLocation
+	encURL
+	encDefaultImage
+	encProtected
+	encVerified
+)
+
+// Tweet-record booleans.
+const (
+	encRetweet = 1 << iota
+	encLink
+	encReply
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendIDs(b []byte, ids []twitter.UserID) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendVarint(b, int64(id))
+	}
+	return b
+}
+
+func encodeCreate(b []byte, id twitter.UserID, p twitter.UserParams) []byte {
+	b = append(b, recCreate)
+	b = binary.AppendVarint(b, int64(id))
+	b = appendString(b, p.ScreenName)
+	// p.Name is deliberately not persisted: the store ignores it (display
+	// names are synthesised from the per-user seed).
+	b = binary.AppendVarint(b, p.CreatedAt.Unix()) // resolved by the store before logging
+	b = binary.AppendVarint(b, unix0(p.LastTweet))
+	b = binary.AppendVarint(b, int64(p.Statuses))
+	b = binary.AppendVarint(b, int64(p.Friends))
+	b = binary.AppendVarint(b, int64(p.Followers))
+	var flags byte
+	for i, set := range [...]bool{p.Bio, p.Location, p.URL, p.DefaultProfileImage, p.Protected, p.Verified} {
+		if set {
+			flags |= 1 << i
+		}
+	}
+	b = append(b, flags, byte(p.Class))
+	for _, f := range [...]float64{p.Behavior.RetweetRatio, p.Behavior.LinkRatio, p.Behavior.SpamRatio, p.Behavior.DuplicateRatio} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+func encodeEdge(b []byte, kind byte, target, follower twitter.UserID, at time.Time) []byte {
+	b = append(b, kind)
+	b = binary.AppendVarint(b, int64(target))
+	b = binary.AppendVarint(b, int64(follower))
+	b = binary.AppendVarint(b, at.Unix())
+	return b
+}
+
+func encodePurge(b []byte, target twitter.UserID, followers []twitter.UserID, at time.Time) []byte {
+	b = append(b, recPurge)
+	b = binary.AppendVarint(b, int64(target))
+	b = binary.AppendVarint(b, at.Unix())
+	return appendIDs(b, followers)
+}
+
+func encodeTweet(b []byte, tw twitter.Tweet) []byte {
+	b = append(b, recTweet)
+	b = binary.AppendVarint(b, int64(tw.ID))
+	b = binary.AppendVarint(b, int64(tw.Author))
+	b = binary.AppendVarint(b, tw.CreatedAt.Unix())
+	b = appendString(b, tw.Text)
+	var flags byte
+	if tw.IsRetweet {
+		flags |= encRetweet
+	}
+	if tw.HasLink {
+		flags |= encLink
+	}
+	if tw.IsReply {
+		flags |= encReply
+	}
+	b = append(b, flags)
+	b = binary.AppendVarint(b, int64(tw.Mentions))
+	b = binary.AppendVarint(b, int64(tw.Hashtags))
+	return appendString(b, tw.Source)
+}
+
+func encodeSetFriends(b []byte, id twitter.UserID, friends []twitter.UserID) []byte {
+	b = append(b, recSetFriends)
+	b = binary.AppendVarint(b, int64(id))
+	return appendIDs(b, friends)
+}
+
+// decoder walks a record payload. Every read is bounded by the remaining
+// bytes — claimed string lengths and list counts included — so arbitrary
+// input (FuzzWALDecode feeds exactly that) terminates without allocation
+// amplification; the first short or malformed field makes the error sticky
+// and every later read yields zero values.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated or malformed record payload")
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) ids() []twitter.UserID {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// A varint takes at least one byte, so a claimed count beyond the
+	// remaining bytes cannot be satisfied: reject before allocating.
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := make([]twitter.UserID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, twitter.UserID(d.varint()))
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// decodeRecord parses one framed payload. The frame CRC has already passed,
+// so a decode failure here is real corruption (or a format skew), not a
+// torn tail.
+func decodeRecord(payload []byte) (record, error) {
+	d := &decoder{b: payload}
+	r := record{kind: d.byte()}
+	switch r.kind {
+	case recCreate:
+		r.id = twitter.UserID(d.varint())
+		r.params.ScreenName = d.str()
+		r.params.CreatedAt = time.Unix(d.varint(), 0).UTC()
+		r.params.LastTweet = time0(d.varint())
+		r.params.Statuses = int(d.varint())
+		r.params.Friends = int(d.varint())
+		r.params.Followers = int(d.varint())
+		flags := d.byte()
+		r.params.Bio = flags&encBio != 0
+		r.params.Location = flags&encLocation != 0
+		r.params.URL = flags&encURL != 0
+		r.params.DefaultProfileImage = flags&encDefaultImage != 0
+		r.params.Protected = flags&encProtected != 0
+		r.params.Verified = flags&encVerified != 0
+		r.params.Class = twitter.Class(d.byte())
+		r.params.Behavior.RetweetRatio = d.f64()
+		r.params.Behavior.LinkRatio = d.f64()
+		r.params.Behavior.SpamRatio = d.f64()
+		r.params.Behavior.DuplicateRatio = d.f64()
+	case recFollow, recUnfollow:
+		r.target = twitter.UserID(d.varint())
+		r.follower = twitter.UserID(d.varint())
+		r.at = time.Unix(d.varint(), 0).UTC()
+	case recPurge:
+		r.target = twitter.UserID(d.varint())
+		r.at = time.Unix(d.varint(), 0).UTC()
+		r.batch = d.ids()
+	case recTweet:
+		r.tweet.ID = twitter.TweetID(d.varint())
+		r.tweet.Author = twitter.UserID(d.varint())
+		r.tweet.CreatedAt = time.Unix(d.varint(), 0).UTC()
+		r.tweet.Text = d.str()
+		flags := d.byte()
+		r.tweet.IsRetweet = flags&encRetweet != 0
+		r.tweet.HasLink = flags&encLink != 0
+		r.tweet.IsReply = flags&encReply != 0
+		r.tweet.Mentions = int(d.varint())
+		r.tweet.Hashtags = int(d.varint())
+		r.tweet.Source = d.str()
+	case recSetFriends:
+		r.id = twitter.UserID(d.varint())
+		r.batch = d.ids()
+	default:
+		return record{}, fmt.Errorf("unknown record kind %d", r.kind)
+	}
+	if d.err != nil {
+		return record{}, fmt.Errorf("record kind %d: %w", r.kind, d.err)
+	}
+	if len(d.b) != 0 {
+		return record{}, fmt.Errorf("record kind %d: %d trailing bytes", r.kind, len(d.b))
+	}
+	return r, nil
+}
