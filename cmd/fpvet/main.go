@@ -1,0 +1,65 @@
+// Command fpvet runs the repository's invariant suite — the static
+// analyzers in internal/analysis — over the tree and exits non-zero on any
+// diagnostic. It is the machine-checked half of docs/INVARIANTS.md: the
+// clock discipline, the import layering, the lock-hold rules, the hot-path
+// allocation budget, the metric naming conventions, package docs and the
+// no-clone rules all fail the build here instead of in review.
+//
+// Usage:
+//
+//	go run ./cmd/fpvet ./...
+//	go run ./cmd/fpvet -list
+//	go run ./cmd/fpvet ./internal/twitter ./internal/metrics
+//
+// Suppressions: //fp:allow <analyzer> <reason> silences the next line,
+// //fp:allow-file <analyzer> <reason> a whole file. A directive without a
+// reason is itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fakeproject/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fpvet [-list] [patterns...]\n\npatterns default to ./... ; ./dir loads one package directory\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpvet:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(root, analysis.ModulePath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpvet:", err)
+		os.Exit(2)
+	}
+	res := analysis.Run(prog, suite)
+	for _, d := range res.Diagnostics {
+		fmt.Println(d.String())
+	}
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(os.Stderr, "fpvet: %d diagnostic(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Package analysis is the repo's static-analysis framework: a dependency-free
+// loader (go/ast + go/types, source-importer based) plus the fpvet analyzers
+// that machine-check the platform's cross-PR invariants — virtual-clock
+// discipline, import layering, atomic-field hygiene, lock-hold I/O bans,
+// hot-path allocation rules, metric naming, package docs and no-clone types.
+//
+// Each analyzer states one rule that previously lived only in CHANGES.md or a
+// reviewer's head; docs/INVARIANTS.md catalogues them. Diagnostics carry exact
+// positions and are suppressible site-by-site with
+//
+//	//fp:allow <analyzer> <reason — at least two words>
+//
+// (same line or the line above), or file-wide with //fp:allow-file. A
+// suppression without a reason is itself a diagnostic: every exception to an
+// invariant must say why it is one.
+//
+// cmd/fpvet is the driver; internal/analysis/testdata holds the golden-file
+// packages (with // want "…" expectations) that pin each analyzer's exact
+// diagnostic set.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: an invariant violation at a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives the whole loaded program,
+// so analyzers are free to reason across packages (layering, atomic-field
+// cross-references, metric-name uniqueness); per-package analyzers simply
+// iterate pass.Packages.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //fp:allow directives.
+	Name string
+	// Doc is a one-line description shown by fpvet -list.
+	Doc string
+	// Run inspects the program and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of the loaded program and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Program  *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Program.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is what a suite run produces: the surviving diagnostics (position
+// sorted) and the count of suppressed ones.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+}
+
+// Run executes the analyzers over the program, applies //fp:allow
+// suppressions, appends the directive-hygiene diagnostics (analyzer
+// "fpallow": malformed or unknown suppressions, which cannot themselves be
+// suppressed) and returns the surviving findings sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) Result {
+	known := map[string]bool{DirectiveAnalyzerName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs, bad := scanDirectives(prog, known)
+
+	var res Result
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Program: prog}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if dirs.suppresses(d) {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	res.Diagnostics = append(res.Diagnostics, bad...)
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicfield: a struct field whose address is ever passed to a sync/atomic
+// function is an atomic field, everywhere and forever — one plain read
+// elsewhere is a data race the race detector only catches if a test happens
+// to interleave it. The analyzer cross-references the whole program: phase
+// one collects every field reaching sync/atomic by address, phase two flags
+// every plain (non-atomic) read or write of those fields. Composite-literal
+// keys are exempt (construction before publication); anything else needs an
+// //fp:allow with a reason arguing the happens-before edge.
+//
+// It also enforces the 64-bit alignment rule: an atomically accessed
+// int64/uint64 field must sit at an 8-byte-aligned offset under GOARCH=386
+// sizes, or the first atomic access will fault on 32-bit platforms. (The
+// typed atomic.Int64/Uint64 wrappers carry their own align64 marker and are
+// immune — preferring them is the real fix.)
+
+// NewAtomicField builds the atomicfield analyzer.
+func NewAtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc:  "fields accessed via sync/atomic must never be accessed plainly, and 64-bit ones must be alignment-safe",
+	}
+	a.Run = func(pass *Pass) {
+		// Phase 1: every field object whose address flows into sync/atomic.
+		atomicFields := make(map[*types.Var][]ast.Expr) // field -> atomic-access sites (the &x.f operands)
+		atomicOperands := make(map[ast.Expr]bool)       // selector exprs used *inside* atomic calls
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isAtomicCall(pkg.Info, call) {
+						return true
+					}
+					for _, arg := range call.Args {
+						un, ok := arg.(*ast.UnaryExpr)
+						if !ok || un.Op.String() != "&" {
+							continue
+						}
+						sel, ok := un.X.(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						if fld := fieldOf(pkg.Info, sel); fld != nil {
+							atomicFields[fld] = append(atomicFields[fld], sel)
+							atomicOperands[sel] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicFields) == 0 {
+			return
+		}
+
+		// Phase 2: plain accesses of those fields anywhere in the program.
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				// Composite-literal keys are plain *ast.Ident keys, not
+				// selectors, so construction sites never reach fieldOf and
+				// need no explicit exemption.
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicOperands[sel] {
+						return true
+					}
+					fld := fieldOf(pkg.Info, sel)
+					if fld == nil {
+						return true
+					}
+					if _, isAtomic := atomicFields[fld]; !isAtomic {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"plain access of %s.%s, which is accessed via sync/atomic elsewhere; use the atomic helpers (or //fp:allow atomicfield <happens-before argument>)",
+						fld.Pkg().Name(), fld.Name())
+					return true
+				})
+			}
+		}
+
+		// Alignment: atomically accessed 64-bit fields must be 8-aligned
+		// under 32-bit layout rules.
+		sizes := types.SizesFor("gc", "386")
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					st, ok := n.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					tv, ok := pkg.Info.Types[st]
+					if !ok {
+						return true
+					}
+					str, ok := tv.Type.(*types.Struct)
+					if !ok {
+						return true
+					}
+					var fields []*types.Var
+					for i := 0; i < str.NumFields(); i++ {
+						fields = append(fields, str.Field(i))
+					}
+					offsets := sizes.Offsetsof(fields)
+					for i, fld := range fields {
+						if _, isAtomic := atomicFields[fld]; !isAtomic {
+							continue
+						}
+						if !is64Bit(fld.Type()) {
+							continue
+						}
+						if offsets[i]%8 != 0 {
+							pass.Reportf(fld.Pos(),
+								"64-bit atomic field %s is at offset %d under GOARCH=386 layout; move it to the front of the struct or pad to 8-byte alignment (or use atomic.Int64/Uint64, which self-align)",
+								fld.Name(), offsets[i])
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldOf resolves sel to a struct-field object, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// is64Bit reports whether t's underlying type is int64 or uint64.
+func is64Bit(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathalloc: files annotated //fp:hotpath are serving hot paths — the
+// hand-encoded twitterapi response writers and the metrics HTTP middleware —
+// where PR 5/6 established a zero-allocation budget (13 allocs/request on
+// followers/ids, observed == plain). In those files the analyzer bans the
+// three regressions that historically creep back in: reflective formatting
+// (fmt.Sprintf and friends), encoding/json reflection, and []int64
+// materialisation (make/append/copy of ID slices — the exact copy PR 5
+// removed from the 5,000-ID followers page).
+
+// NewHotpathAlloc builds the hotpathalloc analyzer.
+func NewHotpathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "no fmt formatting, encoding/json reflection or []int64 copies in //fp:hotpath files",
+	}
+	fmtFormatters := map[string]bool{
+		"Sprintf": true, "Sprint": true, "Sprintln": true, "Fprintf": true,
+		"Fprint": true, "Fprintln": true, "Errorf": true, "Appendf": true,
+		"Printf": true, "Println": true, "Print": true,
+	}
+	a.Run = func(pass *Pass) {
+		hot := hotpathFiles(pass.Program)
+		if len(hot) == 0 {
+			return
+		}
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				if !hot[pass.Program.Fset.Position(f.Pos()).Filename] {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeOf(pkg.Info, call); fn != nil && fn.Pkg() != nil {
+						switch fn.Pkg().Path() {
+						case "fmt":
+							if fmtFormatters[fn.Name()] {
+								pass.Reportf(call.Pos(),
+									"fmt.%s in a //fp:hotpath file: reflective formatting allocates; hand-encode (strconv.Append*, pooled buffers)",
+									fn.Name())
+							}
+						case "encoding/json":
+							pass.Reportf(call.Pos(),
+								"encoding/json.%s in a //fp:hotpath file: reflection marshal allocates; hand-encode the response",
+								fn.Name())
+						}
+						return true
+					}
+					// Builtins: make/append/copy materialising []int64.
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+						switch b.Name() {
+						case "make", "append":
+							if tv, ok := pkg.Info.Types[call]; ok && isInt64Slice(tv.Type) {
+								pass.Reportf(call.Pos(),
+									"%s of []int64 in a //fp:hotpath file: ID pages must be streamed, not copied",
+									b.Name())
+							}
+						case "copy":
+							if len(call.Args) > 0 {
+								if tv, ok := pkg.Info.Types[call.Args[0]]; ok && isInt64Slice(tv.Type) {
+									pass.Reportf(call.Pos(),
+										"copy of []int64 in a //fp:hotpath file: ID pages must be streamed, not copied")
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// isInt64Slice reports whether t is a slice whose element's underlying type
+// is int64/uint64 (covers named ID types like twitter.UserID).
+func isInt64Slice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && is64Bit(s.Elem())
+}

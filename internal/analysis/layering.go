@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// layering: the import DAG is an architectural decision, so it is encoded
+// here as data, not prose. Three rule shapes cover everything the repo has
+// needed so far:
+//
+//   - OnlyImports: a package may import the stdlib plus an explicit list.
+//     This is how "internal/twitter stays WAL-free behind the op-sink hook"
+//     (PR 7) and "internal/metrics is dependency-free" (PR 6) are enforced.
+//   - RestrictedTo: a package may only be imported by the listed importers
+//     (prefix patterns ending in /* match subtrees). This keeps
+//     internal/core on the facade side of the DAG: foundation packages must
+//     never grow an upward dependency on it.
+//   - NoCmdToCmd: cmd/* binaries never import each other; shared behaviour
+//     belongs in internal/.
+
+// LayeringRule constrains one package's imports (OnlyImports) or importers
+// (RestrictedTo). Exactly one of the two fields is meaningful per rule.
+type LayeringRule struct {
+	// Package is the import path the rule is about.
+	Package string
+	// OnlyImports, when non-nil, lists the module-internal packages Package
+	// may import; stdlib imports are always allowed. An empty (non-nil)
+	// list means stdlib-only.
+	OnlyImports []string
+	// RestrictedTo, when non-nil, lists who may import Package. Entries
+	// ending in "/*" match the subtree under the prefix.
+	RestrictedTo []string
+}
+
+// LayeringConfig parameterises the layering analyzer.
+type LayeringConfig struct {
+	// ModulePath distinguishes module-internal imports from stdlib ones.
+	ModulePath string
+	// CmdPrefix, when set, enables the "no cmd imports another cmd" rule
+	// for packages under this prefix (e.g. "fakeproject/cmd").
+	CmdPrefix string
+	Rules     []LayeringRule
+}
+
+// NewLayering builds the layering analyzer.
+func NewLayering(cfg LayeringConfig) *Analyzer {
+	only := map[string]map[string]bool{}
+	restricted := map[string][]string{}
+	for _, r := range cfg.Rules {
+		if r.OnlyImports != nil {
+			only[r.Package] = toSet(r.OnlyImports)
+		}
+		if r.RestrictedTo != nil {
+			restricted[r.Package] = r.RestrictedTo
+		}
+	}
+	matches := func(importer string, pats []string) bool {
+		for _, pat := range pats {
+			if sub, ok := strings.CutSuffix(pat, "/*"); ok {
+				if hasPrefixPath(importer, sub) {
+					return true
+				}
+			} else if importer == pat {
+				return true
+			}
+		}
+		return false
+	}
+	a := &Analyzer{
+		Name: "layering",
+		Doc:  "import-DAG rules: allowed imports, restricted importers, no cmd-to-cmd imports",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if !hasPrefixPath(path, cfg.ModulePath) {
+						continue // stdlib (the module has no third-party deps)
+					}
+					if allowed, ok := only[pkg.Path]; ok && !allowed[path] {
+						pass.Reportf(imp.Pos(),
+							"%s must not import %s (allowed beyond stdlib: %s)",
+							pkg.Path, path, orNone(only[pkg.Path]))
+					}
+					if pats, ok := restricted[path]; ok && !matches(pkg.Path, pats) {
+						pass.Reportf(imp.Pos(),
+							"%s may only be imported by %s; %s is on the wrong side of the layering",
+							path, strings.Join(pats, ", "), pkg.Path)
+					}
+					if cfg.CmdPrefix != "" &&
+						hasPrefixPath(pkg.Path, cfg.CmdPrefix) && hasPrefixPath(path, cfg.CmdPrefix) &&
+						path != pkg.Path {
+						pass.Reportf(imp.Pos(),
+							"%s imports %s: cmd binaries must not import each other; lift shared code into internal/",
+							pkg.Path, path)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+func orNone(set map[string]bool) string {
+	if len(set) == 0 {
+		return "none"
+	}
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return strings.Join(paths, ", ")
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the type-checker's output for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded file set: every requested module package parsed and
+// type-checked against one shared token.FileSet, with imports outside the
+// module resolved through the stdlib source importer. It implements
+// types.ImporterFrom so the type-checker calls back into it for
+// intra-module imports, keeping a single *types.Package identity per path.
+type Program struct {
+	Fset *token.FileSet
+	// Packages holds the requested module packages in load (dependency
+	// before dependent) order.
+	Packages []*Package
+
+	root       string // module root directory (absolute)
+	modulePath string
+
+	byPath   map[string]*Package
+	loading  map[string]bool
+	fallback types.ImporterFrom
+	ctxt     build.Context
+}
+
+// Load parses and type-checks the module packages matched by patterns.
+// root is the module root directory, modulePath its module path (the go.mod
+// module line). Patterns are interpreted relative to root: "./..." loads
+// every buildable package under root (skipping testdata, vendor and hidden
+// directories), any other pattern names one package directory — explicitly
+// naming a testdata directory is allowed, which is how the CI negative
+// smoke points fpvet at a deliberately violating package.
+func Load(root, modulePath string, patterns []string) (*Program, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:       fset,
+		root:       absRoot,
+		modulePath: modulePath,
+		byPath:     make(map[string]*Package),
+		loading:    make(map[string]bool),
+		ctxt:       build.Default,
+	}
+	prog.fallback = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := prog.walk(absRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+		default:
+			d := filepath.Join(absRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			if fi, err := os.Stat(d); err != nil || !fi.IsDir() {
+				return nil, fmt.Errorf("pattern %q: not a package directory under %s", pat, root)
+			}
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		path, err := prog.dirToPath(dir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := prog.load(path); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// walk enumerates buildable package directories under root, applying the go
+// tool's conventions: testdata, vendor, and directories whose name starts
+// with "." or "_" are skipped (along with everything beneath them).
+func (p *Program) walk(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		if p.buildable(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// buildable reports whether dir contains at least one non-test Go file that
+// passes the default build constraints.
+func (p *Program) buildable(dir string) bool {
+	bp, err := p.ctxt.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// dirToPath maps a directory under the module root to its import path.
+func (p *Program) dirToPath(dir string) (string, error) {
+	rel, err := filepath.Rel(p.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("directory %s is outside module root %s", dir, p.root)
+	}
+	if rel == "." {
+		return p.modulePath, nil
+	}
+	return p.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// pathToDir maps a module import path to its directory.
+func (p *Program) pathToDir(path string) string {
+	if path == p.modulePath {
+		return p.root
+	}
+	rel := strings.TrimPrefix(path, p.modulePath+"/")
+	return filepath.Join(p.root, filepath.FromSlash(rel))
+}
+
+// inModule reports whether path names a package of the loaded module.
+func (p *Program) inModule(path string) bool {
+	return path == p.modulePath || strings.HasPrefix(path, p.modulePath+"/")
+}
+
+// load parses and type-checks one module package (memoised).
+func (p *Program) load(path string) (*Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		return pkg, nil
+	}
+	if p.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	dir := p.pathToDir(path)
+	bp, err := p.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &importerFrom{prog: p, dir: dir},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p.byPath[path] = pkg
+	p.Packages = append(p.Packages, pkg)
+	return pkg, nil
+}
+
+// importerFrom routes the type-checker's import requests: module packages go
+// through the program's own loader (so their syntax and types.Info are
+// retained for analysis), everything else — the stdlib — through the source
+// importer.
+type importerFrom struct {
+	prog *Program
+	dir  string
+}
+
+func (i *importerFrom) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, i.dir, 0)
+}
+
+func (i *importerFrom) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if i.prog.inModule(path) {
+		pkg, err := i.prog.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return i.prog.fallback.ImportFrom(path, dir, mode)
+}
+
+// Package returns the loaded module package for path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }

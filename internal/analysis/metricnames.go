@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricnames: every metric family the platform exports (PR 6) is declared
+// with a literal snake_case name, a real HELP sentence, a kind-appropriate
+// unit suffix (counters end _total, histograms _seconds), and exactly one
+// registration call site per family name — the registry deduplicates at
+// runtime, but two call sites with the same name and different help/kind
+// would race for the family's identity and confuse every dashboard query.
+// Names must be literals so this analyzer (and grep) can see the full
+// metric vocabulary; docs/OPERATIONS.md's metric table is built from it.
+
+// MetricnamesConfig parameterises the metricnames analyzer.
+type MetricnamesConfig struct {
+	// RegistryTypes are the fully qualified registry types ("pkgpath.Name")
+	// whose registration methods are checked.
+	RegistryTypes []string
+}
+
+// registrationKinds maps registration method names to the family kind they
+// declare.
+var registrationKinds = map[string]string{
+	"Counter": "counter", "CounterFunc": "counter",
+	"Gauge": "gauge", "IntGauge": "gauge", "GaugeFunc": "gauge",
+	"Histogram": "histogram", "RegisterHistogram": "histogram",
+}
+
+// NewMetricnames builds the metricnames analyzer.
+func NewMetricnames(cfg MetricnamesConfig) *Analyzer {
+	registries := toSet(cfg.RegistryTypes)
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "metric names are literal, snake_case, unit-suffixed, helped, and registered at one site",
+	}
+	a.Run = func(pass *Pass) {
+		sites := make(map[string][]ast.Node) // family name -> registration call sites
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeOf(pkg.Info, call)
+					if fn == nil {
+						return true
+					}
+					kind, ok := registrationKinds[fn.Name()]
+					if !ok || !isRegistryMethod(fn, registries) || len(call.Args) < 2 {
+						return true
+					}
+					nameLit, nameOK := stringLit(call.Args[0])
+					if !nameOK {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric name must be a string literal so the exported vocabulary is statically known")
+						return true
+					}
+					if !snakeCase(nameLit) {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric name %q is not snake_case ([a-z][a-z0-9_]*)", nameLit)
+					}
+					switch kind {
+					case "counter":
+						if !strings.HasSuffix(nameLit, "_total") {
+							pass.Reportf(call.Args[0].Pos(),
+								"counter %q must end in _total (Prometheus naming conventions)", nameLit)
+						}
+					case "histogram":
+						if !strings.HasSuffix(nameLit, "_seconds") {
+							pass.Reportf(call.Args[0].Pos(),
+								"histogram %q must end in _seconds (durations are exposed in seconds)", nameLit)
+						}
+					}
+					helpIdx := 1
+					help, helpOK := stringLit(call.Args[helpIdx])
+					if !helpOK {
+						pass.Reportf(call.Args[helpIdx].Pos(),
+							"metric %q: HELP text must be a string literal", nameLit)
+					} else if strings.TrimSpace(help) == "" {
+						pass.Reportf(call.Args[helpIdx].Pos(),
+							"metric %q: HELP text must not be empty", nameLit)
+					} else if !strings.HasSuffix(strings.TrimSpace(help), ".") {
+						pass.Reportf(call.Args[helpIdx].Pos(),
+							"metric %q: HELP text should be a sentence ending in a period", nameLit)
+					}
+					if nameOK {
+						sites[nameLit] = append(sites[nameLit], call.Args[0])
+					}
+					return true
+				})
+			}
+		}
+		var dup []string
+		for name, at := range sites {
+			if len(at) > 1 {
+				dup = append(dup, name)
+			}
+		}
+		sort.Strings(dup)
+		for _, name := range dup {
+			at := sites[name]
+			sort.Slice(at, func(i, j int) bool { return at[i].Pos() < at[j].Pos() })
+			for _, n := range at[1:] {
+				pass.Reportf(n.Pos(),
+					"metric %q is registered at %d call sites; a family is declared exactly once (first at %s)",
+					name, len(at), pass.Program.Fset.Position(at[0].Pos()))
+			}
+		}
+	}
+	return a
+}
+
+// isRegistryMethod reports whether fn is a method on one of the configured
+// registry types.
+func isRegistryMethod(fn *types.Func, registries map[string]bool) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return registries[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+// snakeCase reports whether s matches [a-z][a-z0-9_]*.
+func snakeCase(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c == '_' && i > 0:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// noclone: the store, the metrics registry and the histograms are identity
+// objects — they hold mutexes, atomics and published pointers, and a
+// by-value copy silently forks their state (and, for the histogram's atomic
+// bucket array, races with concurrent recorders). go vet's copylocks covers
+// the lock-bearing subset; this rule is the -copylocks-adjacent gap check
+// the roadmap's RCU work will lean on, because it also covers types whose
+// copies are wrong without containing a lock. Flagged: value parameters,
+// results and receivers of the configured types, and copy-shaped
+// expressions (x := *p, x := y, f(v), composite elements) outside the
+// declaring package's New* constructors.
+
+// NocloneConfig parameterises the noclone analyzer.
+type NocloneConfig struct {
+	// Types are fully qualified named types ("pkgpath.Name") that must not
+	// be copied by value.
+	Types []string
+}
+
+// NewNoclone builds the noclone analyzer.
+func NewNoclone(cfg NocloneConfig) *Analyzer {
+	deny := toSet(cfg.Types)
+	a := &Analyzer{
+		Name: "noclone",
+		Doc:  "no by-value copies of the store, registry and histogram types outside their constructors",
+	}
+	nameOf := func(t types.Type) string {
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Program.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					// Constructors may build and hand out the value.
+					if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
+						if anyParamOrBodyInPkg(pkg, deny, nameOf) {
+							continue
+						}
+					}
+					checkSignature(pass, pkg, fd, deny, nameOf)
+					if fd.Body != nil {
+						checkCopies(pass, pkg, fd.Body, deny, nameOf)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// anyParamOrBodyInPkg reports whether the constructor exemption applies:
+// the function lives in the package declaring one of the denied types.
+func anyParamOrBodyInPkg(pkg *Package, deny map[string]bool, nameOf func(types.Type) string) bool {
+	for key := range deny {
+		if path, _, ok := strings.Cut(key, "."); ok && pkgPathOfKey(key) == pkg.Path {
+			_ = path
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathOfKey splits "pkgpath.Name" at the final dot.
+func pkgPathOfKey(key string) string {
+	i := strings.LastIndex(key, ".")
+	if i < 0 {
+		return key
+	}
+	return key[:i]
+}
+
+// checkSignature flags value parameters, results and receivers of denied
+// types.
+func checkSignature(pass *Pass, pkg *Package, fd *ast.FuncDecl, deny map[string]bool, nameOf func(types.Type) string) {
+	flagField := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if key := nameOf(tv.Type); key != "" && deny[key] {
+				pass.Reportf(field.Type.Pos(),
+					"%s of type %s is a by-value copy; pass a pointer (copying forks its state)", what, key)
+			}
+		}
+	}
+	flagField(fd.Recv, "receiver")
+	if fd.Type.Params != nil {
+		flagField(fd.Type.Params, "parameter")
+	}
+	if fd.Type.Results != nil {
+		flagField(fd.Type.Results, "result")
+	}
+}
+
+// checkCopies flags copy-shaped expressions of denied types inside a body.
+func checkCopies(pass *Pass, pkg *Package, body *ast.BlockStmt, deny map[string]bool, nameOf func(types.Type) string) {
+	copyable := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return true
+		}
+		return false
+	}
+	flag := func(e ast.Expr) {
+		if !copyable(e) {
+			return
+		}
+		tv, ok := pkg.Info.Types[ast.Unparen(e)]
+		if !ok || !tv.IsValue() {
+			return
+		}
+		if key := nameOf(tv.Type); key != "" && deny[key] {
+			pass.Reportf(e.Pos(),
+				"by-value copy of %s; take a pointer instead (copying forks its state)", key)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				flag(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				flag(v)
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				flag(arg)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					flag(kv.Value)
+				} else {
+					flag(elt)
+				}
+			}
+		case *ast.SendStmt:
+			flag(n.Value)
+		}
+		return true
+	})
+}

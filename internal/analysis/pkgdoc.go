@@ -1,0 +1,53 @@
+package analysis
+
+import "strings"
+
+// pkgdoc: every package in the configured subtrees opens with a package
+// comment ("Package xyz ..."), because docs/ARCHITECTURE.md leans on the
+// godoc synopses as the per-subsystem source of truth. This analyzer
+// replaces scripts/check-pkgdoc.sh (PR 5), folding the check into fpvet so
+// it shares the loader, the suppression mechanism and the CI job.
+
+// PkgdocConfig parameterises the pkgdoc analyzer.
+type PkgdocConfig struct {
+	// IncludePrefixes are import-path prefixes whose packages must carry a
+	// package comment (e.g. "fakeproject/internal", "fakeproject/cmd").
+	IncludePrefixes []string
+}
+
+// NewPkgdoc builds the pkgdoc analyzer.
+func NewPkgdoc(cfg PkgdocConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "pkgdoc",
+		Doc:  "every internal/ and cmd/ package has a package-level godoc comment",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Program.Packages {
+			included := false
+			for _, pre := range cfg.IncludePrefixes {
+				if hasPrefixPath(pkg.Path, strings.TrimSuffix(pre, "/")) {
+					included = true
+					break
+				}
+			}
+			if !included || len(pkg.Files) == 0 {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				// Report at the package clause of the first (name-sorted)
+				// file, the conventional home for the doc comment.
+				pass.Reportf(pkg.Files[0].Package,
+					"package %s has no package comment; add a \"// Package %s ...\" doc comment (docs/ARCHITECTURE.md links to the synopses)",
+					pkg.Path, pkg.Types.Name())
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives. A diagnostic is an invariant violation; sometimes
+// the violation is the design (loadd measures wall time on purpose, the
+// snapshot serialises under the store's locks on purpose). Those sites carry
+//
+//	//fp:allow <analyzer> <reason>       — this line and the next
+//	//fp:allow-file <analyzer> <reason>  — the whole file
+//
+// The reason is mandatory and must be at least two words: an unexplained
+// exception is indistinguishable from a silenced bug, so fpvet reports
+// malformed directives (missing/one-word reason, unknown analyzer, unknown
+// //fp: verb) as diagnostics of the pseudo-analyzer "fpallow" — which cannot
+// itself be suppressed.
+//
+// //fp:hotpath is the third directive: it marks a file as a serving hot
+// path, opting it into the hotpathalloc analyzer's rules.
+
+// DirectiveAnalyzerName is the pseudo-analyzer that owns directive-hygiene
+// diagnostics.
+const DirectiveAnalyzerName = "fpallow"
+
+// HotpathDirective marks a file as hot-path; see the hotpathalloc analyzer.
+const HotpathDirective = "//fp:hotpath"
+
+// directives indexes the well-formed suppressions of a program.
+type directives struct {
+	// line maps filename -> line -> analyzers suppressed on that line.
+	line map[string]map[int]map[string]bool
+	// file maps filename -> analyzers suppressed file-wide.
+	file map[string]map[string]bool
+}
+
+func (d *directives) suppresses(diag Diagnostic) bool {
+	if set := d.file[diag.Pos.Filename]; set[diag.Analyzer] {
+		return true
+	}
+	if lines := d.line[diag.Pos.Filename]; lines != nil {
+		if lines[diag.Pos.Line][diag.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirectives collects every //fp: directive in the program. known names
+// the valid analyzer targets; malformed directives come back as diagnostics.
+func scanDirectives(prog *Program, known map[string]bool) (*directives, []Diagnostic) {
+	d := &directives{
+		line: make(map[string]map[int]map[string]bool),
+		file: make(map[string]map[string]bool),
+	}
+	var bad []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:      prog.Fset.Position(c.Pos()),
+			Analyzer: DirectiveAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//fp:")
+					if !ok {
+						continue
+					}
+					verb, rest, _ := strings.Cut(text, " ")
+					switch verb {
+					case "hotpath":
+						// Scanned by the hotpathalloc analyzer; no arguments.
+					case "allow", "allow-file":
+						analyzer, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+						if analyzer == "" {
+							report(c, "//fp:%s needs an analyzer name and a reason", verb)
+							continue
+						}
+						if !known[analyzer] {
+							report(c, "//fp:%s names unknown analyzer %q", verb, analyzer)
+							continue
+						}
+						if len(strings.Fields(reason)) < 2 {
+							report(c, "//fp:%s %s needs a reason (at least two words): every suppression must say why the invariant does not apply", verb, analyzer)
+							continue
+						}
+						pos := prog.Fset.Position(c.Pos())
+						if verb == "allow-file" {
+							set := d.file[pos.Filename]
+							if set == nil {
+								set = make(map[string]bool)
+								d.file[pos.Filename] = set
+							}
+							set[analyzer] = true
+						} else {
+							lines := d.line[pos.Filename]
+							if lines == nil {
+								lines = make(map[int]map[string]bool)
+								d.line[pos.Filename] = lines
+							}
+							for _, ln := range []int{pos.Line, pos.Line + 1} {
+								if lines[ln] == nil {
+									lines[ln] = make(map[string]bool)
+								}
+								lines[ln][analyzer] = true
+							}
+						}
+					default:
+						report(c, "unknown directive //fp:%s (known: allow, allow-file, hotpath)", verb)
+					}
+				}
+			}
+		}
+	}
+	return d, bad
+}
+
+// hotpathFiles returns the set of filenames carrying //fp:hotpath.
+func hotpathFiles(prog *Program) map[string]bool {
+	hot := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+						hot[prog.Fset.Position(f.Pos()).Filename] = true
+					}
+				}
+			}
+		}
+	}
+	return hot
+}

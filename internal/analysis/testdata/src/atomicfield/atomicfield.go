@@ -1,0 +1,34 @@
+// Package atomicfield exercises the atomicfield analyzer: fields reaching
+// sync/atomic by address must never be read or written plainly, and 64-bit
+// atomic fields must sit 8-aligned under GOARCH=386 layout.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	pad bool
+	n   int64 // want "64-bit atomic field n is at offset 4"
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) plainRead() int64 {
+	return c.n // want "plain access of atomicfield.n"
+}
+
+func (c *counter) plainWrite() {
+	c.n = 0 // want "plain access of atomicfield.n"
+}
+
+func (c *counter) audited() int64 {
+	//fp:allow atomicfield read happens before any goroutine starts
+	return c.n
+}
+
+// aligned has its atomic field first, so the 386 layout check passes.
+type aligned struct {
+	n   int64
+	pad bool
+}
+
+func (a *aligned) inc() { atomic.AddInt64(&a.n, 1) }

@@ -1,0 +1,17 @@
+// Package fpallow exercises directive hygiene: malformed //fp: directives
+// are diagnostics of the unsuppressible fpallow pseudo-analyzer.
+package fpallow
+
+// want-next "needs a reason"
+//fp:allow walltime oops
+
+// want-next "names unknown analyzer"
+//fp:allow nosuchanalyzer reason has two words
+
+// want-next "unknown directive"
+//fp:bogus
+
+// want-next "needs an analyzer name and a reason"
+//fp:allow
+
+func f() {}

@@ -1,0 +1,6 @@
+package hotpathalloc
+
+import "fmt"
+
+// cold lives in an unmarked file: reflective formatting is fine here.
+func cold(n int) string { return fmt.Sprintf("%d", n) }

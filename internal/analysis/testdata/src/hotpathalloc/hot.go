@@ -1,0 +1,24 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer inside a marked
+// file; cold.go shows the same calls are fine without the marker.
+package hotpathalloc
+
+//fp:hotpath
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+func hot(ids []int64) string {
+	s := fmt.Sprintf("%d", len(ids)) // want "fmt.Sprintf in a //fp:hotpath file"
+	b, _ := json.Marshal(ids)       // want "encoding/json.Marshal in a //fp:hotpath file"
+	out := make([]int64, len(ids))  // want "make of ..int64 in a //fp:hotpath file"
+	copy(out, ids)                  // want "copy of ..int64 in a //fp:hotpath file"
+	_ = b
+	return s
+}
+
+func suppressedHot(n int) string {
+	//fp:allow hotpathalloc this error path is cold despite the file marker
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,4 @@
+// Package allowedusr is on secret's importer allowlist.
+package allowedusr
+
+import _ "example.test/layering/secret"

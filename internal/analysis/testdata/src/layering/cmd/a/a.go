@@ -1,0 +1,4 @@
+// Package a is a cmd-shaped package that illegally imports its sibling.
+package a
+
+import _ "example.test/layering/cmd/b" // want "cmd binaries must not import each other"

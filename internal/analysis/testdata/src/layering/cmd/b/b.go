@@ -1,0 +1,4 @@
+// Package b is the imported sibling.
+package b
+
+func B() int { return 3 }

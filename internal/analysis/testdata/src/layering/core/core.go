@@ -1,0 +1,7 @@
+// Package core may import leaf and the stdlib, nothing else.
+package core
+
+import (
+	_ "example.test/layering/extra" // want "example.test/layering/core must not import example.test/layering/extra"
+	_ "example.test/layering/leaf"
+)

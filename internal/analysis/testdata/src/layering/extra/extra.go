@@ -1,0 +1,4 @@
+// Package extra is not on anyone's allowed-imports list.
+package extra
+
+func Extra() int { return 2 }

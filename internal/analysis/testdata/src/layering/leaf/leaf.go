@@ -1,0 +1,4 @@
+// Package leaf is an allowed dependency of core.
+package leaf
+
+func Leaf() int { return 1 }

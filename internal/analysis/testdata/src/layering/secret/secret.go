@@ -1,0 +1,4 @@
+// Package secret may only be imported by allowedusr.
+package secret
+
+func Secret() int { return 42 }

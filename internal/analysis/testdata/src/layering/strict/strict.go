@@ -1,0 +1,10 @@
+// Package strict is stdlib-only by rule.
+package strict
+
+import (
+	"strings"
+
+	_ "example.test/layering/extra" // want "allowed beyond stdlib: none"
+)
+
+func Upper(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,8 @@
+// Package suppressedusr imports secret illegally but carries an audited
+// suppression.
+package suppressedusr
+
+import (
+	//fp:allow layering this golden exercises the layering suppression path
+	_ "example.test/layering/secret"
+)

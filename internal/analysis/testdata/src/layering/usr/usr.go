@@ -1,0 +1,4 @@
+// Package usr imports secret from the wrong side of the layering.
+package usr
+
+import _ "example.test/layering/secret" // want "example.test/layering/secret may only be imported by"

@@ -1,0 +1,19 @@
+// Package metricnames exercises the metricnames analyzer: literal names,
+// snake_case, unit suffixes, HELP hygiene and one-registration-per-family.
+package metricnames
+
+import "example.test/metricnames/reg"
+
+func register(r *reg.Registry, dynamic string) {
+	r.Counter(dynamic, "Good help.")          // want "metric name must be a string literal"
+	r.Counter("Bad-Name_total", "Good help.") // want "is not snake_case"
+	r.Counter("requests", "Good help.")       // want "must end in _total"
+	r.Histogram("latency_total", "Good help.") // want "must end in _seconds"
+	r.Gauge("queue_depth", "no period")        // want "should be a sentence ending in a period"
+	r.Gauge("empty_help", "")                  // want "HELP text must not be empty"
+	r.Counter("dup_total", "Good help.")
+	r.Counter("dup_total", "Good help.") // want "registered at 2 call sites"
+	//fp:allow metricnames this wrapper forwards literal names from its callers
+	r.Counter(dynamic, "Good help.")
+	r.Counter("good_total", "A well-formed counter family.")
+}

@@ -1,0 +1,12 @@
+// Package reg is a minimal registry shape for the metricnames golden.
+package reg
+
+// Label is a name/value pair.
+type Label struct{ Key, Value string }
+
+// Registry mimics the metrics registry's registration surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) int   { return 0 }
+func (r *Registry) Gauge(name, help string, labels ...Label) int     { return 0 }
+func (r *Registry) Histogram(name, help string, labels ...Label) int { return 0 }

@@ -1,0 +1,34 @@
+// Package noclone exercises the noclone analyzer: value parameters, derefs,
+// call arguments and composite elements copying the guarded type are flagged;
+// pointer plumbing is not.
+package noclone
+
+import "example.test/noclone/types"
+
+func byValueParam(t types.Tracker) {} // want "parameter of type example.test/noclone/types.Tracker is a by-value copy"
+
+func deref(p *types.Tracker) *int {
+	t := *p // want "by-value copy of example.test/noclone/types.Tracker"
+	return &t.N
+}
+
+func arg(p *types.Tracker) {
+	byValueParam(*p) // want "by-value copy of example.test/noclone/types.Tracker"
+}
+
+type holder struct{ t types.Tracker }
+
+func composite(p *types.Tracker) holder {
+	return holder{t: *p} // want "by-value copy of example.test/noclone/types.Tracker"
+}
+
+func pointersAreFine(p *types.Tracker) *types.Tracker {
+	q := p
+	return q
+}
+
+func suppressedCopy(p *types.Tracker) *int {
+	//fp:allow noclone the copy feeds a throwaway fixture on purpose
+	t := *p
+	return &t.N
+}

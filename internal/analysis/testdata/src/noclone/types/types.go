@@ -1,0 +1,14 @@
+// Package types declares the guarded identity type for the noclone golden.
+package types
+
+// Tracker stands in for the store/registry/histogram types: an identity
+// object that must never be copied by value.
+type Tracker struct{ N int }
+
+// NewTracker is the constructor: New* functions in the declaring package are
+// exempt from the copy rules.
+func NewTracker() Tracker { return Tracker{} }
+
+func clone(t *Tracker) Tracker { // want "result of type example.test/noclone/types.Tracker is a by-value copy"
+	return *t
+}

@@ -1,0 +1,2 @@
+// Package documented carries a package comment, as every package must.
+package documented

@@ -1,0 +1,2 @@
+//fp:allow pkgdoc this golden package is deliberately undocumented
+package suppressed

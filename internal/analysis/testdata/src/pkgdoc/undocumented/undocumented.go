@@ -1,0 +1,3 @@
+package undocumented // want "has no package comment"
+
+func F() {}

@@ -1,0 +1,10 @@
+// Package smoke deliberately violates the walltime invariant. CI's negative
+// step runs fpvet against this package and asserts a non-zero exit, proving
+// the suite actually fails builds (a lint job that cannot fail checks
+// nothing).
+package smoke
+
+import "time"
+
+// Boom reads the wall clock outside the clock facade.
+func Boom() int64 { return time.Now().UnixNano() }

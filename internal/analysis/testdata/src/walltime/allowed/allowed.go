@@ -1,0 +1,7 @@
+// Package allowed stands in for the real-time allowlist (loadgen, wal):
+// wall-clock reads here are the designed behaviour.
+package allowed
+
+import "time"
+
+func Elapsed(since time.Time) time.Duration { return time.Since(since) }

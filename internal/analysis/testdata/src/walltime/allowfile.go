@@ -1,0 +1,7 @@
+//fp:allow-file walltime this golden exercises the file suppression path
+
+package walltime
+
+import "time"
+
+func wholeFileAllowed() time.Time { return time.Now() }

@@ -1,0 +1,23 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads are
+// flagged, time.Time arithmetic methods are not, and //fp:allow silences an
+// audited site.
+package walltime
+
+import "time"
+
+func violations() time.Time {
+	now := time.Now()            // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return now
+}
+
+func methodsAreFine(a, b time.Time) bool {
+	// time.Time.After shares a name with the package function but only does
+	// arithmetic; it must not be flagged.
+	return a.After(b)
+}
+
+func suppressed() time.Time {
+	//fp:allow walltime this golden exercises the line suppression path
+	return time.Now()
+}

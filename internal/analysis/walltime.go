@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walltime: all daemon time flows through the virtual clock (PR 2). A stray
+// time.Now or time.Sleep in platform code silently decouples a component
+// from simclock, breaking the "27 virtual days replay in under a second"
+// property and making timing-sensitive tests flaky. The rule: no wall-clock
+// time.* calls outside internal/simclock (the facade over real time) and an
+// explicit allowlist of packages whose business IS wall time — the load
+// generator's open-loop arrival scheduler and the WAL's fsync/compaction
+// timing measure the physical world, not the simulation.
+
+// WalltimeConfig parameterises the walltime analyzer.
+type WalltimeConfig struct {
+	// ExemptPackages are import paths checked not at all: the clock facade
+	// itself.
+	ExemptPackages []string
+	// AllowPackages are import paths where wall-clock use is the designed
+	// behaviour (real-time load scheduling, disk-latency measurement).
+	AllowPackages []string
+}
+
+// wallFuncs are the package time functions that read or wait on the wall
+// clock. Formatting/arithmetic helpers (time.Date, time.Unix, d.Seconds)
+// are fine anywhere — they don't observe the clock.
+var wallFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true,
+}
+
+// NewWalltime builds the walltime analyzer.
+func NewWalltime(cfg WalltimeConfig) *Analyzer {
+	exempt := toSet(cfg.ExemptPackages)
+	allow := toSet(cfg.AllowPackages)
+	a := &Analyzer{
+		Name: "walltime",
+		Doc:  "wall-clock time.* calls outside internal/simclock and the real-time allowlist",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pkg := range pass.Program.Packages {
+			if exempt[pkg.Path] || allow[pkg.Path] {
+				continue
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj, ok := pkg.Info.Uses[sel.Sel]
+					if !ok {
+						return true
+					}
+					fn, ok := obj.(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+						return true
+					}
+					if !wallFuncs[fn.Name()] {
+						return true
+					}
+					// Methods like time.Time.After/Sub share names with the
+					// package-level clock readers but only do arithmetic.
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; route time through simclock.Clock (or //fp:allow walltime <why this is real time>)",
+						fn.Name())
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+func toSet(paths []string) map[string]bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return set
+}
+
+// hasPrefixPath reports whether path is pre or lies under pre + "/".
+func hasPrefixPath(path, pre string) bool {
+	return path == pre || strings.HasPrefix(path, pre+"/")
+}
