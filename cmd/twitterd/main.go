@@ -91,7 +91,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "wal: %s recovered %d accounts (snapshot %q + %d records across %d segments%s) in %v\n",
 			*walDir, stats.Users, stats.SnapshotPath, stats.RecordsReplayed, stats.SegmentsScanned, torn, stats.Elapsed.Round(time.Millisecond))
 		if stats.Users == 0 && *load == "" {
-			if err := buildAccounts(store, *accounts, *scale, *seed); err != nil {
+			if err := buildAccounts(store, clock, *accounts, *scale, *seed); err != nil {
 				return err
 			}
 		}
@@ -108,7 +108,7 @@ func run() error {
 	}
 
 	store := twitter.NewStore(clock, *seed)
-	if err := buildAccounts(store, *accounts, *scale, *seed); err != nil {
+	if err := buildAccounts(store, clock, *accounts, *scale, *seed); err != nil {
 		return err
 	}
 	return serve(*addr, store, clock, obs)
@@ -117,7 +117,7 @@ func run() error {
 // buildAccounts materialises the requested paper-testbed accounts into the
 // store (which may be WAL-backed — the build then doubles as the log's
 // genesis records).
-func buildAccounts(store *twitter.Store, accounts string, scale int, seed uint64) error {
+func buildAccounts(store *twitter.Store, clock simclock.Clock, accounts string, scale int, seed uint64) error {
 	gen := population.NewGenerator(store, seed)
 	want := map[string]bool{}
 	for _, name := range strings.Split(accounts, ",") {
@@ -140,8 +140,8 @@ func buildAccounts(store *twitter.Store, accounts string, scale int, seed uint64
 			NominalFollowers: acct.Followers,
 			Layout:           layout,
 			Statuses:         1000,
-			CreatedAt:        time.Now().AddDate(-3, 0, 0),
-			LastTweet:        time.Now().Add(-24 * time.Hour),
+			CreatedAt:        clock.Now().AddDate(-3, 0, 0),
+			LastTweet:        clock.Now().Add(-24 * time.Hour),
 			FollowSpan:       2 * 365 * 24 * time.Hour,
 		}); err != nil {
 			return fmt.Errorf("building %s: %w", acct.ScreenName, err)
