@@ -3,9 +3,10 @@ package metrics
 import (
 	"net/http"
 	"sync"
-
-	"fakeproject/internal/simclock"
+	"time"
 )
+
+//fp:hotpath
 
 // HTTP plane middleware: one HTTPPlane per daemon surface (plane label),
 // one Wrap per route (endpoint label). All series are created at Wrap
@@ -19,17 +20,24 @@ import (
 //	http_request_duration_seconds{plane,endpoint} histogram
 //	http_requests_in_flight{plane}                gauge
 
+// Clock is the one clock operation the middleware needs. It is satisfied by
+// simclock.Clock (any larger interface assigns to it), declared locally so
+// metrics stays a stdlib-only leaf package.
+type Clock interface {
+	Now() time.Time
+}
+
 // HTTPPlane instruments the routes of one HTTP surface.
 type HTTPPlane struct {
 	reg      *Registry
 	plane    string
-	clock    simclock.Clock
+	clock    Clock
 	inFlight *IntGauge
 }
 
 // NewHTTPPlane returns a plane-scoped instrumenter. Latencies are measured
 // on the given clock so virtual-time tests see virtual durations.
-func NewHTTPPlane(reg *Registry, plane string, clock simclock.Clock) *HTTPPlane {
+func NewHTTPPlane(reg *Registry, plane string, clock Clock) *HTTPPlane {
 	return &HTTPPlane{
 		reg:   reg,
 		plane: plane,
