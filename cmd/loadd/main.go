@@ -278,6 +278,8 @@ func serveObservability(reg *metrics.Registry, addr string, dashboard, pprofOn b
 // progressLoop prints one status line per interval while a mix runs:
 // per-endpoint throughput over the last interval (not cumulative, so rate
 // changes are visible immediately) plus cumulative p50/p99.
+//
+//fp:allow-file walltime the load harness drives and reports real wall-clock throughput
 func progressLoop(ctx context.Context, col *loadgen.Collector, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()

@@ -615,6 +615,7 @@ func (m *Monitor) Run(ctx context.Context, pace time.Duration) error {
 
 		if pace > 0 {
 			select {
+			//fp:allow walltime crawl pacing throttles real outbound request rate
 			case <-time.After(pace):
 			case <-ctx.Done():
 				return ctx.Err()
@@ -638,6 +639,7 @@ func (m *Monitor) Run(ctx context.Context, pace time.Duration) error {
 				v.Advance(wait)
 			} else {
 				select {
+				//fp:allow walltime a real clock waits out the gap in real time
 				case <-time.After(wait):
 				case <-m.wake:
 					continue // watchlist changed; recompute the next due

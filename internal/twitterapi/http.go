@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"fakeproject/internal/metrics"
@@ -307,26 +306,6 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request, endpoint string) b
 	return false
 }
 
-// responseBuffers recycles the per-response encode buffers. Responses are
-// staged in a buffer and written in one shot so the server can set
-// Content-Length (keeping keep-alive connections parseable without chunking)
-// and so the hot endpoints do not allocate a fresh encoder state per call.
-var responseBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// maxPooledBuffer bounds what goes back in the pool: a celebrity follower
-// page is ~60KB, so anything larger is an outlier not worth retaining.
-const maxPooledBuffer = 1 << 18
-
-func writeBuffered(w http.ResponseWriter, status int, buf *bytes.Buffer) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
-	if buf.Cap() <= maxPooledBuffer {
-		responseBuffers.Put(buf)
-	}
-}
-
 func writeError(w http.ResponseWriter, status, code int, msg string) {
 	buf := responseBuffers.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -341,27 +320,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 		writeError(w, http.StatusInternalServerError, 131, err.Error())
 		return
 	}
-	writeBuffered(w, http.StatusOK, buf)
-}
-
-// writeIDPage emits an ids page without reflection or an intermediate
-// []int64 copy — followers/ids is the fattest response on the wire (5,000
-// IDs ≈ 60KB of JSON) and the one the load harness leans on hardest.
-func writeIDPage(w http.ResponseWriter, page IDPage) {
-	buf := responseBuffers.Get().(*bytes.Buffer)
-	buf.Reset()
-	buf.WriteString(`{"ids":[`)
-	scratch := make([]byte, 0, 20)
-	for i, id := range page.IDs {
-		if i > 0 {
-			buf.WriteByte(',')
-		}
-		scratch = strconv.AppendInt(scratch[:0], int64(id), 10)
-		buf.Write(scratch)
-	}
-	buf.WriteString(`],"next_cursor":`)
-	buf.Write(strconv.AppendInt(scratch[:0], page.NextCursor, 10))
-	buf.WriteString("}\n")
 	writeBuffered(w, http.StatusOK, buf)
 }
 
