@@ -35,7 +35,9 @@ loadd_pid=$!
 # then strike while writes are in flight.
 for _ in $(seq 1 240); do
   kill -0 "$loadd_pid" 2>/dev/null || { cat "$work/loadd.log"; echo "loadd exited before the kill"; exit 1; }
-  size=$(du -sb "$waldir" 2>/dev/null | cut -f1)
+  # The || true keeps set -e/pipefail from aborting before loadd has
+  # created the WAL directory (du fails on a missing path).
+  size=$(du -sb "$waldir" 2>/dev/null | cut -f1 || true)
   [ "${size:-0}" -gt 300000 ] && break
   sleep 0.5
 done
