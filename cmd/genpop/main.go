@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -44,7 +45,8 @@ func run() error {
 		fake      = flag.Float64("fake", 10, "fake percentage")
 		paper     = flag.String("paper", "", "derive the layout from this paper account instead")
 		seed      = flag.Uint64("seed", 1, "generator seed")
-		out       = flag.String("out", "", "write a store snapshot to this file (loadable by twitterd -load)")
+		out       = flag.String("out", "", "write a store snapshot to this file (loadable by twitterd -load; streamed, so memory stays bounded at any population size)")
+		memstats  = flag.Bool("memstats", false, "report heap usage after the build and after the snapshot write")
 		days      = flag.Int("days", 0, "evolve the population this many simulated days before reporting")
 		growth    = flag.Int("daily-growth", 200, "organic new followers per simulated day")
 		churnRate = flag.Float64("churn-rate", 0.001, "fraction of followers organically unfollowing per day")
@@ -158,6 +160,10 @@ func run() error {
 			*days, added, removed, len(driver.Log()))
 	}
 
+	if *memstats {
+		reportMemStats("after build")
+	}
+
 	chrono, err := store.FollowersChronological(target)
 	if err != nil {
 		return err
@@ -201,6 +207,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nsnapshot written to %s (%d bytes)\n", *out, info.Size())
+		if *memstats {
+			reportMemStats("after snapshot")
+		}
 	}
 	if wlog != nil && *walCompact {
 		if err := wlog.Compact(); err != nil {
@@ -236,6 +245,17 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// reportMemStats prints the live heap after a GC settles it, so successive
+// reports are comparable. The snapshot writer streams record chunks and
+// per-target edge segments instead of assembling one value in memory, so
+// "after snapshot" should sit close to "after build" at any population size.
+func reportMemStats(stage string) {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	fmt.Printf("\nmemstats %s: heap=%d MiB sys=%d MiB\n", stage, m.HeapAlloc>>20, m.Sys>>20)
 }
 
 // parseChurnEvents decodes the -burst day:size and -purge day:fraction

@@ -10,7 +10,7 @@ import (
 	"fakeproject/internal/simclock"
 )
 
-func benchStore(b *testing.B, followers int) (*Store, UserID) {
+func benchStore(b testing.TB, followers int) (*Store, UserID) {
 	b.Helper()
 	clock := simclock.NewVirtualAtEpoch()
 	store := NewStore(clock, 1)
@@ -83,6 +83,27 @@ func BenchmarkFollowersPage(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFollowersPageParallel measures the same 5K page with all
+// goroutines hammering one target — the celebrity-read case. Pages are
+// served off the RCU-published segment view with no shard lock, so
+// throughput should scale with reader parallelism instead of serialising on
+// the target's shard; the BENCH_twitter.json lock-free-read row tracks it.
+func BenchmarkFollowersPageParallel(b *testing.B) {
+	store, target := benchStore(b, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			page, err := store.FollowersPage(target, uint64((i%10+1)*5000), 5000)
+			if err != nil || len(page.IDs) != 5000 {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSynthTimeline measures deterministic timeline synthesis
@@ -238,6 +259,8 @@ func TestBenchJSON(t *testing.T) {
 	results := []benchjson.Result{
 		benchjson.Measure("CreateUserPostGrow", BenchmarkCreateUserPostGrow),
 		benchjson.Measure("FollowersPage/followers=50000", BenchmarkFollowersPage),
+		benchjson.Measure("FollowersPageParallel/followers=50000", BenchmarkFollowersPageParallel),
+		edgeBytesResult(t),
 	}
 	for _, shards := range []int{1, DefaultShards} {
 		for _, skew := range []string{"uniform", "hot"} {
@@ -255,4 +278,29 @@ func TestBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", path)
+}
+
+// edgeBytesResult measures the in-memory cost of the compact edge segments
+// on the 50K-follower bench fixture and reports it as a bytes-per-edge
+// metrics row. The acceptance budget is 12 bytes/edge (the struct encoding
+// this replaced cost ~40); the delta-varint blocks land around 4-6.
+func edgeBytesResult(t *testing.T) benchjson.Result {
+	t.Helper()
+	store, target := benchStore(t, 50000)
+	edges, bytes := store.EdgeMemoryStats(target)
+	if edges != 50000 {
+		t.Fatalf("bench fixture has %d edges, want 50000", edges)
+	}
+	per := float64(bytes) / float64(edges)
+	if per > 12 {
+		t.Fatalf("edge storage at %.2f bytes/edge exceeds the 12-byte budget", per)
+	}
+	return benchjson.Result{
+		Name: "EdgeSegmentMemory/followers=50000",
+		N:    edges,
+		Metrics: map[string]float64{
+			"bytes_per_edge": per,
+			"edge_bytes":     float64(bytes),
+		},
+	}
 }

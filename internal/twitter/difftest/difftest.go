@@ -1,7 +1,8 @@
 // Package difftest is a differential test harness for the platform store.
 //
 // It generates seeded, randomized streams over the full Store op vocabulary
-// (create / follow / unfollow / purge / tweet / page / snapshot-roundtrip),
+// (create / follow / unfollow / purge / tweet / setfriends / page /
+// snapshot-roundtrip),
 // replays each stream against two implementations of the same observable
 // contract, and asserts that every op result and every periodic observation
 // of full platform state is identical. On divergence the failing stream is
@@ -47,6 +48,7 @@ const (
 	OpTweet
 	OpPage
 	OpSnapshot
+	OpSetFriends
 )
 
 func (k OpKind) String() string {
@@ -65,6 +67,8 @@ func (k OpKind) String() string {
 		return "page"
 	case OpSnapshot:
 		return "snapshot"
+	case OpSetFriends:
+		return "setfriends"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -77,6 +81,7 @@ type Op struct {
 	Target   twitter.UserID     // OpFollow/OpUnfollow/OpPurge/OpPage; author for OpTweet
 	Follower twitter.UserID     // OpFollow/OpUnfollow
 	Purge    []twitter.UserID   // OpPurge
+	Friends  []twitter.UserID   // OpSetFriends list (may be empty)
 	At       time.Time          // event time for mutations
 	FromSeq  uint64             // OpPage anchor
 	Limit    int                // OpPage limit
@@ -99,6 +104,8 @@ func (op Op) String() string {
 		return fmt.Sprintf("page{target:%d from:%d limit:%d}", op.Target, op.FromSeq, op.Limit)
 	case OpSnapshot:
 		return "snapshot{}"
+	case OpSetFriends:
+		return fmt.Sprintf("setfriends{target:%d friends:%v}", op.Target, op.Friends)
 	default:
 		return op.Kind.String()
 	}
@@ -112,6 +119,8 @@ type System interface {
 	Unfollow(target, follower twitter.UserID, at time.Time) (bool, error)
 	RemoveFollowers(target twitter.UserID, followers []twitter.UserID, at time.Time) (int, error)
 	AppendTweet(author twitter.UserID, tw twitter.Tweet) (twitter.Tweet, error)
+	SetFriends(id twitter.UserID, friends []twitter.UserID) error
+	Friends(id twitter.UserID) ([]twitter.UserID, bool)
 	FollowersPage(target twitter.UserID, fromSeq uint64, limit int) (twitter.FollowerPage, error)
 	UserCount() int
 	FollowerCount(id twitter.UserID) (int, error)
@@ -256,7 +265,7 @@ type Result struct {
 	Err   string
 	ID    twitter.UserID       // OpCreate
 	OK    bool                 // OpUnfollow
-	N     int                  // OpPurge
+	N     int                  // OpPurge; observed FollowersCount for OpTweet/OpSetFriends
 	Tweet obsTweet             // OpTweet
 	Page  twitter.FollowerPage // OpPage
 }
@@ -298,6 +307,18 @@ func Apply(sys Applier, op Op) Result {
 	case OpTweet:
 		tw, err := sys.AppendTweet(op.Target, op.Tweet)
 		res.Tweet, res.Err = canonTweet(tw), errClass(err)
+		// Tweeting promotes the author to a target; the synthetic follower
+		// count must survive that promotion (the count-zeroing regression),
+		// so the profile is probed in the same result.
+		if p, perr := sys.Profile(op.Target); perr == nil {
+			res.N = p.FollowersCount
+		}
+	case OpSetFriends:
+		res.Err = errClass(sys.SetFriends(op.Target, op.Friends))
+		// Same promotion hazard as OpTweet.
+		if p, perr := sys.Profile(op.Target); perr == nil {
+			res.N = p.FollowersCount
+		}
 	case OpPage:
 		page, err := sys.FollowersPage(op.Target, op.FromSeq, op.Limit)
 		res.Page, res.Err = page, errClass(err)
@@ -314,8 +335,9 @@ func Apply(sys Applier, op Op) Result {
 // duplicate names; occasional zero CreatedAt exercising the clock path),
 // follows with a hot-head/long-tail target skew and occasional unknown
 // users and stale timestamps (error paths), unfollows, multi-follower
-// purges, explicit tweets, follower pages with mixed anchors and limits,
-// and snapshot round trips.
+// purges, explicit tweets, friend-list materialisations (including empty
+// lists, the counter-override quirk), follower pages with mixed anchors
+// and limits, and snapshot round trips.
 func Generate(seed uint64, n int) []Op {
 	rng := rand.New(rand.NewSource(int64(seed)))
 	now := simclock.Epoch
@@ -422,6 +444,12 @@ func Generate(seed uint64, n int) []Op {
 				Hashtags:  rng.Intn(3),
 				Source:    [...]string{"web", "mobile", "api"}[rng.Intn(3)],
 			}})
+		case roll < 81: // setfriends
+			fl := make([]twitter.UserID, rng.Intn(9))
+			for i := range fl {
+				fl[i] = anyUser()
+			}
+			ops = append(ops, Op{Kind: OpSetFriends, Target: targetOf(), Friends: fl})
 		case roll < 96: // page
 			op := Op{Kind: OpPage, Target: targetOf(), FromSeq: twitter.SeqNewest, Limit: 1 + rng.Intn(40)}
 			switch rng.Intn(10) {
@@ -508,6 +536,10 @@ func canonProfile(p twitter.Profile) obsProfile {
 type targetObs struct {
 	Edges   []obsFollow
 	Removed []obsFollow
+	// FriendsList/FriendsSet mirror the Friends accessor: the materialised
+	// friend list and whether one is reported at all.
+	FriendsList []twitter.UserID
+	FriendsSet  bool
 	// Walk is the full pagination walk: every ID served, newest first,
 	// plus the anchor trail and the Total reported by each page.
 	Walk       []twitter.UserID
@@ -565,6 +597,7 @@ func Observe(sys Applier, cfg ObserveConfig) (Observation, error) {
 			return obs, err
 		}
 		tobs := targetObs{Edges: canonFollows(edges), Removed: canonFollows(removed)}
+		tobs.FriendsList, tobs.FriendsSet = sys.Friends(id)
 		fromSeq := twitter.SeqNewest
 		for steps := 0; ; steps++ {
 			if steps > len(edges)/limit+2 {
@@ -698,6 +731,10 @@ func DiffObservations(a, b Observation) string {
 		}
 		if !reflect.DeepEqual(ta.Removed, tb.Removed) {
 			return fmt.Sprintf("removal log of target %d:\n  %v\n  %v", id, ta.Removed, tb.Removed)
+		}
+		if ta.FriendsSet != tb.FriendsSet || !reflect.DeepEqual(ta.FriendsList, tb.FriendsList) {
+			return fmt.Sprintf("friends of target %d:\n  %v (set=%v)\n  %v (set=%v)", id,
+				ta.FriendsList, ta.FriendsSet, tb.FriendsList, tb.FriendsSet)
 		}
 		if !reflect.DeepEqual(ta.Walk, tb.Walk) || !reflect.DeepEqual(ta.WalkSeqs, tb.WalkSeqs) || !reflect.DeepEqual(ta.WalkTotals, tb.WalkTotals) {
 			return fmt.Sprintf("pagination walk of target %d:\n  %v %v %v\n  %v %v %v", id,

@@ -58,7 +58,20 @@ type refTarget struct {
 	follows []twitter.Follow
 	removed []twitter.Follow
 	tweets  []twitter.Tweet
-	seq     uint64
+	// friends is the materialised friend list; friendsSet records that
+	// SetFriends ran at all (an empty materialised list still overrides the
+	// synthetic friends counter, but Friends only reports non-empty lists).
+	friends    []twitter.UserID
+	friendsSet bool
+	seq        uint64
+}
+
+// everFollowed reports whether any follow edge was ever accepted — live
+// now or since removed. Only then does the materialised edge state
+// override the synthetic follower counter; a target created by tweets or
+// friend lists alone keeps its create-time count.
+func (td *refTarget) everFollowed() bool {
+	return td != nil && (len(td.follows) > 0 || len(td.removed) > 0)
 }
 
 // NewRef returns an empty reference model on the given clock.
@@ -158,9 +171,12 @@ func (r *Ref) AddFollower(target, follower twitter.UserID, at time.Time) error {
 		return err
 	}
 	// The store materialises the target before the monotonicity check, so a
-	// rejected edge still flips the account to "target" (follower count 0).
+	// rejected edge still flips the account to "target" (though the follower
+	// count stays synthetic until an edge actually lands). Edge times are
+	// compared at second resolution, the precision the segment encoding
+	// keeps.
 	td := ut.ensureTarget()
-	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
+	if n := len(td.follows); n > 0 && at.Unix() < td.follows[n-1].At.Unix() {
 		return fmt.Errorf("%w: %v before %v", twitter.ErrNotMonotonic, at, td.follows[n-1].At)
 	}
 	td.seq++
@@ -267,7 +283,7 @@ func (r *Ref) FollowerCount(id twitter.UserID) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if u.td != nil {
+	if u.td.everFollowed() {
 		return len(u.td.follows), nil
 	}
 	return int(u.followers), nil
@@ -310,6 +326,35 @@ func (r *Ref) RemovedEdges(id twitter.UserID) ([]twitter.Follow, error) {
 		return nil, nil
 	}
 	return append([]twitter.Follow(nil), u.td.removed...), nil
+}
+
+// SetFriends materialises id's friend list, replacing any previous one.
+// Like the store, a successful call always switches the friends counter to
+// the materialised list — even an empty one — and promotes the account to
+// a target.
+func (r *Ref) SetFriends(id twitter.UserID, friends []twitter.UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, err := r.user(id)
+	if err != nil {
+		return err
+	}
+	td := u.ensureTarget()
+	td.friends = append([]twitter.UserID(nil), friends...)
+	td.friendsSet = true
+	return nil
+}
+
+// Friends mirrors the store's quirk: a list set to empty overrides the
+// counter but does not report as materialised.
+func (r *Ref) Friends(id twitter.UserID) ([]twitter.UserID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, err := r.user(id)
+	if err != nil || u.td == nil || !u.td.friendsSet || len(u.td.friends) == 0 {
+		return nil, false
+	}
+	return append([]twitter.UserID(nil), u.td.friends...), true
 }
 
 func (r *Ref) IsTarget(id twitter.UserID) bool {
@@ -355,8 +400,12 @@ func (r *Ref) profileLocked(id twitter.UserID) (twitter.Profile, error) {
 		return twitter.Profile{}, err
 	}
 	followers := int(u.followers)
-	if u.td != nil {
+	if u.td.everFollowed() {
 		followers = len(u.td.follows)
+	}
+	friends := int(u.friends)
+	if u.td != nil && u.td.friendsSet {
+		friends = len(u.td.friends)
 	}
 	var lastTweet time.Time
 	if u.lastTweetAt != 0 {
@@ -372,7 +421,7 @@ func (r *Ref) profileLocked(id twitter.UserID) (twitter.Profile, error) {
 			Verified:            u.verified,
 		},
 		FollowersCount: followers,
-		FriendsCount:   int(u.friends),
+		FriendsCount:   friends,
 		StatusesCount:  int(u.statuses),
 		LastTweetAt:    lastTweet,
 		Behavior: twitter.Behavior{

@@ -1,0 +1,365 @@
+package twitter
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync/atomic"
+)
+
+//fp:hotpath
+
+// Compact follower-edge segments. A target's follower list is the store's
+// only unbounded per-account structure: the paper's populations go to
+// hundreds of thousands of followers and the ROADMAP's scaling item to 10M+
+// accounts, so each edge must cost bytes, not a 40-byte Follow struct. Edges
+// arrive strictly append-ordered (the Section IV-B invariant), which makes
+// them ideal delta-coding material:
+//
+//   - sealed blocks of exactly edgeBlockLen edges, each block a byte string
+//     of zigzag-delta varints chained from the previous edge (follower ID,
+//     unix-second timestamp, seq — all three monotone-ish, so deltas are
+//     tiny: ~4-6 bytes per edge against ~40 for the struct form);
+//   - a small mutable tail of decoded edges awaiting their block's seal.
+//
+// Reads never take the shard lock. The whole list is published RCU-style
+// through one atomic.Pointer[edgeView]: writers (serialised by the shard
+// mutex) build a new view and Store it; readers Load a frozen view and
+// navigate it without coordination. Appends reuse the previous view's
+// blocks slice and tail backing (the appended slot was never visible to any
+// published view, so old readers cannot observe it), which keeps the common
+// append allocation-light; removals rewrite the list into freshly sealed
+// canonical blocks.
+//
+// Block boundaries are canonical: every sealed block holds exactly
+// edgeBlockLen edges, so live index i lives in block i/edgeBlockLen at
+// offset i%edgeBlockLen, and a rewrite after a purge re-cuts the survivors
+// at the same multiples. Navigation needs no per-block counts and snapshot
+// bytes stay shard-count independent.
+//
+// This file is fpvet //fp:hotpath territory: no fmt, no reflection, and no
+// construction of ID slices — page buffers are allocated by the caller
+// (twitter.go) and filled here by index.
+
+// edgeBlockLen is the number of edges per sealed block. 512 keeps a block's
+// decode scratch (512 * 24B = 12KB) comfortably on the stack while making
+// per-block header overhead (~56B) negligible against ~2-3KB of payload.
+const edgeBlockLen = 512
+
+// segEdge is one decoded follow edge in segment form: unix-second time
+// resolution, 24 bytes. The storage twin of Follow.
+type segEdge struct {
+	follower int64
+	at       int64 // unix seconds
+	seq      uint64
+}
+
+// edgeBlock is one sealed, immutable block of exactly edgeBlockLen edges,
+// delta-varint encoded. firstSeq/lastSeq bound the block's seq range for
+// binary search; lastAt carries the block's newest timestamp so the
+// monotonicity check never decodes a block.
+type edgeBlock struct {
+	data     []byte
+	firstSeq uint64
+	lastSeq  uint64
+	lastAt   int64
+}
+
+// edgeView is one immutable published state of a target's live edge list.
+// Readers navigate a view with no lock and no coordination; every mutation
+// publishes a fresh view.
+type edgeView struct {
+	blocks []edgeBlock
+	tail   []segEdge // decoded edges not yet sealed; len < edgeBlockLen
+	total  int       // live edge count: len(blocks)*edgeBlockLen + len(tail)
+	// ever reports whether an edge was ever materialised for this target
+	// (live now, or alive once and since removed). Targets promoted by
+	// SetFriends/AppendTweet alone have ever == false, and their synthetic
+	// follower counter stays authoritative — the follower-count-zeroing
+	// bugfix.
+	ever bool
+}
+
+// emptyEdgeView backs lists that have never published a view.
+var emptyEdgeView edgeView
+
+// edgeList is the per-target handle: one atomic pointer to the current view.
+type edgeList struct {
+	v atomic.Pointer[edgeView]
+}
+
+// view returns the current published view (never nil).
+func (l *edgeList) view() *edgeView {
+	if v := l.v.Load(); v != nil {
+		return v
+	}
+	return &emptyEdgeView
+}
+
+// append publishes old state + one edge. Caller must hold the owning
+// shard's write lock (the single-writer guarantee the reuse below relies
+// on). The new tail may share backing with the previous view's tail: the
+// appended slot sits past every published length, so no reader of an older
+// view can reach it, and Go's append either writes that invisible slot or
+// reallocates — both safe under RCU.
+func (l *edgeList) append(e segEdge) {
+	old := l.view()
+	nv := &edgeView{blocks: old.blocks, total: old.total + 1, ever: true}
+	nv.tail = append(old.tail, e)
+	if len(nv.tail) == edgeBlockLen {
+		nv.blocks = sealAppend(old.blocks, nv.tail)
+		nv.tail = nil
+	}
+	l.v.Store(nv)
+}
+
+// sealAppend appends the sealed form of tail to blocks, reusing spare block
+// capacity when present — again invisible to published views, whose block
+// slices stop short of the appended slot.
+func sealAppend(blocks []edgeBlock, tail []segEdge) []edgeBlock {
+	return append(blocks, sealBlock(tail))
+}
+
+// sealBlock encodes exactly edgeBlockLen edges into an immutable block.
+func sealBlock(tail []segEdge) edgeBlock {
+	data := make([]byte, 0, 6*edgeBlockLen)
+	var prev segEdge
+	for _, e := range tail {
+		data = appendSegEdge(data, prev, e)
+		prev = e
+	}
+	last := tail[len(tail)-1]
+	return edgeBlock{data: data, firstSeq: tail[0].seq, lastSeq: last.seq, lastAt: last.at}
+}
+
+// edgeSealer accumulates edges in order and cuts canonical blocks — the
+// shared builder behind purge rewrites and snapshot loads.
+type edgeSealer struct {
+	blocks []edgeBlock
+	tail   []segEdge
+	total  int
+}
+
+func (b *edgeSealer) add(e segEdge) {
+	b.tail = append(b.tail, e)
+	b.total++
+	if len(b.tail) == edgeBlockLen {
+		b.blocks = append(b.blocks, sealBlock(b.tail))
+		b.tail = b.tail[:0]
+	}
+}
+
+// finish freezes the accumulated edges as a view. The tail is copied to
+// exact length so a later in-place append can never alias the builder's
+// scratch buffer.
+func (b *edgeSealer) finish(ever bool) *edgeView {
+	nv := &edgeView{blocks: b.blocks, total: b.total, ever: ever}
+	if len(b.tail) > 0 {
+		nv.tail = make([]segEdge, len(b.tail))
+		copy(nv.tail, b.tail)
+	}
+	return nv
+}
+
+// newestAt returns the newest live edge's unix time, if any edge is live.
+func (v *edgeView) newestAt() (int64, bool) {
+	if n := len(v.tail); n > 0 {
+		return v.tail[n-1].at, true
+	}
+	if n := len(v.blocks); n > 0 {
+		return v.blocks[n-1].lastAt, true
+	}
+	return 0, false
+}
+
+// decodeInto decodes a sealed block into dst. A failure is impossible for
+// blocks this package sealed; it indicates memory corruption, so the one
+// caller-visible response is to panic rather than serve wrong edges.
+func (b *edgeBlock) decodeInto(dst *[edgeBlockLen]segEdge) {
+	data := b.data
+	var prev segEdge
+	for i := 0; i < edgeBlockLen; i++ {
+		e, n, ok := readSegEdge(data, prev)
+		if !ok {
+			panic("twitter: corrupt edge segment block")
+		}
+		data = data[n:]
+		dst[i] = e
+		prev = e
+	}
+	if len(data) != 0 {
+		panic("twitter: trailing bytes in edge segment block")
+	}
+}
+
+// locate returns the live index of the newest edge whose seq is <= fromSeq,
+// or -1 if every live edge is newer (anchor below the oldest survivor).
+// O(log blocks) on sealed data plus one block decode.
+func (v *edgeView) locate(fromSeq uint64) int {
+	sealed := len(v.blocks) * edgeBlockLen
+	if n := len(v.tail); n > 0 && fromSeq >= v.tail[0].seq {
+		i := sort.Search(n, func(k int) bool { return v.tail[k].seq > fromSeq }) - 1
+		return sealed + i
+	}
+	if len(v.blocks) == 0 || fromSeq < v.blocks[0].firstSeq {
+		return -1
+	}
+	bi := sort.Search(len(v.blocks), func(k int) bool { return v.blocks[k].firstSeq > fromSeq }) - 1
+	var buf [edgeBlockLen]segEdge
+	v.blocks[bi].decodeInto(&buf)
+	j := sort.Search(edgeBlockLen, func(k int) bool { return buf[k].seq > fromSeq }) - 1
+	return bi*edgeBlockLen + j
+}
+
+// seqAt returns the seq of the edge at live index i (0 <= i < total).
+func (v *edgeView) seqAt(i int) uint64 {
+	sealed := len(v.blocks) * edgeBlockLen
+	if i >= sealed {
+		return v.tail[i-sealed].seq
+	}
+	var buf [edgeBlockLen]segEdge
+	v.blocks[i/edgeBlockLen].decodeInto(&buf)
+	return buf[i%edgeBlockLen].seq
+}
+
+// fillNewestFirst writes the followers at live indices newest, newest-1, ...
+// into dst (len(dst) <= newest+1). The page buffer is allocated by the
+// caller; this fill stays within the hotpath allocation budget by writing
+// into it by index, one block decode per 512 edges.
+func (v *edgeView) fillNewestFirst(newest int, dst []UserID) {
+	sealed := len(v.blocks) * edgeBlockLen
+	k, i := 0, newest
+	for ; k < len(dst) && i >= sealed; i, k = i-1, k+1 {
+		dst[k] = UserID(v.tail[i-sealed].follower)
+	}
+	var buf [edgeBlockLen]segEdge
+	bi := -1
+	for ; k < len(dst) && i >= 0; i, k = i-1, k+1 {
+		if nb := i / edgeBlockLen; nb != bi {
+			bi = nb
+			v.blocks[bi].decodeInto(&buf)
+		}
+		dst[k] = UserID(buf[i%edgeBlockLen].follower)
+	}
+}
+
+// forEach decodes the live edges oldest-first and calls fn for each until
+// it returns false.
+func (v *edgeView) forEach(fn func(segEdge) bool) {
+	var buf [edgeBlockLen]segEdge
+	for bi := range v.blocks {
+		v.blocks[bi].decodeInto(&buf)
+		for i := range buf {
+			if !fn(buf[i]) {
+				return
+			}
+		}
+	}
+	for _, e := range v.tail {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// memBytes reports the in-memory footprint of the view's edge storage:
+// sealed payload bytes, tail entries, and per-block headers.
+func (v *edgeView) memBytes() int {
+	n := 0
+	for i := range v.blocks {
+		n += len(v.blocks[i].data)
+	}
+	const blockHeader = 56 // slice header + 2 seqs + lastAt
+	const tailEntry = 24   // sizeof(segEdge)
+	return n + len(v.blocks)*blockHeader + len(v.tail)*tailEntry
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendSegEdge encodes e relative to prev: three chained zigzag deltas
+// (follower, at, seq), each a uvarint.
+func appendSegEdge(dst []byte, prev, e segEdge) []byte {
+	dst = binary.AppendUvarint(dst, zigzag(e.follower-prev.follower))
+	dst = binary.AppendUvarint(dst, zigzag(e.at-prev.at))
+	dst = binary.AppendUvarint(dst, zigzag(int64(e.seq)-int64(prev.seq)))
+	return dst
+}
+
+// readSegEdge decodes one edge relative to prev, returning the edge, the
+// bytes consumed, and whether the bytes were well-formed.
+func readSegEdge(data []byte, prev segEdge) (segEdge, int, bool) {
+	df, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return segEdge{}, 0, false
+	}
+	da, n2 := binary.Uvarint(data[n1:])
+	if n2 <= 0 {
+		return segEdge{}, 0, false
+	}
+	ds, n3 := binary.Uvarint(data[n1+n2:])
+	if n3 <= 0 {
+		return segEdge{}, 0, false
+	}
+	return segEdge{
+		follower: prev.follower + unzigzag(df),
+		at:       prev.at + unzigzag(da),
+		seq:      uint64(int64(prev.seq) + unzigzag(ds)),
+	}, n1 + n2 + n3, true
+}
+
+// errEdgeStream reports a malformed whole-list edge stream (snapshot reads).
+var errEdgeStream = errors.New("twitter: malformed edge stream")
+
+// appendEdgeStream encodes the view's live edges as one chained delta
+// stream — the snapshot v5 wire form. The stream restarts its delta chain
+// from the zero edge, so it is self-contained and byte-identical for equal
+// logical state regardless of how blocks happen to be cut in memory.
+func appendEdgeStream(dst []byte, v *edgeView) []byte {
+	prev := segEdge{}
+	v.forEach(func(e segEdge) bool {
+		dst = appendSegEdge(dst, prev, e)
+		prev = e
+		return true
+	})
+	return dst
+}
+
+// appendFollowStream encodes a []Follow (removal logs) in the same chained
+// delta form.
+func appendFollowStream(dst []byte, edges []Follow) []byte {
+	prev := segEdge{}
+	for _, f := range edges {
+		e := segEdge{follower: int64(f.Follower), at: f.At.Unix(), seq: f.Seq}
+		dst = appendSegEdge(dst, prev, e)
+		prev = e
+	}
+	return dst
+}
+
+// decodeEdgeStream decodes exactly count edges from data, calling fn for
+// each, and errors on malformed input, a short stream, or trailing bytes.
+// fn may return an error to abort (validation failures during snapshot
+// loads). Arbitrary inputs never panic: every decode failure surfaces as
+// errEdgeStream, the property FuzzEdgeSegmentDecode pins.
+func decodeEdgeStream(data []byte, count int, fn func(segEdge) error) error {
+	prev := segEdge{}
+	for i := 0; i < count; i++ {
+		e, n, ok := readSegEdge(data, prev)
+		if !ok {
+			return errEdgeStream
+		}
+		data = data[n:]
+		if err := fn(e); err != nil {
+			return err
+		}
+		prev = e
+	}
+	if len(data) != 0 {
+		return errEdgeStream
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package twitter
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randEdges builds a plausible edge history: ascending follower-ish IDs with
+// jitter (including backward jumps), second-granular times that mostly
+// advance, and strictly increasing seqs with occasional gaps (purged edges).
+func randEdges(rng *rand.Rand, n int) []segEdge {
+	out := make([]segEdge, n)
+	var follower, at int64 = 0, 1_300_000_000
+	var seq uint64
+	for i := range out {
+		follower += int64(rng.Intn(2000)) - 700 // may go backward
+		at += int64(rng.Intn(300))
+		seq += 1 + uint64(rng.Intn(3))
+		out[i] = segEdge{follower: follower, at: at, seq: seq}
+	}
+	return out
+}
+
+func TestSegEdgeCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := randEdges(rng, 2000)
+	// Extremes: zero edge, negative follower delta, large values.
+	edges = append(edges,
+		segEdge{},
+		segEdge{follower: -5, at: -100, seq: 1},
+		segEdge{follower: 1 << 60, at: 1 << 59, seq: 1 << 62},
+	)
+	var data []byte
+	var prev segEdge
+	for _, e := range edges {
+		data = appendSegEdge(data, prev, e)
+		prev = e
+	}
+	prev = segEdge{}
+	rest := data
+	for i, want := range edges {
+		got, n, ok := readSegEdge(rest, prev)
+		if !ok {
+			t.Fatalf("edge %d failed to decode", i)
+		}
+		if got != want {
+			t.Fatalf("edge %d round-tripped to %+v, want %+v", i, got, want)
+		}
+		rest = rest[n:]
+		prev = got
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+// TestEdgeListAppendAndNavigate drives the RCU append path across several
+// block seals and checks every navigation primitive against the plain slice.
+func TestEdgeListAppendAndNavigate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	edges := randEdges(rng, 3*edgeBlockLen+137)
+	var l edgeList
+	for _, e := range edges {
+		l.append(e)
+	}
+	v := l.view()
+	if v.total != len(edges) || !v.ever {
+		t.Fatalf("view total=%d ever=%v, want %d true", v.total, v.ever, len(edges))
+	}
+	if len(v.blocks) != 3 || len(v.tail) != 137 {
+		t.Fatalf("blocks=%d tail=%d, want 3 and 137", len(v.blocks), len(v.tail))
+	}
+	// forEach yields the exact sequence.
+	i := 0
+	v.forEach(func(e segEdge) bool {
+		if e != edges[i] {
+			t.Fatalf("forEach edge %d = %+v, want %+v", i, e, edges[i])
+		}
+		i++
+		return true
+	})
+	if i != len(edges) {
+		t.Fatalf("forEach stopped at %d", i)
+	}
+	// newestAt matches the last edge.
+	if at, ok := v.newestAt(); !ok || at != edges[len(edges)-1].at {
+		t.Fatalf("newestAt = %d,%v", at, ok)
+	}
+	// seqAt and locate agree with the slice at every index, including both
+	// sides of each block boundary.
+	for _, idx := range []int{0, 1, edgeBlockLen - 1, edgeBlockLen, 2*edgeBlockLen - 1, 2 * edgeBlockLen, 3*edgeBlockLen - 1, 3 * edgeBlockLen, len(edges) - 1} {
+		if got := v.seqAt(idx); got != edges[idx].seq {
+			t.Fatalf("seqAt(%d) = %d, want %d", idx, got, edges[idx].seq)
+		}
+		if got := v.locate(edges[idx].seq); got != idx {
+			t.Fatalf("locate(%d) = %d, want %d", edges[idx].seq, got, idx)
+		}
+		// An anchor between this seq and the next still resolves here (seqs
+		// in randEdges may skip values).
+		if got := v.locate(edges[idx].seq + 1); idx+1 < len(edges) && edges[idx+1].seq > edges[idx].seq+1 && got != idx {
+			t.Fatalf("locate(%d) = %d, want %d", edges[idx].seq+1, got, idx)
+		}
+	}
+	if got := v.locate(edges[0].seq - 1); got != -1 {
+		t.Fatalf("locate below oldest = %d, want -1", got)
+	}
+	// fillNewestFirst spans tail and multiple sealed blocks.
+	for _, span := range []struct{ newest, n int }{
+		{len(edges) - 1, len(edges)},            // everything
+		{len(edges) - 1, 140},                   // tail into last block
+		{2*edgeBlockLen + 3, edgeBlockLen + 10}, // across a block boundary
+		{5, 6},                                  // oldest edges only
+	} {
+		dst := make([]UserID, span.n)
+		v.fillNewestFirst(span.newest, dst)
+		for k := range dst {
+			want := UserID(edges[span.newest-k].follower)
+			if dst[k] != want {
+				t.Fatalf("fill(newest=%d)[%d] = %d, want %d", span.newest, k, dst[k], want)
+			}
+		}
+	}
+}
+
+// TestEdgeSealerMatchesAppendPath pins block-cut canonicality: a list built
+// edge-by-edge and one rebuilt through the sealer (the purge/snapshot-load
+// path) publish views with identical blocks, stream bytes and navigation.
+func TestEdgeSealerMatchesAppendPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges := randEdges(rng, 2*edgeBlockLen+41)
+	var l edgeList
+	var sealer edgeSealer
+	for _, e := range edges {
+		l.append(e)
+		sealer.add(e)
+	}
+	a, b := l.view(), sealer.finish(true)
+	if a.total != b.total || len(a.blocks) != len(b.blocks) || len(a.tail) != len(b.tail) {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			a.total, len(a.blocks), len(a.tail), b.total, len(b.blocks), len(b.tail))
+	}
+	for i := range a.blocks {
+		if !bytes.Equal(a.blocks[i].data, b.blocks[i].data) {
+			t.Fatalf("block %d bytes differ", i)
+		}
+	}
+	if !bytes.Equal(appendEdgeStream(nil, a), appendEdgeStream(nil, b)) {
+		t.Fatal("stream bytes differ")
+	}
+}
+
+// TestEdgeStreamRoundTrip covers the snapshot v5 wire form, including the
+// removal-log variant whose seqs are not increasing.
+func TestEdgeStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	edges := randEdges(rng, edgeBlockLen+57)
+	var sealer edgeSealer
+	for _, e := range edges {
+		sealer.add(e)
+	}
+	data := appendEdgeStream(nil, sealer.finish(true))
+	var got []segEdge
+	if err := decodeEdgeStream(data, len(edges), func(e segEdge) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], edges[i])
+		}
+	}
+	// Short and trailing inputs error instead of panicking or succeeding.
+	if err := decodeEdgeStream(data[:len(data)-1], len(edges), func(segEdge) error { return nil }); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+	if err := decodeEdgeStream(data, len(edges)-1, func(segEdge) error { return nil }); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	// Removal logs: seqs jump backward (edges are purged out of order), so
+	// the seq delta must be signed.
+	removed := []Follow{
+		{Follower: 9, At: unixUTC(1000), Seq: 40},
+		{Follower: 3, At: unixUTC(1000), Seq: 7},
+		{Follower: 800, At: unixUTC(2000), Seq: 12},
+	}
+	rdata := appendFollowStream(nil, removed)
+	i := 0
+	if err := decodeEdgeStream(rdata, len(removed), func(e segEdge) error {
+		want := removed[i]
+		if UserID(e.follower) != want.Follower || e.at != want.At.Unix() || e.seq != want.Seq {
+			t.Fatalf("removal %d = %+v, want %+v", i, e, want)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeMemoryStatsBudget is the compactness acceptance: a realistic
+// follower list (ascending IDs, advancing times, dense seqs) must cost at
+// most 12 bytes per edge in memory — the benchmark row in BENCH_twitter.json
+// tracks the real figure, typically ~4-6.
+func TestEdgeMemoryStatsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var l edgeList
+	n := 20 * edgeBlockLen
+	var at int64 = 1_300_000_000
+	for i := 0; i < n; i++ {
+		at += int64(rng.Intn(120))
+		l.append(segEdge{follower: int64(2 + i + rng.Intn(50)), at: at, seq: uint64(i + 1)})
+	}
+	per := float64(l.view().memBytes()) / float64(n)
+	if per > 12 {
+		t.Fatalf("%.2f bytes/edge, budget is 12", per)
+	}
+	t.Logf("%.2f bytes/edge over %d edges", per, n)
+}
+
+// FuzzEdgeSegmentDecode pins the two decoder properties snapshot loading
+// depends on: arbitrary bytes never panic (they decode or return
+// errEdgeStream), and anything that decodes re-encodes and re-decodes to the
+// same edges (decode ∘ encode is the identity on decoded streams).
+func FuzzEdgeSegmentDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	edges := randEdges(rng, 50)
+	var sealer edgeSealer
+	for _, e := range edges {
+		sealer.add(e)
+	}
+	f.Add(appendEdgeStream(nil, sealer.finish(true)), 50)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x80}, 1)                   // unterminated varint
+	f.Add([]byte{0, 0, 0, 7}, 1)             // trailing byte
+	f.Add(bytes.Repeat([]byte{0xff}, 40), 2) // overlong varints
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		var got []segEdge
+		err := decodeEdgeStream(data, count, func(e segEdge) error {
+			got = append(got, e)
+			return nil
+		})
+		if err != nil {
+			return // malformed input rejected without panicking: the property
+		}
+		if len(got) != count {
+			t.Fatalf("decoded %d edges, want %d", len(got), count)
+		}
+		var again []byte
+		var prev segEdge
+		for _, e := range got {
+			again = appendSegEdge(again, prev, e)
+			prev = e
+		}
+		var got2 []segEdge
+		if err := decodeEdgeStream(again, count, func(e segEdge) error {
+			got2 = append(got2, e)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		for i := range got {
+			if got[i] != got2[i] {
+				t.Fatalf("edge %d changed across re-encode: %+v vs %+v", i, got[i], got2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package twitter
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fakeproject/internal/simclock"
+)
+
+// TestLockFreeReadsUnderWriteLock is the direct form of the lock-free
+// contract: with every shard's write lock held, the segment read paths must
+// still complete. Any accidental RLock on these paths deadlocks the probe
+// goroutine and fails the watchdog.
+func TestLockFreeReadsUnderWriteLock(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 1, WithShards(4))
+	target := store.MustCreateUser(UserParams{Followers: 77})
+	quiet := store.MustCreateUser(UserParams{Followers: 12345, Friends: 9})
+	at := simclock.Epoch
+	for i := 0; i < 2*edgeBlockLen+30; i++ {
+		id := store.MustCreateUser(UserParams{})
+		at = at.Add(time.Second)
+		if err := store.AddFollower(target, id, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.SetFriends(target, []UserID{quiet, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range store.shards {
+		store.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range store.shards {
+			store.shards[i].mu.Unlock()
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		page, err := store.FollowersPage(target, SeqNewest, 50)
+		if err != nil || len(page.IDs) != 50 || page.Total != 2*edgeBlockLen+30 {
+			done <- err
+			return
+		}
+		for _, id := range []UserID{target, quiet} {
+			if _, err := store.FollowerCount(id); err != nil {
+				done <- err
+				return
+			}
+			if _, err := store.FriendsCount(id); err != nil {
+				done <- err
+				return
+			}
+			store.Friends(id)
+			store.IsTarget(id)
+		}
+		if _, err := store.FollowEdges(target); err != nil {
+			done <- err
+			return
+		}
+		if _, err := store.FollowersChronological(target); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("segment read path blocked on a held shard write lock")
+	}
+}
+
+// TestShardOpsInvariantUnderSnapshot is the shard-heat bugfix regression:
+// persistence is internal bookkeeping, so writing a snapshot must leave the
+// per-shard ops counters exactly where platform traffic put them, and a
+// store booted from a snapshot starts with zero heat.
+func TestShardOpsInvariantUnderSnapshot(t *testing.T) {
+	clock := simclock.NewVirtualAtEpoch()
+	store := NewStore(clock, 9, WithShards(4))
+	target := store.MustCreateUser(UserParams{ScreenName: "hot"})
+	at := simclock.Epoch
+	for i := 0; i < 300; i++ {
+		id := store.MustCreateUser(UserParams{})
+		at = at.Add(time.Second)
+		if err := store.AddFollower(target, id, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := store.RemoveFollowers(target, []UserID{5, 9}, at.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := store.ShardOps()
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := store.ShardOps()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("shard %d heat moved across WriteSnapshot: %d -> %d", i, before[i], after[i])
+		}
+	}
+
+	loaded, err := ReadSnapshot(&buf, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ops := range loaded.ShardOps() {
+		if ops != 0 {
+			t.Fatalf("shard %d of a freshly loaded store has %d fake ops", i, ops)
+		}
+	}
+}
+
+// TestFollowerCountSurvivesSetFriends and ...SurvivesAppendTweet pin the
+// promotion bugfix: materialising a friend list or an explicit timeline
+// promotes the account to a target, but only actual edge history may
+// override the synthetic follower counter.
+func TestFollowerCountSurvivesSetFriends(t *testing.T) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1)
+	id := store.MustCreateUser(UserParams{Followers: 12345, Friends: 40})
+	if err := store.SetFriends(id, []UserID{id}); err != nil {
+		t.Fatal(err)
+	}
+	if !store.IsTarget(id) {
+		t.Fatal("SetFriends did not promote to target")
+	}
+	if n, _ := store.FollowerCount(id); n != 12345 {
+		t.Fatalf("FollowerCount after SetFriends = %d, want 12345", n)
+	}
+	p, err := store.Profile(id)
+	if err != nil || p.FollowersCount != 12345 {
+		t.Fatalf("Profile.FollowersCount after SetFriends = %d (%v), want 12345", p.FollowersCount, err)
+	}
+	if p.FriendsCount != 1 {
+		t.Fatalf("FriendsCount = %d, want the materialised 1", p.FriendsCount)
+	}
+	// An actual edge flips authority to the materialised list — for good:
+	// after the edge is purged again the count is the true 0, not 12345.
+	f := store.MustCreateUser(UserParams{})
+	if err := store.AddFollower(id, f, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.FollowerCount(id); n != 1 {
+		t.Fatalf("FollowerCount after real follow = %d, want 1", n)
+	}
+	if _, err := store.RemoveFollowers(id, []UserID{f}, store.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.FollowerCount(id); n != 0 {
+		t.Fatalf("FollowerCount after purge = %d, want 0", n)
+	}
+}
+
+func TestFollowerCountSurvivesAppendTweet(t *testing.T) {
+	store := NewStore(simclock.NewVirtualAtEpoch(), 1)
+	id := store.MustCreateUser(UserParams{Followers: 4321})
+	if _, err := store.AppendTweet(id, Tweet{CreatedAt: store.Now(), Text: "hi", Source: "web"}); err != nil {
+		t.Fatal(err)
+	}
+	if !store.IsTarget(id) {
+		t.Fatal("AppendTweet did not promote to target")
+	}
+	if n, _ := store.FollowerCount(id); n != 4321 {
+		t.Fatalf("FollowerCount after AppendTweet = %d, want 4321", n)
+	}
+	p, err := store.Profile(id)
+	if err != nil || p.FollowersCount != 4321 {
+		t.Fatalf("Profile.FollowersCount after AppendTweet = %d (%v), want 4321", p.FollowersCount, err)
+	}
+	// The synthetic count also survives a snapshot round trip of the
+	// promoted-but-never-followed target.
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf, simclock.NewVirtualAtEpoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := loaded.FollowerCount(id); n != 4321 {
+		t.Fatalf("FollowerCount after roundtrip = %d, want 4321", n)
+	}
+}

@@ -35,6 +35,15 @@ func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 //	   in map order. Two stores holding the same logical state produce
 //	   byte-identical snapshots regardless of their shard counts — the
 //	   property the differential harness asserts.
+//	5: streamed, segment-framed encoding, introduced with compact edge
+//	   segments. The stream opens with a header value (the snapshot struct
+//	   carrying counts instead of payload slices), followed by records in
+//	   fixed-size chunks and then one value per target; edges and removal
+//	   logs ride as delta-varint byte streams (EdgeStream/RemovedStream)
+//	   instead of 40-byte-per-edge struct slices. Writer and reader hold
+//	   one chunk/target in memory at a time, so a 10M-account snapshot
+//	   costs bounded memory beyond the store itself, and the canonicality
+//	   guarantee of v4 (chunk cuts are fixed, targets sorted by ID) holds.
 //
 // Writers always emit the current version; readers accept every version
 // back to 1 — gob leaves fields absent from old streams at their zero
@@ -44,10 +53,15 @@ func unixUTC(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
 // map field. The on-disk layout never encodes the shard count: any
 // snapshot loads into a store with any shard count, and the reader
 // redistributes records, names and targets into the configured shards.
-const snapshotVersion = 4
+const snapshotVersion = 5
 
 // minSnapshotVersion is the oldest version ReadSnapshot still understands.
 const minSnapshotVersion = 1
+
+// recordChunkLen is the fixed record-chunk size of v5 streams. Fixed so the
+// chunk cuts — and therefore the bytes — never depend on anything but the
+// logical state; sized to hold writer memory at a few MB per chunk.
+const recordChunkLen = 1 << 16
 
 // ErrBadSnapshot reports a snapshot that cannot be loaded.
 var ErrBadSnapshot = errors.New("twitter: invalid snapshot")
@@ -90,16 +104,32 @@ type persistTweet struct {
 }
 
 type persistTarget struct {
-	ID      int64
+	ID int64
+	// Follows carries the live edges as structs in streams up to version 4;
+	// v5 streams leave it nil and use EdgeStream.
 	Follows []persistFollow
 	Tweets  []persistTweet
 	Friends []int64
+	// FriendsSet marks a materialised friend list (version >= 5). gob drops
+	// empty slices, so without it a list set to empty would load back as
+	// "never materialised" and the friends count would snap back to the
+	// synthetic counter.
+	FriendsSet bool
 	// Removed is the churn removal log (version >= 2; nil in v1 streams).
+	// v5 streams leave it nil and use RemovedStream.
 	Removed []persistFollow
 	// SeqCounter is the last edge seq handed out (version >= 3; 0 in
 	// older streams). Loading must resume the counter above every seq
 	// ever assigned so post-load follows keep seqs unique and increasing.
 	SeqCounter uint64
+	// EdgeN/EdgeStream carry the live edges as one chained delta-varint
+	// stream (version >= 5; see edgeseg.go for the codec).
+	EdgeN      int64
+	EdgeStream []byte
+	// RemovedN/RemovedStream carry the removal log in the same form
+	// (version >= 5).
+	RemovedN      int64
+	RemovedStream []byte
 }
 
 // persistName is one explicit screen-name registration (version >= 4).
@@ -112,7 +142,10 @@ type snapshot struct {
 	Version  int
 	NameSeed uint64
 	TweetSeq int64
-	Records  []persistRecord
+	// Records carries every account in streams up to version 4; v5 streams
+	// leave it nil and follow the header with RecordN records in chunks of
+	// recordChunkLen.
+	Records []persistRecord
 	// Names carries explicit screen names in streams up to version 3.
 	// gob encodes maps in iteration order, so this field made snapshot
 	// bytes nondeterministic; v4 streams leave it nil.
@@ -120,20 +153,26 @@ type snapshot struct {
 	// NameList carries explicit screen names sorted by ID (version >= 4).
 	NameList []persistName
 	// Targets is sorted by ID in version >= 4 streams; older streams may
-	// carry any order and the reader accepts both.
+	// carry any order and the reader accepts both. v5 streams leave it nil
+	// and follow the record chunks with TargetN per-target values.
 	Targets []persistTarget
 	// ClockUnix is the store clock's position at snapshot time (version
 	// >= 2; 0 in v1 streams). An evolved population's edge timestamps run
 	// up to this instant, so a reader must resume at or after it for
 	// further growth/churn to stay monotonic.
 	ClockUnix int64
+	// RecordN/TargetN are the v5 stream framing counts: how many records
+	// (in chunks) and target values follow the header.
+	RecordN int64
+	TargetN int64
 }
 
 // WriteSnapshot serialises the full store state. Creation is quiesced and
 // every shard is read-locked (in index order) for the duration, so the
 // snapshot is a consistent cut. The encoding is canonical: records, names
 // and targets are emitted in ascending ID order, never in shard or map
-// order, so equal logical state yields equal bytes for any shard count.
+// order, with fixed chunk cuts, so equal logical state yields equal bytes
+// for any shard count.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	return s.WriteSnapshotWith(w, nil)
 }
@@ -144,6 +183,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 // compaction rotates its log segment there, so the snapshot and the
 // post-cut segments partition the op history with no overlap and no gap.
 // An atCut error aborts the snapshot before anything is written.
+//
+// The write streams: header, then records in fixed chunks, then one value
+// per target, holding one chunk/target in encoded form at a time. All
+// routing uses the non-counting shard accessor, so a snapshot leaves the
+// operator-facing shard-heat counters exactly where platform traffic put
+// them.
 func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 	s.createMu.Lock()
 	defer s.createMu.Unlock()
@@ -156,17 +201,48 @@ func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 	}
 
 	n := int(s.users.Load())
-	snap := snapshot{
+	var targetIDs []int64
+	for si := range s.shards {
+		for id := range *s.shards[si].targets.Load() {
+			targetIDs = append(targetIDs, int64(id))
+		}
+	}
+	sort.Slice(targetIDs, func(i, j int) bool { return targetIDs[i] < targetIDs[j] })
+	hdr := snapshot{
 		Version:   snapshotVersion,
 		NameSeed:  s.nameSeed.Seed(),
 		TweetSeq:  s.tweetSeq.Load(),
-		Records:   make([]persistRecord, n),
 		ClockUnix: s.clock.Now().Unix(),
+		RecordN:   int64(n),
+		TargetN:   int64(len(targetIDs)),
+	}
+	for si := range s.shards {
+		for id, name := range s.shards[si].names {
+			hdr.NameList = append(hdr.NameList, persistName{ID: int64(id), Name: name})
+		}
+	}
+	sort.Slice(hdr.NameList, func(i, j int) bool { return hdr.NameList[i].ID < hdr.NameList[j].ID })
+
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	//fp:allow lockhold the snapshot must serialise a consistent cut, so encoding runs under the store locks by design (audited: readers stay live, writers stall for the dump)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("encoding snapshot header: %w", err)
+	}
+	chunk := make([]persistRecord, 0, min(n, recordChunkLen))
+	flushChunk := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		//fp:allow lockhold record chunks stream out under the same consistent-cut locks as the header
+		err := enc.Encode(chunk)
+		chunk = chunk[:0]
+		return err
 	}
 	for i := 0; i < n; i++ {
 		id := UserID(i + 1)
-		r := &s.shardFor(id).recs[s.slotFor(id)]
-		snap.Records[i] = persistRecord{
+		r := &s.shardOf(id).recs[s.slotFor(id)]
+		chunk = append(chunk, persistRecord{
 			CreatedAt:   r.createdAt,
 			LastTweetAt: r.lastTweetAt,
 			Statuses:    r.statuses,
@@ -179,56 +255,53 @@ func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 			LinkPct:     r.linkPct,
 			SpamPct:     r.spamPct,
 			DupPct:      r.dupPct,
+		})
+		if len(chunk) == recordChunkLen {
+			if err := flushChunk(); err != nil {
+				return fmt.Errorf("encoding snapshot records: %w", err)
+			}
 		}
 	}
-	for si := range s.shards {
-		for id, name := range s.shards[si].names {
-			snap.NameList = append(snap.NameList, persistName{ID: int64(id), Name: name})
-		}
+	if err := flushChunk(); err != nil {
+		return fmt.Errorf("encoding snapshot records: %w", err)
 	}
-	sort.Slice(snap.NameList, func(i, j int) bool { return snap.NameList[i].ID < snap.NameList[j].ID })
-	for si := range s.shards {
-		for id, td := range s.shards[si].targets {
-			pt := persistTarget{ID: int64(id), SeqCounter: td.seq}
-			pt.Follows = make([]persistFollow, len(td.follows))
-			for i, f := range td.follows {
-				pt.Follows[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
-			}
-			pt.Tweets = make([]persistTweet, len(td.tweets))
-			for i, tw := range td.tweets {
-				pt.Tweets[i] = persistTweet{
-					ID:        int64(tw.ID),
-					CreatedAt: tw.CreatedAt.Unix(),
-					Text:      tw.Text,
-					IsRetweet: tw.IsRetweet,
-					HasLink:   tw.HasLink,
-					IsReply:   tw.IsReply,
-					Mentions:  int32(tw.Mentions),
-					Hashtags:  int32(tw.Hashtags),
-					Source:    tw.Source,
-				}
-			}
-			if td.friends != nil {
-				pt.Friends = make([]int64, len(td.friends))
-				for i, f := range td.friends {
-					pt.Friends[i] = int64(f)
-				}
-			}
-			if len(td.removed) > 0 {
-				pt.Removed = make([]persistFollow, len(td.removed))
-				for i, f := range td.removed {
-					pt.Removed[i] = persistFollow{Follower: int64(f.Follower), At: f.At.Unix(), Seq: f.Seq}
-				}
-			}
-			snap.Targets = append(snap.Targets, pt)
+	for _, tid := range targetIDs {
+		id := UserID(tid)
+		td := s.shardOf(id).targetOf(id)
+		v := td.edges.view()
+		pt := persistTarget{ID: tid, SeqCounter: td.seq, EdgeN: int64(v.total)}
+		if v.total > 0 {
+			pt.EdgeStream = appendEdgeStream(make([]byte, 0, v.memBytes()), v)
 		}
-	}
-	sort.Slice(snap.Targets, func(i, j int) bool { return snap.Targets[i].ID < snap.Targets[j].ID })
-
-	bw := bufio.NewWriter(w)
-	//fp:allow lockhold the snapshot must serialise a consistent cut, so encoding runs under the store locks by design (audited: readers stay live, writers stall for the dump)
-	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
-		return fmt.Errorf("encoding snapshot: %w", err)
+		pt.Tweets = make([]persistTweet, len(td.tweets))
+		for i, tw := range td.tweets {
+			pt.Tweets[i] = persistTweet{
+				ID:        int64(tw.ID),
+				CreatedAt: tw.CreatedAt.Unix(),
+				Text:      tw.Text,
+				IsRetweet: tw.IsRetweet,
+				HasLink:   tw.HasLink,
+				IsReply:   tw.IsReply,
+				Mentions:  int32(tw.Mentions),
+				Hashtags:  int32(tw.Hashtags),
+				Source:    tw.Source,
+			}
+		}
+		if fl := td.friends.Load(); fl != nil {
+			pt.FriendsSet = true
+			pt.Friends = make([]int64, len(*fl))
+			for i, f := range *fl {
+				pt.Friends[i] = int64(f)
+			}
+		}
+		if len(td.removed) > 0 {
+			pt.RemovedN = int64(len(td.removed))
+			pt.RemovedStream = appendFollowStream(nil, td.removed)
+		}
+		//fp:allow lockhold per-target values stream out under the same consistent-cut locks as the header
+		if err := enc.Encode(pt); err != nil {
+			return fmt.Errorf("encoding snapshot target %d: %w", tid, err)
+		}
 	}
 	//fp:allow lockhold flush completes the consistent-cut write begun under the same locks
 	return bw.Flush()
@@ -266,10 +339,13 @@ func LoadSnapshotFile(path string, clock simclock.Clock, opts ...Option) (*Store
 //
 // Options configure the reconstructed store exactly as for NewStore; the
 // snapshot itself is shard-layout free, so a population written by a store
-// with one shard count loads into a store with any other.
+// with one shard count loads into a store with any other. The load routes
+// through the non-counting shard accessor, so a boot-from-snapshot starts
+// with all shard-heat counters at zero.
 func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
 	var snap snapshot
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
@@ -285,27 +361,42 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, er
 	}
 	store := NewStore(clock, snap.NameSeed, opts...)
 	store.tweetSeq.Store(snap.TweetSeq)
-	// Redistribute records into the configured shards. IDs ascend, so each
-	// shard's segment is filled in slot order by plain appends.
-	for i, pr := range snap.Records {
-		id := UserID(i + 1)
-		sh := store.shardFor(id)
-		sh.recs = append(sh.recs, record{
-			createdAt:   pr.CreatedAt,
-			lastTweetAt: pr.LastTweetAt,
-			statuses:    pr.Statuses,
-			friends:     pr.Friends,
-			followers:   pr.Followers,
-			seed:        pr.Seed,
-			flags:       pr.Flags,
-			class:       pr.Class,
-			retweetPct:  pr.RetweetPct,
-			linkPct:     pr.LinkPct,
-			spamPct:     pr.SpamPct,
-			dupPct:      pr.DupPct,
-		})
+
+	var n int
+	if snap.Version >= 5 {
+		if snap.RecordN < 0 {
+			return nil, fmt.Errorf("%w: negative record count", ErrBadSnapshot)
+		}
+		n = int(snap.RecordN)
+		store.Grow(n)
+		for got := 0; got < n; {
+			var chunk []persistRecord
+			if err := dec.Decode(&chunk); err != nil {
+				return nil, fmt.Errorf("%w: record chunk: %v", ErrBadSnapshot, err)
+			}
+			if len(chunk) == 0 || got+len(chunk) > n {
+				return nil, fmt.Errorf("%w: record chunk framing", ErrBadSnapshot)
+			}
+			for i, pr := range chunk {
+				installRecord(store, UserID(got+i+1), pr)
+			}
+			got += len(chunk)
+		}
+	} else {
+		n = len(snap.Records)
+		for i, pr := range snap.Records {
+			installRecord(store, UserID(i+1), pr)
+		}
 	}
-	store.users.Store(int64(len(snap.Records)))
+	// Publish each shard's backing and only then commit the count, the same
+	// order creation uses.
+	for si := range store.shards {
+		if store.shards[si].recs != nil {
+			store.shards[si].publishRecs()
+		}
+	}
+	store.users.Store(int64(n))
+
 	names := snap.NameList
 	if snap.Version < 4 {
 		names = names[:0]
@@ -315,10 +406,10 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, er
 	}
 	for _, pn := range names {
 		id := UserID(pn.ID)
-		if pn.ID < 1 || int(pn.ID) > len(snap.Records) {
+		if pn.ID < 1 || int(pn.ID) > n {
 			return nil, fmt.Errorf("%w: name %q for unknown user %d", ErrBadSnapshot, pn.Name, pn.ID)
 		}
-		sh := store.shardFor(id)
+		sh := store.shardOf(id)
 		if _, dup := sh.names[id]; dup {
 			// Impossible in legacy map streams (map keys are unique) but a
 			// real corruption class for the v4 list encoding.
@@ -331,68 +422,165 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, er
 		sh.names[id] = pn.Name
 		stripe.byName[pn.Name] = id
 	}
-	for _, pt := range snap.Targets {
-		if pt.ID < 1 || int(pt.ID) > len(snap.Records) {
-			return nil, fmt.Errorf("%w: target %d out of range", ErrBadSnapshot, pt.ID)
+
+	if snap.Version >= 5 {
+		if snap.TargetN < 0 {
+			return nil, fmt.Errorf("%w: negative target count", ErrBadSnapshot)
 		}
-		td := &targetData{}
-		var prev int64
-		var prevSeq uint64
+		for i := int64(0); i < snap.TargetN; i++ {
+			var pt persistTarget
+			if err := dec.Decode(&pt); err != nil {
+				return nil, fmt.Errorf("%w: target value: %v", ErrBadSnapshot, err)
+			}
+			if err := installTarget(store, &pt, snap.Version, n); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range snap.Targets {
+			if err := installTarget(store, &snap.Targets[i], snap.Version, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return store, nil
+}
+
+// installRecord appends pr as id's record into its owning shard. IDs ascend
+// across calls, so each shard's segment is filled in slot order by plain
+// appends.
+func installRecord(store *Store, id UserID, pr persistRecord) {
+	sh := store.shardOf(id)
+	sh.recs = append(sh.recs, record{
+		createdAt:   pr.CreatedAt,
+		lastTweetAt: pr.LastTweetAt,
+		statuses:    pr.Statuses,
+		friends:     pr.Friends,
+		followers:   pr.Followers,
+		seed:        pr.Seed,
+		flags:       pr.Flags,
+		class:       pr.Class,
+		retweetPct:  pr.RetweetPct,
+		linkPct:     pr.LinkPct,
+		spamPct:     pr.SpamPct,
+		dupPct:      pr.DupPct,
+	})
+}
+
+// installTarget validates pt and installs it as a materialised target.
+// n is the committed record count (follower range bound).
+func installTarget(store *Store, pt *persistTarget, version, n int) error {
+	if pt.ID < 1 || int(pt.ID) > n {
+		return fmt.Errorf("%w: target %d out of range", ErrBadSnapshot, pt.ID)
+	}
+	td := &targetData{}
+	var sealer edgeSealer
+	var prevAt int64
+	var prevSeq uint64
+	if version >= 5 {
+		if pt.EdgeN < 0 || pt.RemovedN < 0 {
+			return fmt.Errorf("%w: negative edge counts for target %d", ErrBadSnapshot, pt.ID)
+		}
+		err := decodeEdgeStream(pt.EdgeStream, int(pt.EdgeN), func(e segEdge) error {
+			if e.follower < 1 || int64(e.follower) > int64(n) {
+				return fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, e.follower)
+			}
+			if e.at < prevAt {
+				return fmt.Errorf("%w: follow times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+			}
+			if e.seq <= prevSeq {
+				return fmt.Errorf("%w: edge seqs not increasing for target %d", ErrBadSnapshot, pt.ID)
+			}
+			prevAt, prevSeq = e.at, e.seq
+			sealer.add(e)
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, errEdgeStream) {
+				return fmt.Errorf("%w: edge stream of target %d: %v", ErrBadSnapshot, pt.ID, err)
+			}
+			return err
+		}
+	} else {
 		for i, pf := range pt.Follows {
-			if pf.Follower < 1 || int(pf.Follower) > len(snap.Records) {
-				return nil, fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, pf.Follower)
+			if pf.Follower < 1 || int(pf.Follower) > n {
+				return fmt.Errorf("%w: follower %d out of range", ErrBadSnapshot, pf.Follower)
 			}
-			if pf.At < prev {
-				return nil, fmt.Errorf("%w: follow times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+			if pf.At < prevAt {
+				return fmt.Errorf("%w: follow times not monotonic for target %d", ErrBadSnapshot, pt.ID)
 			}
-			prev = pf.At
+			prevAt = pf.At
 			seq := pf.Seq
-			if snap.Version < 3 {
+			if version < 3 {
 				// Pre-seq stream: reassign dense anchors in stored order.
 				seq = uint64(i + 1)
 			} else if seq <= prevSeq {
-				return nil, fmt.Errorf("%w: edge seqs not increasing for target %d", ErrBadSnapshot, pt.ID)
+				return fmt.Errorf("%w: edge seqs not increasing for target %d", ErrBadSnapshot, pt.ID)
 			}
 			prevSeq = seq
-			td.follows = append(td.follows, Follow{
-				Follower: UserID(pf.Follower),
-				At:       unixUTC(pf.At),
-				Seq:      seq,
-			})
+			sealer.add(segEdge{follower: pf.Follower, at: pf.At, seq: seq})
 		}
-		td.seq = pt.SeqCounter
-		if td.seq < prevSeq {
-			// Older streams (or a counter that lost a race with the log):
-			// resume above every seq actually present.
-			td.seq = prevSeq
+	}
+	td.seq = pt.SeqCounter
+	if td.seq < prevSeq {
+		// Older streams (or a counter that lost a race with the log):
+		// resume above every seq actually present.
+		td.seq = prevSeq
+	}
+	for _, ptw := range pt.Tweets {
+		td.tweets = append(td.tweets, Tweet{
+			ID:        TweetID(ptw.ID),
+			Author:    UserID(pt.ID),
+			CreatedAt: unixUTC(ptw.CreatedAt),
+			Text:      ptw.Text,
+			IsRetweet: ptw.IsRetweet,
+			HasLink:   ptw.HasLink,
+			IsReply:   ptw.IsReply,
+			Mentions:  int(ptw.Mentions),
+			Hashtags:  int(ptw.Hashtags),
+			Source:    ptw.Source,
+		})
+	}
+	if pt.FriendsSet || pt.Friends != nil {
+		fl := make([]UserID, len(pt.Friends))
+		for i, f := range pt.Friends {
+			fl[i] = UserID(f)
 		}
-		for _, ptw := range pt.Tweets {
-			td.tweets = append(td.tweets, Tweet{
-				ID:        TweetID(ptw.ID),
-				Author:    UserID(pt.ID),
-				CreatedAt: unixUTC(ptw.CreatedAt),
-				Text:      ptw.Text,
-				IsRetweet: ptw.IsRetweet,
-				HasLink:   ptw.HasLink,
-				IsReply:   ptw.IsReply,
-				Mentions:  int(ptw.Mentions),
-				Hashtags:  int(ptw.Hashtags),
-				Source:    ptw.Source,
-			})
+		if len(fl) == 0 {
+			fl = nil
 		}
-		if pt.Friends != nil {
-			td.friends = make([]UserID, len(pt.Friends))
-			for i, f := range pt.Friends {
-				td.friends[i] = UserID(f)
+		td.friends.Store(&fl)
+	}
+	var prevRemoved int64
+	if version >= 5 {
+		td.removed = make([]Follow, 0, min(int(pt.RemovedN), recordChunkLen))
+		err := decodeEdgeStream(pt.RemovedStream, int(pt.RemovedN), func(e segEdge) error {
+			if e.follower < 1 || int64(e.follower) > int64(n) {
+				return fmt.Errorf("%w: removed follower %d out of range", ErrBadSnapshot, e.follower)
 			}
+			if e.at < prevRemoved {
+				return fmt.Errorf("%w: removal times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+			}
+			prevRemoved = e.at
+			if e.seq > td.seq {
+				td.seq = e.seq
+			}
+			td.removed = append(td.removed, Follow{Follower: UserID(e.follower), At: unixUTC(e.at), Seq: e.seq})
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, errEdgeStream) {
+				return fmt.Errorf("%w: removal stream of target %d: %v", ErrBadSnapshot, pt.ID, err)
+			}
+			return err
 		}
-		var prevRemoved int64
+	} else {
 		for _, pf := range pt.Removed {
-			if pf.Follower < 1 || int(pf.Follower) > len(snap.Records) {
-				return nil, fmt.Errorf("%w: removed follower %d out of range", ErrBadSnapshot, pf.Follower)
+			if pf.Follower < 1 || int(pf.Follower) > n {
+				return fmt.Errorf("%w: removed follower %d out of range", ErrBadSnapshot, pf.Follower)
 			}
 			if pf.At < prevRemoved {
-				return nil, fmt.Errorf("%w: removal times not monotonic for target %d", ErrBadSnapshot, pt.ID)
+				return fmt.Errorf("%w: removal times not monotonic for target %d", ErrBadSnapshot, pt.ID)
 			}
 			prevRemoved = pf.At
 			if pf.Seq > td.seq {
@@ -404,7 +592,17 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, er
 				Seq:      pf.Seq,
 			})
 		}
-		store.shardFor(UserID(pt.ID)).targets[UserID(pt.ID)] = td
 	}
-	return store, nil
+	// A target that ever held an edge (live now or since removed) keeps the
+	// materialised count authoritative; one promoted by tweets/friends alone
+	// keeps its synthetic counter.
+	if ever := sealer.total > 0 || len(td.removed) > 0; ever {
+		td.edges.v.Store(sealer.finish(ever))
+	}
+	sh := store.shardOf(UserID(pt.ID))
+	if sh.targetOf(UserID(pt.ID)) != nil {
+		return fmt.Errorf("%w: target %d appears twice", ErrBadSnapshot, pt.ID)
+	}
+	sh.putTarget(UserID(pt.ID), td)
+	return nil
 }

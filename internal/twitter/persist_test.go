@@ -51,6 +51,57 @@ func buildRichStore(t *testing.T) (*Store, UserID) {
 	return store, target
 }
 
+// legacySnapshotOf flattens the current streamed (v5) encoding of store
+// back into the single-struct layout pre-v5 writers produced, so the
+// compatibility tests can forge old-version payloads from live state.
+func legacySnapshotOf(t *testing.T, store *Store) snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(&buf)
+	var snap snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for got := 0; got < int(snap.RecordN); {
+		var chunk []persistRecord
+		if err := dec.Decode(&chunk); err != nil {
+			t.Fatal(err)
+		}
+		snap.Records = append(snap.Records, chunk...)
+		got += len(chunk)
+	}
+	for i := int64(0); i < snap.TargetN; i++ {
+		var pt persistTarget
+		if err := dec.Decode(&pt); err != nil {
+			t.Fatal(err)
+		}
+		pt.Follows = followsFromStream(t, pt.EdgeStream, int(pt.EdgeN))
+		pt.Removed = followsFromStream(t, pt.RemovedStream, int(pt.RemovedN))
+		pt.EdgeN, pt.EdgeStream = 0, nil
+		pt.RemovedN, pt.RemovedStream = 0, nil
+		pt.FriendsSet = false
+		snap.Targets = append(snap.Targets, pt)
+	}
+	snap.RecordN, snap.TargetN = 0, 0
+	return snap
+}
+
+func followsFromStream(t *testing.T, data []byte, n int) []persistFollow {
+	t.Helper()
+	var out []persistFollow
+	err := decodeEdgeStream(data, n, func(e segEdge) error {
+		out = append(out, persistFollow{Follower: e.follower, At: e.at, Seq: e.seq})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	store, target := buildRichStore(t)
 	var buf bytes.Buffer
@@ -206,18 +257,12 @@ func TestSnapshotResumesClock(t *testing.T) {
 func TestSnapshotReadsVersion1(t *testing.T) {
 	store, target := buildRichStore(t)
 
-	// Serialise the store exactly as a pre-churn build would have: the same
-	// gob payload with Version forced to 1 and no Removed logs. Decoding a
-	// v1 stream into the current struct leaves the new fields at their zero
-	// values, which is precisely the compatibility contract under test.
-	var v2 bytes.Buffer
-	if err := store.WriteSnapshot(&v2); err != nil {
-		t.Fatal(err)
-	}
-	var snap snapshot
-	if err := gob.NewDecoder(&v2).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
+	// Serialise the store exactly as a pre-churn build would have: the
+	// single-struct gob payload with Version forced to 1 and no Removed
+	// logs. Decoding a v1 stream into the current struct leaves the new
+	// fields at their zero values, which is precisely the compatibility
+	// contract under test.
+	snap := legacySnapshotOf(t, store)
 	snap.Version = 1
 	snap.ClockUnix = 0
 	for i := range snap.Targets {
@@ -323,14 +368,7 @@ func TestSnapshotReadsVersion2(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var v3 bytes.Buffer
-	if err := store.WriteSnapshot(&v3); err != nil {
-		t.Fatal(err)
-	}
-	var snap snapshot
-	if err := gob.NewDecoder(&v3).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
+	snap := legacySnapshotOf(t, store)
 	snap.Version = 2
 	for i := range snap.Targets {
 		snap.Targets[i].SeqCounter = 0

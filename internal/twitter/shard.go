@@ -24,6 +24,19 @@ import (
 // every shard's record segment is itself dense and append-only — slot
 // arithmetic replaces hashing, and a shard's slice never has holes.
 //
+// On top of the stripes, the read paths that dominate crawl traffic are
+// lock-free:
+//
+//   - follower edges are published RCU-style (edgeseg.go): FollowersPage,
+//     FollowerCount and the chronological views Load a frozen view and never
+//     touch the shard mutex;
+//   - the targets map is copy-on-write behind an atomic pointer (promotion
+//     to target is rare; writers clone under the shard mutex);
+//   - the record backing array is republished on reallocation, so fields
+//     that are immutable once an account is committed (creation time, seed,
+//     flags, class, behaviour percentages, the synthetic follower and friend
+//     counters) can be read with no lock, gated by the committed count.
+//
 // The remaining global state is deliberately narrow:
 //
 //   - ID allocation is serialised by createMu (creation is a tiny critical
@@ -65,32 +78,75 @@ func WithShards(n int) Option {
 	}
 }
 
+// targetMap is the published form of a shard's target set.
+type targetMap = map[UserID]*targetData
+
 // shard owns an interleaved segment of the account space: records at slot
 // j hold UserID(j*N + index + 1). The struct is padded to two cache lines
 // so that neighbouring shards' mutexes never share a line (a contended
 // shard would otherwise slow its neighbours by pure false sharing).
 type shard struct {
-	mu      sync.RWMutex
-	recs    []record
+	mu   sync.RWMutex
+	recs []record
+	// recsPub is the shard's record backing array published for lock-free
+	// reads: recs[:cap] at the moment the backing last moved. Readers must
+	// check the committed count first (checkExists), then Load — creation
+	// publishes a fresh backing before committing the count, so a committed
+	// ID's slot is always in range of whatever backing the reader observes.
+	// Only commit-immutable record fields may be read through it.
+	recsPub atomic.Pointer[[]record]
 	names   map[UserID]string
-	targets map[UserID]*targetData
+	// targets is copy-on-write: readers Load and index with no lock; writers
+	// (holding mu) clone, insert and Store. Promotion to target is rare —
+	// populations materialise a handful of audit targets — so clone cost is
+	// noise, and every hot read path drops the shard lock in exchange.
+	targets atomic.Pointer[targetMap]
 	// ops counts operations routed to this shard (shard heat): one bump per
 	// single-account operation and one per batch member. The counter is the
 	// observability view of the striping argument above — under heavy-tailed
 	// load the hot target's shard should visibly run ahead of the rest.
+	// Internal bookkeeping passes (snapshot write/read) route around it via
+	// shardOf, so the heat view reflects platform traffic only.
 	ops atomic.Uint64
 	_   [64]byte
 }
 
-// target returns the materialised state of id, creating it if absent.
-// Caller must hold sh.mu for writing.
+// targetOf returns the materialised state of id, or nil. Lock-free: the
+// targets map is copy-on-write.
+func (sh *shard) targetOf(id UserID) *targetData {
+	return (*sh.targets.Load())[id]
+}
+
+// target returns the materialised state of id, creating and publishing it
+// if absent. Caller must hold sh.mu for writing.
 func (sh *shard) target(id UserID) *targetData {
-	td := sh.targets[id]
-	if td == nil {
-		td = &targetData{}
-		sh.targets[id] = td
+	if td := sh.targetOf(id); td != nil {
+		return td
 	}
+	td := &targetData{}
+	sh.putTarget(id, td)
 	return td
+}
+
+// putTarget publishes td as id's materialised state via copy-on-write.
+// Caller must hold sh.mu for writing (or otherwise be the only writer, as
+// during a snapshot load).
+func (sh *shard) putTarget(id UserID, td *targetData) {
+	old := *sh.targets.Load()
+	next := make(targetMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = td
+	sh.targets.Store(&next)
+}
+
+// publishRecs republishes the shard's record backing for lock-free readers.
+// Must be called whenever the backing array is (re)allocated, before the
+// IDs landing in it are committed via the users counter.
+func (sh *shard) publishRecs() {
+	full := sh.recs[:cap(sh.recs)]
+	sh.recsPub.Store(&full)
 }
 
 // nameStripe is one stripe of the explicit screen-name index.
@@ -137,7 +193,8 @@ func NewStore(clock simclock.Clock, seed uint64, opts ...Option) *Store {
 	}
 	for i := range s.shards {
 		s.shards[i].names = make(map[UserID]string)
-		s.shards[i].targets = make(map[UserID]*targetData)
+		empty := make(targetMap)
+		s.shards[i].targets.Store(&empty)
 	}
 	for i := range s.names {
 		s.names[i].byName = make(map[string]UserID)
@@ -148,10 +205,19 @@ func NewStore(clock simclock.Clock, seed uint64, opts ...Option) *Store {
 // Shards reports the store's shard count.
 func (s *Store) Shards() int { return len(s.shards) }
 
-// shardFor returns the shard owning id. Any id (even out of range or
-// negative) maps to some shard; existence is checked separately.
+// shardOf returns the shard owning id without bumping its heat counter —
+// the accessor for internal bookkeeping passes (snapshot write/read) that
+// must leave the operator-facing shard-heat view untouched. Any id (even
+// out of range or negative) maps to some shard; existence is checked
+// separately.
+func (s *Store) shardOf(id UserID) *shard {
+	return &s.shards[uint64(id-1)%uint64(len(s.shards))]
+}
+
+// shardFor returns the shard owning id and counts the routing as one
+// operation of shard heat. All platform-traffic paths come through here.
 func (s *Store) shardFor(id UserID) *shard {
-	sh := &s.shards[uint64(id-1)%uint64(len(s.shards))]
+	sh := s.shardOf(id)
 	sh.ops.Add(1)
 	return sh
 }
@@ -199,6 +265,27 @@ func (s *Store) recordIn(sh *shard, id UserID) (*record, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, id)
 	}
 	return &sh.recs[slot], nil
+}
+
+// recordRO returns a lock-free pointer to id's record, or nil if the
+// published backing has not caught up (callers fall back to the locked
+// path). The caller must have already validated id via checkExists — that
+// load-order (committed count first, backing second) is what guarantees the
+// observed backing covers the slot. Only commit-immutable fields may be
+// read: createdAt, seed, flags, class, behaviour percentages, and the
+// synthetic followers/friends counters. statuses and lastTweetAt mutate
+// under the shard lock and are off limits.
+func (s *Store) recordRO(sh *shard, id UserID) *record {
+	hdr := sh.recsPub.Load()
+	if hdr == nil {
+		return nil
+	}
+	recs := *hdr
+	slot := s.slotFor(id)
+	if slot >= len(recs) {
+		return nil
+	}
+	return &recs[slot]
 }
 
 // rlockAll read-locks every shard in index order (the one fixed multi-shard
@@ -254,6 +341,7 @@ func (s *Store) Grow(n int) {
 			recs := make([]record, len(sh.recs), need)
 			copy(recs, sh.recs)
 			sh.recs = recs
+			sh.publishRecs()
 		}
 		sh.mu.Unlock()
 	}

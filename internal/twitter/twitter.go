@@ -10,13 +10,18 @@
 //  2. Populations reach hundreds of thousands of follower accounts, so
 //     follower profiles are stored as compact fixed-size records (~40 bytes)
 //     and their screen names, bios and timelines are synthesised
-//     deterministically from a per-user seed on demand.
+//     deterministically from a per-user seed on demand. Follow edges are
+//     delta-varint-encoded segments (edgeseg.go), a few bytes per edge
+//     instead of a 40-byte struct, so follower lists scale to the ROADMAP's
+//     10M-account populations.
 //  3. Everything is reproducible from a single root seed and a virtual clock.
 //  4. The store is lock-striped (see shard.go): state is sharded by account
 //     ID so concurrent audits of different targets never serialise on a
 //     global lock. Operations on a single account take one shard lock;
 //     batch paths regroup their inputs per shard; snapshots lock all shards
-//     in index order.
+//     in index order. The crawl-dominant reads — follower pages, follower
+//     counts, the materialised friends list — are lock-free on top: edges
+//     and friends are published RCU-style and read from frozen views.
 //
 // The ground-truth archetype of every account (genuine / inactive / fake) is
 // retained in the store but deliberately NOT exposed through the API layer:
@@ -28,7 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"sync/atomic"
 	"time"
 
 	"fakeproject/internal/simclock"
@@ -195,16 +200,25 @@ func (r *record) has(flag uint8) bool { return r.flags&flag != 0 }
 // targetData is the rich state kept only for target accounts (the handful of
 // accounts whose follower lists are actually materialised).
 type targetData struct {
-	follows []Follow // chronological: oldest first, strictly increasing Seq
-	tweets  []Tweet  // chronological: oldest first
-	friends []UserID // materialised friend list, newest first (optional)
+	// edges is the live follower list in compact segment form (edgeseg.go):
+	// chronological, strictly increasing Seq, published RCU-style so pages
+	// and counts read it with no shard lock. Edge times are stored at unix-
+	// second resolution (the resolution snapshots always had), so the
+	// follow-side monotonicity contract is per-second.
+	edges  edgeList
+	tweets []Tweet // chronological: oldest first
+	// friends is the materialised friend list, newest first, published as a
+	// frozen slice so the Feistel friends path reads it lock-free. nil until
+	// SetFriends runs; a pointer to a nil slice records "set to empty".
+	friends atomic.Pointer[[]UserID]
 	// removed logs unfollow/purge events in removal order (the ground truth
-	// the monitoring subsystem replays against). The live follower list is
-	// always follows minus nothing: removals compact follows in place.
+	// the monitoring subsystem replays against), at full time resolution.
+	// The live follower list is always the survivors: removals rewrite the
+	// edge segments.
 	removed []Follow
 	// seq is the last edge sequence number handed out for this target.
 	// Removals never decrement it, so seqs are unique for a target's
-	// lifetime and follows stays sorted by Seq.
+	// lifetime and the segments stay sorted by Seq.
 	seq uint64
 }
 
@@ -334,10 +348,16 @@ func (s *Store) createUser(p UserParams) (UserID, uint64, error) {
 		}
 	}
 	// Creation is serialised and IDs are dense, so the owning shard's next
-	// free slot is exactly this ID's slot: a plain append commits it.
+	// free slot is exactly this ID's slot: a plain append commits it. If the
+	// append moves the backing array, the new backing is republished for
+	// lock-free readers before the users counter commits the ID.
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	oldCap := cap(sh.recs)
 	sh.recs = append(sh.recs, rec)
+	if cap(sh.recs) != oldCap {
+		sh.publishRecs()
+	}
 	if p.ScreenName != "" {
 		sh.names[id] = p.ScreenName
 	}
@@ -438,8 +458,19 @@ func (s *Store) profileIn(sh *shard, id UserID) (Profile, error) {
 		return Profile{}, err
 	}
 	followers := int(rec.followers)
-	if td, isTarget := sh.targets[id]; isTarget {
-		followers = len(td.follows)
+	friends := int(rec.friends)
+	if td := sh.targetOf(id); td != nil {
+		// Only a follower list that was ever materialised overrides the
+		// synthetic counter. Targets promoted by SetFriends/AppendTweet
+		// alone keep their synthetic count — promotion must not zero a
+		// profile's followers (that corrupted FollowerFriendRatio, the
+		// paper's headline criterion).
+		if v := td.edges.view(); v.ever {
+			followers = v.total
+		}
+		if fl := td.friends.Load(); fl != nil {
+			friends = len(*fl)
+		}
 	}
 	var lastTweet time.Time
 	if rec.lastTweetAt != 0 {
@@ -455,7 +486,7 @@ func (s *Store) profileIn(sh *shard, id UserID) (Profile, error) {
 			Verified:            rec.has(flagVerified),
 		},
 		FollowersCount: followers,
-		FriendsCount:   int(rec.friends),
+		FriendsCount:   friends,
 		StatusesCount:  int(rec.statuses),
 		LastTweetAt:    lastTweet,
 		Behavior: Behavior{
@@ -535,8 +566,11 @@ func (s *Store) addFollower(target, follower UserID, at time.Time) (uint64, erro
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	td := sh.target(target)
-	if n := len(td.follows); n > 0 && at.Before(td.follows[n-1].At) {
-		return 0, fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, td.follows[n-1].At)
+	// Segments store unix seconds, so the monotonicity contract is per-
+	// second: an edge may not be older than the newest edge's second.
+	atUnix := at.Unix()
+	if last, ok := td.edges.view().newestAt(); ok && atUnix < last {
+		return 0, fmt.Errorf("%w: %v before %v", ErrNotMonotonic, at, unixUTC(last))
 	}
 	var lsn uint64
 	if l := s.oplog; l != nil {
@@ -546,43 +580,55 @@ func (s *Store) addFollower(target, follower UserID, at time.Time) (uint64, erro
 		}
 	}
 	td.seq++
-	td.follows = append(td.follows, Follow{Follower: follower, At: at, Seq: td.seq})
+	td.edges.append(segEdge{follower: int64(follower), at: atUnix, seq: td.seq})
 	return lsn, nil
 }
 
 // FollowerCount returns the number of followers of id: the materialised edge
-// count for targets, the synthetic counter otherwise.
+// count for targets that ever held an edge, the synthetic counter otherwise.
+// Lock-free: the edge view and the record's commit-immutable synthetic
+// counter are both published for reads (the users/show count path).
 func (s *Store) FollowerCount(id UserID) (int, error) {
+	if err := s.checkExists(id); err != nil {
+		return 0, err
+	}
 	sh := s.shardFor(id)
+	if td := sh.targetOf(id); td != nil {
+		if v := td.edges.view(); v.ever {
+			return v.total, nil
+		}
+	}
+	if rec := s.recordRO(sh, id); rec != nil {
+		return int(rec.followers), nil
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	rec, err := s.recordIn(sh, id)
 	if err != nil {
 		return 0, err
 	}
-	if td, ok := sh.targets[id]; ok {
-		return len(td.follows), nil
-	}
 	return int(rec.followers), nil
 }
 
 // FollowersChronological returns a copy of the follower IDs of target in
 // follow order (oldest first). Non-target accounts yield an empty list.
+// Lock-free: decoded from a frozen edge view.
 func (s *Store) FollowersChronological(target UserID) ([]UserID, error) {
-	sh := s.shardFor(target)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if _, err := s.recordIn(sh, target); err != nil {
+	if err := s.checkExists(target); err != nil {
 		return nil, err
 	}
-	td := sh.targets[target]
+	td := s.shardFor(target).targetOf(target)
 	if td == nil {
 		return nil, nil
 	}
-	out := make([]UserID, len(td.follows))
-	for i, f := range td.follows {
-		out[i] = f.Follower
-	}
+	v := td.edges.view()
+	out := make([]UserID, v.total)
+	i := 0
+	v.forEach(func(e segEdge) bool {
+		out[i] = UserID(e.follower)
+		i++
+		return true
+	})
 	return out, nil
 }
 
@@ -621,43 +667,36 @@ type FollowerPage struct {
 // fromSeq below every surviving edge (all older edges purged, or the list
 // exhausted) yields an empty page with NextSeq 0, never an error.
 //
-// The follows slice is sorted by Seq (append-only assignment, order-
-// preserving removals), so the anchor is found by binary search: each page
-// costs O(log n + limit) and copies only the requested window. limit <= 0
-// yields an empty page.
+// The page is served from a frozen edge view with no shard lock (the
+// celebrity-crawl hot path: a hot target's pages proceed while its writer
+// holds the shard mutex). Segments are sorted by Seq, so the anchor is
+// found by binary search over sealed block bounds: each page costs
+// O(log blocks + limit) plus one block decode per 512 edges served.
+// limit <= 0 yields an empty page.
 func (s *Store) FollowersPage(target UserID, fromSeq uint64, limit int) (FollowerPage, error) {
-	sh := s.shardFor(target)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if _, err := s.recordIn(sh, target); err != nil {
+	if err := s.checkExists(target); err != nil {
 		return FollowerPage{}, err
 	}
-	td := sh.targets[target]
+	td := s.shardFor(target).targetOf(target)
 	if td == nil {
 		return FollowerPage{}, nil
 	}
-	page := FollowerPage{Total: len(td.follows)}
-	if limit <= 0 || len(td.follows) == 0 {
+	v := td.edges.view()
+	page := FollowerPage{Total: v.total}
+	if limit <= 0 || v.total == 0 {
 		return page, nil
 	}
-	// First chronological index with Seq > fromSeq; everything below it is
-	// servable. newest is the newest-first starting index.
-	newest := sort.Search(len(td.follows), func(i int) bool {
-		return td.follows[i].Seq > fromSeq
-	}) - 1
+	newest := v.locate(fromSeq)
 	if newest < 0 {
 		return page, nil
 	}
-	n := newest + 1 // servable edges
-	if limit > n {
+	if n := newest + 1; limit > n { // n = servable edges
 		limit = n
 	}
 	page.IDs = make([]UserID, limit)
-	for i := range page.IDs {
-		page.IDs[i] = td.follows[newest-i].Follower
-	}
+	v.fillNewestFirst(newest, page.IDs)
 	if rest := newest - limit; rest >= 0 {
-		page.NextSeq = td.follows[rest].Seq
+		page.NextSeq = v.seqAt(rest)
 	}
 	return page, nil
 }
@@ -685,8 +724,12 @@ func (s *Store) removeFollowers(target UserID, followers []UserID, at time.Time,
 	sh := s.shardFor(target)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	td := sh.targets[target]
-	if td == nil || len(td.follows) == 0 || len(followers) == 0 {
+	td := sh.targetOf(target)
+	if td == nil || len(followers) == 0 {
+		return 0, 0, nil
+	}
+	v := td.edges.view()
+	if v.total == 0 {
 		return 0, 0, nil
 	}
 	if n := len(td.removed); n > 0 && at.Before(td.removed[n-1].At) {
@@ -710,24 +753,25 @@ func (s *Store) removeFollowers(target UserID, followers []UserID, at time.Time,
 	for _, f := range followers {
 		drop[f] = struct{}{}
 	}
-	kept := td.follows[:0]
+	// Rewrite the survivors into freshly sealed canonical segments and
+	// publish them as one new view; readers mid-crawl keep the old view.
+	var sealer edgeSealer
 	removed := 0
-	for _, edge := range td.follows {
-		if _, gone := drop[edge.Follower]; gone {
+	v.forEach(func(e segEdge) bool {
+		if _, gone := drop[UserID(e.follower)]; gone {
 			// Each follower is removed at most once (edge lists hold one
 			// edge per follower); further matches are genuine duplicates.
-			delete(drop, edge.Follower)
-			td.removed = append(td.removed, Follow{Follower: edge.Follower, At: at, Seq: edge.Seq})
+			delete(drop, UserID(e.follower))
+			td.removed = append(td.removed, Follow{Follower: UserID(e.follower), At: at, Seq: e.seq})
 			removed++
-			continue
+			return true
 		}
-		kept = append(kept, edge)
+		sealer.add(e)
+		return true
+	})
+	if removed > 0 {
+		td.edges.v.Store(sealer.finish(true))
 	}
-	// Zero the vacated tail so removed edges do not pin memory.
-	for i := len(kept); i < len(td.follows); i++ {
-		td.follows[i] = Follow{}
-	}
-	td.follows = kept
 	return removed, lsn, nil
 }
 
@@ -750,7 +794,7 @@ func (s *Store) RemovedEdges(target UserID) ([]Follow, error) {
 	if _, err := s.recordIn(sh, target); err != nil {
 		return nil, err
 	}
-	td := sh.targets[target]
+	td := sh.targetOf(target)
 	if td == nil {
 		return nil, nil
 	}
@@ -765,35 +809,51 @@ func (s *Store) RemovedCount(target UserID) (int, error) {
 	if _, err := s.recordIn(sh, target); err != nil {
 		return 0, err
 	}
-	td := sh.targets[target]
+	td := sh.targetOf(target)
 	if td == nil {
 		return 0, nil
 	}
 	return len(td.removed), nil
 }
 
-// FollowEdges returns a copy of the raw follow edges of target, oldest first.
+// FollowEdges returns a copy of the raw follow edges of target, oldest
+// first, decoded lock-free from a frozen edge view (times at unix-second
+// resolution, the segments' storage resolution).
 func (s *Store) FollowEdges(target UserID) ([]Follow, error) {
-	sh := s.shardFor(target)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if _, err := s.recordIn(sh, target); err != nil {
+	if err := s.checkExists(target); err != nil {
 		return nil, err
 	}
-	td := sh.targets[target]
+	td := s.shardFor(target).targetOf(target)
 	if td == nil {
 		return nil, nil
 	}
-	return append([]Follow(nil), td.follows...), nil
+	v := td.edges.view()
+	if v.total == 0 {
+		return nil, nil
+	}
+	out := make([]Follow, 0, v.total)
+	v.forEach(func(e segEdge) bool {
+		out = append(out, Follow{Follower: UserID(e.follower), At: unixUTC(e.at), Seq: e.seq})
+		return true
+	})
+	return out, nil
 }
 
-// IsTarget reports whether id has a materialised follower list.
+// IsTarget reports whether id has materialised state (lock-free).
 func (s *Store) IsTarget(id UserID) bool {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	_, ok := sh.targets[id]
-	return ok
+	return s.shardFor(id).targetOf(id) != nil
+}
+
+// EdgeMemoryStats reports target's live edge count and the bytes its
+// in-memory segment storage occupies (sealed payload + block headers +
+// decoded tail). The bytes-per-edge benchmark row divides the two.
+func (s *Store) EdgeMemoryStats(target UserID) (edges, bytes int) {
+	td := s.shardOf(target).targetOf(target)
+	if td == nil {
+		return 0, 0
+	}
+	v := td.edges.view()
+	return v.total, v.memBytes()
 }
 
 // AppendTweet records an explicit tweet for a target account and updates its
@@ -880,7 +940,7 @@ func (s *Store) Timeline(id UserID, max int) ([]Tweet, error) {
 	if max <= 0 {
 		return nil, nil
 	}
-	if td, ok := sh.targets[id]; ok && len(td.tweets) > 0 {
+	if td := sh.targetOf(id); td != nil && len(td.tweets) > 0 {
 		n := len(td.tweets)
 		if max > n {
 			max = n
@@ -911,38 +971,56 @@ func (s *Store) setFriends(id UserID, friends []UserID) (uint64, error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	rec, err := s.recordIn(sh, id)
-	if err != nil {
+	if _, err := s.recordIn(sh, id); err != nil {
 		return 0, err
 	}
 	var lsn uint64
 	if l := s.oplog; l != nil {
+		var err error
 		if lsn, err = l.LogSetFriends(id, friends); err != nil {
 			return 0, fmt.Errorf("twitter: logging friends: %w", err)
 		}
 	}
+	// Publish a frozen copy; the record's synthetic friends counter stays
+	// commit-immutable (readers derive the count from the list instead), so
+	// the lock-free count path never races a counter write.
 	td := sh.target(id)
-	td.friends = append([]UserID(nil), friends...)
-	rec.friends = int32(len(friends))
+	fl := append([]UserID(nil), friends...)
+	td.friends.Store(&fl)
 	return lsn, nil
 }
 
 // Friends returns the materialised friend list of id (newest first) and
-// whether one exists.
+// whether one exists. Lock-free: the list is published as a frozen slice.
 func (s *Store) Friends(id UserID) ([]UserID, bool) {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	td, ok := sh.targets[id]
-	if !ok || td.friends == nil {
+	td := s.shardFor(id).targetOf(id)
+	if td == nil {
 		return nil, false
 	}
-	return append([]UserID(nil), td.friends...), true
+	fl := td.friends.Load()
+	if fl == nil || *fl == nil {
+		return nil, false
+	}
+	return append([]UserID(nil), (*fl)...), true
 }
 
-// FriendsCount returns the friends (following) count of id.
+// FriendsCount returns the friends (following) count of id: the length of
+// the materialised list if SetFriends ever ran, the synthetic counter
+// otherwise. Lock-free (the Feistel friends path sizes its permutation
+// from this without touching the shard mutex).
 func (s *Store) FriendsCount(id UserID) (int, error) {
+	if err := s.checkExists(id); err != nil {
+		return 0, err
+	}
 	sh := s.shardFor(id)
+	if td := sh.targetOf(id); td != nil {
+		if fl := td.friends.Load(); fl != nil {
+			return len(*fl), nil
+		}
+	}
+	if rec := s.recordRO(sh, id); rec != nil {
+		return int(rec.friends), nil
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	rec, err := s.recordIn(sh, id)

@@ -67,7 +67,9 @@ type IDPage struct {
 // purged returns an empty final page with CursorDone, never an error;
 // ErrBadCursor is reserved for tokens this target never minted. Pages are
 // read through Store.FollowersPage: O(log n + page) per call, copying only
-// the page.
+// the page, served off the RCU-published edge-segment view without taking
+// any shard lock — concurrent crawlers of one celebrity target scale with
+// reader parallelism instead of serialising on its shard.
 func (s *Service) FollowerIDs(target twitter.UserID, cursor int64) (IDPage, error) {
 	fromSeq := twitter.SeqNewest
 	if cursor != CursorFirst {
