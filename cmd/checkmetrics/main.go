@@ -1,0 +1,123 @@
+// Command checkmetrics scrapes a /metrics endpoint, validates the payload
+// with the repo's own exposition parser (internal/metrics.ParseText — the
+// same validation the opsui dashboard depends on), and asserts simple
+// expectations over the families it finds:
+//
+//	checkmetrics -url http://127.0.0.1:8080/metrics \
+//	  'router_backend_healthy=2' 'http_requests_total>0' 'router_upstream_seconds'
+//
+// Each argument is one assertion: a bare family name requires the family
+// to be present; NAME=V and NAME>V compare V against the sum of the
+// family's samples (for histograms, the sum of the _count samples). The
+// exit status is non-zero on any parse error or failed assertion, which
+// makes the tool a one-line CI check for smoke scripts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fakeproject/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "checkmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "", "metrics endpoint to scrape (required)")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	flag.Parse()
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", *url, resp.StatusCode)
+	}
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape failed validation: %w", err)
+	}
+
+	sums := make(map[string]float64, len(fams))
+	for _, f := range fams {
+		var total float64
+		for _, s := range f.Samples {
+			// For histograms the family total is the observation count;
+			// plain families sum their sample values.
+			if f.Type == "histogram" || f.Type == "summary" {
+				if strings.HasSuffix(s.Name, "_count") {
+					total += s.Value
+				}
+			} else {
+				total += s.Value
+			}
+		}
+		sums[f.Name] = total
+	}
+
+	var failed int
+	for _, expr := range flag.Args() {
+		if err := check(sums, expr); err != nil {
+			fmt.Fprintln(os.Stderr, "checkmetrics: FAIL:", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d assertions failed", failed, flag.NArg())
+	}
+	fmt.Printf("checkmetrics OK: %d families valid, %d assertions hold\n", len(fams), flag.NArg())
+	return nil
+}
+
+// check evaluates one assertion expression against the family sums.
+func check(sums map[string]float64, expr string) error {
+	name, op, want := expr, "", 0.0
+	for _, o := range []string{">=", "<=", "=", ">", "<"} {
+		if i := strings.Index(expr, o); i > 0 {
+			v, err := strconv.ParseFloat(expr[i+len(o):], 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad value: %v", expr, err)
+			}
+			name, op, want = expr[:i], o, v
+			break
+		}
+	}
+	got, ok := sums[name]
+	if !ok {
+		return fmt.Errorf("%s: family %q absent from the scrape", expr, name)
+	}
+	holds := true
+	switch op {
+	case "":
+	case "=":
+		holds = got == want
+	case ">":
+		holds = got > want
+	case "<":
+		holds = got < want
+	case ">=":
+		holds = got >= want
+	case "<=":
+		holds = got <= want
+	}
+	if !holds {
+		return fmt.Errorf("%s: sum(%s) = %v", expr, name, got)
+	}
+	return nil
+}

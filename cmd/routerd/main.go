@@ -1,0 +1,118 @@
+// Command routerd fronts a ring of twitterd nodes with the routing tier
+// from internal/router: ownership-routed single-account endpoints,
+// scatter-gathered users/lookup, per-backend health ejection with probe
+// readmission, and hedged reads against each range's replica holder.
+//
+// A two-node ring on one machine (see docs/OPERATIONS.md for the full
+// runbook):
+//
+//	genpop -followers 200000 -out snap.bin
+//	twitterd -addr :8081 -load snap.bin -ring-index 0 -ring-nodes 2 &
+//	twitterd -addr :8082 -load snap.bin -ring-index 1 -ring-nodes 2 &
+//	routerd  -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	curl 'http://localhost:8080/1.1/followers/ids.json?user_id=1&cursor=-1'
+//
+// Clients talk to routerd exactly as they would to a single twitterd — the
+// tier is invisible byte-for-byte (the cross-topology differential tests
+// hold it to that).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/opsui"
+	"fakeproject/internal/router"
+	"fakeproject/internal/simclock"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated twitterd base URLs in ring order (required)")
+		slots    = flag.Int("ring-slots", router.DefaultSlots, "ring slot count (must match the backends' -ring-slots)")
+
+		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge delay; 0 = adaptive (upstream p99), negative = hedging off")
+		hedgeMin   = flag.Duration("hedge-min", 2*time.Millisecond, "lower clamp of the adaptive hedge delay")
+		hedgeMax   = flag.Duration("hedge-max", 100*time.Millisecond, "upper clamp of the adaptive hedge delay")
+
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive hard failures that eject a backend")
+		probeInterval = flag.Duration("probe-interval", time.Second, "readmission probe period for ejected backends")
+
+		metricsOn = flag.Bool("metrics", true, "serve /metrics (Prometheus text) and /metrics.json")
+		dashboard = flag.Bool("dashboard", true, "serve the embedded ops dashboard at /dashboard/ (needs -metrics)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
+	)
+	flag.Parse()
+
+	var bases []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated twitterd base URLs)")
+	}
+
+	var reg *metrics.Registry
+	if *metricsOn {
+		reg = metrics.NewRegistry()
+	}
+	rt, err := router.New(router.Config{
+		Backends:      bases,
+		Slots:         *slots,
+		Clock:         simclock.Real{},
+		Registry:      reg,
+		HedgeDelay:    *hedgeDelay,
+		HedgeMin:      *hedgeMin,
+		HedgeMax:      *hedgeMax,
+		FailThreshold: *failThreshold,
+		ProbeInterval: *probeInterval,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	if reg != nil {
+		mux.Handle("GET /metrics", reg)
+		mux.Handle("GET /metrics.json", reg)
+		if *dashboard {
+			mux.Handle("/dashboard/", opsui.Handler("/dashboard/"))
+		}
+	}
+	if *pprofOn {
+		metrics.MountPprof(mux)
+	}
+
+	fmt.Fprintf(os.Stderr, "routing for %d backends on http://%s/1.1/\n", len(bases), *addr)
+	if reg != nil {
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", *addr)
+	}
+	httpServer := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}

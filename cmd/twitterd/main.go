@@ -19,6 +19,13 @@
 // is persisted before it is acknowledged (per the -fsync policy) and a
 // restart recovers the population from the newest snapshot plus the log
 // tail. -load seeds a fresh WAL directory from a genpop snapshot.
+//
+// Multi-node: -ring-index/-ring-nodes/-ring-slots boot the daemon as one
+// member of a partitioned ring behind routerd (see docs/OPERATIONS.md).
+// The node loads every record and name from the -load snapshot but
+// materialises heavy target state only for the slot ranges it owns or
+// replicates; /healthz answers readiness probes and /admin/snapshot
+// streams a canonical range snapshot for ownership transfer.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,6 +41,7 @@ import (
 	"fakeproject/internal/metrics"
 	"fakeproject/internal/opsui"
 	"fakeproject/internal/population"
+	"fakeproject/internal/router"
 	"fakeproject/internal/simclock"
 	"fakeproject/internal/twitter"
 	"fakeproject/internal/twitterapi"
@@ -61,11 +70,42 @@ func run() error {
 		walDir       = flag.String("wal-dir", "", "durable mode: write-ahead log directory (recovered on boot; see docs/OPERATIONS.md)")
 		walFsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, off (with -wal-dir)")
 		compactEvery = flag.Uint64("compact-every", 100000, "compact the WAL every N records past the newest snapshot (0 = never; with -wal-dir)")
+
+		ringIndex = flag.Int("ring-index", -1, "multi-node: this node's ring position (requires -ring-nodes and -load)")
+		ringNodes = flag.Int("ring-nodes", 0, "multi-node: total nodes in the ring")
+		ringSlots = flag.Int("ring-slots", router.DefaultSlots, "multi-node: ring slot count (must match routerd's)")
+		noLimits  = flag.Bool("no-limits", false, "disable the Table I rate limits (load and smoke runs)")
 	)
 	flag.Parse()
-	obs := obsConfig{Metrics: *metricsOn, Dashboard: *dashboard, Pprof: *pprofOn}
+	obs := obsConfig{Metrics: *metricsOn, Dashboard: *dashboard, Pprof: *pprofOn, NoLimits: *noLimits}
 
 	clock := simclock.Real{}
+
+	if *ringIndex >= 0 {
+		if *ringNodes < 1 || *ringIndex >= *ringNodes {
+			return fmt.Errorf("-ring-index %d needs -ring-nodes > it (got %d)", *ringIndex, *ringNodes)
+		}
+		if *load == "" {
+			return fmt.Errorf("-ring-index requires -load (ring members boot from a canonical snapshot)")
+		}
+		if *walDir != "" {
+			return fmt.Errorf("-ring-index is incompatible with -wal-dir (ring members are read-serving replicas)")
+		}
+		ring := router.NewRing(*ringSlots, *ringNodes)
+		node := *ringIndex
+		store, err := twitter.LoadSnapshotRangeFile(*load, clock, func(id twitter.UserID) bool {
+			return ring.Keep(node, int64(id))
+		})
+		if err != nil {
+			return err
+		}
+		olo, ohi := ring.OwnedRange(node)
+		rlo, rhi := ring.ReplicatedRange(node)
+		fmt.Fprintf(os.Stderr, "ring node %d/%d: %d accounts, owns slots [%d,%d), replicates [%d,%d) of %d\n",
+			node, *ringNodes, store.UserCount(), olo, ohi, rlo, rhi, *ringSlots)
+		obs.Ring, obs.RingNode = &ring, node
+		return serve(*addr, store, clock, obs)
+	}
 
 	if *walDir != "" {
 		policy, err := wal.ParsePolicy(*walFsync)
@@ -155,27 +195,35 @@ func buildAccounts(store *twitter.Store, clock simclock.Clock, accounts string, 
 	return nil
 }
 
-// obsConfig selects the observability surfaces mounted next to the API.
+// obsConfig selects the observability surfaces mounted next to the API,
+// plus the serving knobs that shape the handler assembly (rate limits off,
+// ring membership for the admin snapshot-range export).
 type obsConfig struct {
 	Metrics   bool
 	Dashboard bool
 	Pprof     bool
+	NoLimits  bool
+	Ring      *router.Ring // non-nil when booted as a ring member
+	RingNode  int
 }
 
 // newRootHandler assembles the daemon's full HTTP surface: the API plane at
-// /1.1/, and — per flags — /metrics, /metrics.json, /dashboard/ and
-// /debug/pprof/. Factored out of serve so the smoke test can boot the exact
-// production handler on an httptest server. Extra observers (the WAL's, when
-// durable mode is on) are hooked into the same registry the daemon serves.
+// /1.1/, the always-on operational endpoints (/healthz for the router's
+// probes, /admin/snapshot for range export), and — per flags — /metrics,
+// /metrics.json, /dashboard/ and /debug/pprof/. Factored out of serve so
+// the smoke test can boot the exact production handler on an httptest
+// server. Extra observers (the WAL's, when durable mode is on) are hooked
+// into the same registry the daemon serves.
 func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig, observers ...func(*metrics.Registry)) http.Handler {
 	svc := twitterapi.NewService(store)
-	if !obs.Metrics && !obs.Pprof {
-		return twitterapi.NewServer(svc, clock)
+	limits := twitterapi.DefaultLimits()
+	if obs.NoLimits {
+		limits = nil
 	}
 	mux := http.NewServeMux()
 	if obs.Metrics {
 		reg := metrics.NewRegistry()
-		mux.Handle("/", twitterapi.NewServerObserved(svc, clock, twitterapi.DefaultLimits(), reg))
+		mux.Handle("/", twitterapi.NewServerObserved(svc, clock, limits, reg))
 		twitterapi.ObserveStore(reg, store)
 		for _, observe := range observers {
 			observe(reg)
@@ -186,12 +234,63 @@ func newRootHandler(store *twitter.Store, clock simclock.Clock, obs obsConfig, o
 			mux.Handle("/dashboard/", opsui.Handler("/dashboard/"))
 		}
 	} else {
-		mux.Handle("/", twitterapi.NewServer(svc, clock))
+		mux.Handle("/", twitterapi.NewServerLimits(svc, clock, limits))
 	}
 	if obs.Pprof {
 		metrics.MountPprof(mux)
 	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshotExport(w, r, store, obs)
+	})
 	return mux
+}
+
+// handleSnapshotExport streams a canonical v5 range snapshot: by default
+// the ranges this node holds (everything, for a non-ring daemon), or — with
+// ?node=i&nodes=N[&slots=S] — the held set of an arbitrary ring position,
+// which is how a joining node pulls its ranges from a current holder.
+// Exports are canonical: any two holders of a range stream identical bytes
+// for it, so ownership transfer is verifiable with a plain byte compare.
+func handleSnapshotExport(w http.ResponseWriter, r *http.Request, store *twitter.Store, obs obsConfig) {
+	keep := func(twitter.UserID) bool { return true }
+	switch q := r.URL.Query(); {
+	case q.Get("node") != "":
+		node, err1 := strconv.Atoi(q.Get("node"))
+		nodes, err2 := strconv.Atoi(q.Get("nodes"))
+		if err1 != nil || err2 != nil || node < 0 || node >= nodes {
+			http.Error(w, "need node=i&nodes=N with 0 <= i < N", http.StatusBadRequest)
+			return
+		}
+		slots := router.DefaultSlots
+		if obs.Ring != nil {
+			slots = obs.Ring.Slots()
+		}
+		if raw := q.Get("slots"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				http.Error(w, "bad slots", http.StatusBadRequest)
+				return
+			}
+			slots = v
+		}
+		ring := router.NewRing(slots, nodes)
+		keep = func(id twitter.UserID) bool { return ring.Keep(node, int64(id)) }
+	case obs.Ring != nil:
+		ring, node := obs.Ring, obs.RingNode
+		keep = func(id twitter.UserID) bool { return ring.Keep(node, int64(id)) }
+	default:
+		keep = nil // full snapshot
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := store.WriteSnapshotRange(w, keep); err != nil {
+		// Headers are gone; all we can do is cut the stream short so the
+		// client's snapshot reader reports truncation.
+		fmt.Fprintf(os.Stderr, "twitterd: snapshot export: %v\n", err)
+	}
 }
 
 func serve(addr string, store *twitter.Store, clock simclock.Clock, obs obsConfig, observers ...func(*metrics.Registry)) error {

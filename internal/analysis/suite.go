@@ -38,6 +38,15 @@ func DefaultSuite() []*Analyzer {
 				// The observability plane is stdlib-only so every subsystem
 				// can depend on it without cycles.
 				{Package: ModulePath + "/internal/metrics", OnlyImports: []string{}},
+				// The routing tier speaks plain HTTP to its backends and
+				// must never grow store or API-implementation knowledge:
+				// everything it routes by is wire-visible contract. Keeping
+				// it a stdlib + metrics + simclock leaf is what lets it
+				// front any conforming deployment (PR 10).
+				{Package: ModulePath + "/internal/router", OnlyImports: []string{
+					ModulePath + "/internal/metrics",
+					ModulePath + "/internal/simclock",
+				}},
 				// Leaf utility packages stay leaves.
 				{Package: ModulePath + "/internal/simclock", OnlyImports: []string{}},
 				{Package: ModulePath + "/internal/drand", OnlyImports: []string{}},

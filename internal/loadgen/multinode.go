@@ -1,0 +1,259 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/router"
+	"fakeproject/internal/simclock"
+	"fakeproject/internal/twitter"
+	"fakeproject/internal/twitterapi"
+)
+
+// The multinode mix boots a partitioned deployment inside the harness — a
+// ring of twitterd-equivalent nodes, each range-loaded from a snapshot of
+// the harness population, behind a real routerd-equivalent router on its
+// own TCP port — and drives crawl traffic through the router while a chaos
+// plan kills one node a third of the way in and rejoins it at two thirds.
+// The run's contract is the router's: zero client-visible errors that are
+// not 429s, because every killed-node attempt fails over to the range's
+// replica holder and the probe loop readmits the node once it is back.
+
+// multinodeNodes is the ring size the mix boots. Two nodes is the smallest
+// ring where kill/rejoin is survivable (every range keeps one live holder).
+const multinodeNodes = 2
+
+// multiCluster is the in-harness multi-node deployment.
+type multiCluster struct {
+	nodes  []*clusterNode
+	router *router.Router
+	rtSrv  *http.Server
+	base   string
+	reg    *metrics.Registry // the router's registry, for chaos assertions
+}
+
+// clusterNode is one ring member: its partial store's handler, the
+// listener address it must come back on after a kill, and the live server.
+type clusterNode struct {
+	addr    string
+	handler http.Handler
+
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+// newMultiCluster snapshots the harness store, range-loads one partial
+// store per ring member, and boots the node servers plus the router.
+func (h *Harness) newMultiCluster(nodes int) (*multiCluster, error) {
+	if h.store == nil {
+		return nil, fmt.Errorf("multinode needs an in-process platform to snapshot")
+	}
+	clock := simclock.Real{}
+	var snap bytes.Buffer
+	if err := h.store.WriteSnapshot(&snap); err != nil {
+		return nil, fmt.Errorf("snapshotting harness population: %w", err)
+	}
+	ring := router.NewRing(router.DefaultSlots, nodes)
+
+	c := &multiCluster{reg: metrics.NewRegistry()}
+	fail := func(err error) (*multiCluster, error) {
+		c.close()
+		return nil, err
+	}
+	for i := 0; i < nodes; i++ {
+		node := i
+		store, err := twitter.ReadSnapshotRange(bytes.NewReader(snap.Bytes()), clock,
+			func(id twitter.UserID) bool { return ring.Keep(node, int64(id)) })
+		if err != nil {
+			return fail(fmt.Errorf("range-loading node %d: %w", node, err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", twitterapi.NewServerLimits(twitterapi.NewService(store), clock, nil))
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("ok\n"))
+		})
+		cn := &clusterNode{handler: mux}
+		if err := cn.start("127.0.0.1:0"); err != nil {
+			return fail(fmt.Errorf("starting node %d: %w", node, err))
+		}
+		c.nodes = append(c.nodes, cn)
+	}
+
+	bases := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		bases[i] = "http://" + n.addr
+	}
+	rt, err := router.New(router.Config{
+		Backends:      bases,
+		Registry:      c.reg,
+		Clock:         clock,
+		ProbeInterval: 50 * time.Millisecond, // readmit quickly: the run is short
+	})
+	if err != nil {
+		return fail(fmt.Errorf("building router: %w", err))
+	}
+	c.router = rt
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(fmt.Errorf("router listener: %w", err))
+	}
+	c.rtSrv = &http.Server{Handler: rt}
+	go func() { _ = c.rtSrv.Serve(ln) }()
+	c.base = "http://" + ln.Addr().String()
+	return c, nil
+}
+
+// start (re)binds the node's server. The first call takes an ephemeral
+// port and pins it; rejoins must come back on the same address or the
+// router would never find the node again.
+func (n *clusterNode) start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.addr = ln.Addr().String()
+	n.srv = &http.Server{Handler: n.handler}
+	srv := n.srv
+	n.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// kill drops the node hard: listener gone, in-flight connections cut —
+// the closest an in-process harness gets to SIGKILL.
+func (n *clusterNode) kill() {
+	n.mu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// rejoin brings the node back on its original address.
+func (n *clusterNode) rejoin() error {
+	n.mu.Lock()
+	addr := n.addr
+	running := n.srv != nil
+	n.mu.Unlock()
+	if running {
+		return nil
+	}
+	return n.start(addr)
+}
+
+func (c *multiCluster) close() {
+	if c.rtSrv != nil {
+		_ = c.rtSrv.Close()
+	}
+	if c.router != nil {
+		c.router.Close()
+	}
+	for _, n := range c.nodes {
+		n.kill()
+	}
+}
+
+// chaosPlan kills node 1 a third of the way through the run and rejoins it
+// at two thirds, then lets the run finish. Node 1 rather than 0 so the
+// deterministic "first healthy backend" of unrouted requests stays up.
+func (c *multiCluster) chaosPlan(ctx context.Context, d time.Duration) error {
+	victim := c.nodes[1%len(c.nodes)]
+	if !sleepCtx(ctx, d/3) {
+		return nil
+	}
+	victim.kill()
+	if !sleepCtx(ctx, d/3) {
+		return nil
+	}
+	return victim.rejoin()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// --- the mix ---
+
+// MixMultiNode is the partitioned-deployment mix (see the package comment
+// at the top of this file).
+const MixMultiNode = "multinode"
+
+// multiMix drives the cluster through its router: follower page walks and
+// friends first pages (ownership-routed, the failover path under chaos),
+// plus scattered users/lookup batches, spread users/show and routed
+// timelines. Strictly read-only: the node stores are snapshots, and churn
+// would need lockstep mutation of every ring member.
+type multiMix struct {
+	h     *Harness // APIBase rewritten to the cluster's router
+	crawl *crawlMix
+	rnd   *rand.Rand
+}
+
+func newMultiMix(h *Harness, rnd *rand.Rand, c *multiCluster) *multiMix {
+	ch := *h
+	ch.APIBase = c.base
+	cluster := &ch
+	return &multiMix{
+		h:     cluster,
+		crawl: newCrawlMix(cluster, MixMultiNode, rnd, 32, h.Targets),
+		rnd:   rnd,
+	}
+}
+
+func (m *multiMix) Name() string { return MixMultiNode }
+
+func (m *multiMix) Next(i int) Op {
+	switch i % 8 {
+	case 5:
+		// A scattered users/lookup: 20 random IDs span both ring ranges
+		// with near certainty, so the batch exercises split + merge.
+		ids := make([]string, 20)
+		for j := range ids {
+			ids[j] = strconv.FormatInt(int64(m.h.randomUserID(m.rnd)), 10)
+		}
+		u := m.h.APIBase + "/1.1/users/lookup.json?user_id=" + strings.Join(ids, ",")
+		return Op{Endpoint: "users/lookup", Do: func(ctx context.Context) error {
+			_, err := m.h.get(ctx, u, "multi-lookup")
+			return err
+		}}
+	case 6:
+		name := m.h.Targets[m.rnd.Intn(len(m.h.Targets))].Name
+		return Op{Endpoint: "users/show", Do: func(ctx context.Context) error {
+			params := url.Values{"screen_name": {name}}
+			_, err := m.h.get(ctx, m.h.APIBase+"/1.1/users/show.json?"+params.Encode(), "multi-show")
+			return err
+		}}
+	case 7:
+		id := m.h.Targets[m.rnd.Intn(len(m.h.Targets))].ID
+		u := m.h.APIBase + "/1.1/statuses/user_timeline.json?user_id=" +
+			strconv.FormatInt(int64(id), 10) + "&count=200"
+		token := fmt.Sprintf("multi-tl%d", i%8)
+		return Op{Endpoint: "statuses/user_timeline", Do: func(ctx context.Context) error {
+			_, err := m.h.get(ctx, u, token)
+			return err
+		}}
+	default:
+		return m.crawl.Next(i)
+	}
+}

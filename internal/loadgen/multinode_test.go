@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"fakeproject/internal/metrics"
+	"fakeproject/internal/router"
+)
+
+// idsPage mirrors the wire shape of followers/ids for the cursor walks.
+type idsPage struct {
+	IDs        []int64 `json:"ids"`
+	NextCursor int64   `json:"next_cursor"`
+}
+
+// walkFollowers pages through base's followers/ids for id and returns every
+// follower in order. Any non-200 page is a test failure: the router's
+// contract is that clients never see a backend die.
+func walkFollowers(t *testing.T, client *http.Client, base string, id int64) []int64 {
+	t.Helper()
+	var all []int64
+	cursor := int64(-1)
+	for pages := 0; ; pages++ {
+		if pages > 1000 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		u := fmt.Sprintf("%s/1.1/followers/ids.json?user_id=%d&cursor=%d", base, id, cursor)
+		resp, err := client.Get(u)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d: HTTP %d: %s", pages, resp.StatusCode, body)
+		}
+		var page idsPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		all = append(all, page.IDs...)
+		if page.NextCursor == 0 {
+			return all
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// counterValue reads one labelled counter/gauge sample out of a registry
+// scrape, using the repo's own text parser — the same path the smoke
+// script asserts through.
+func counterValue(t *testing.T, reg *metrics.Registry, family string, backend int) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strconv.Itoa(backend)
+	for _, f := range fams {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels["backend"] == want {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("no sample %s{backend=%q} in scrape", family, want)
+	return 0
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMultiNodeChaos is the kill/rejoin integration test, driving the
+// cluster by hand so every phase can be asserted: follower walks through
+// the router are byte-order identical to the single-node store before,
+// during and after one ring member dies; requests owned by the dead node
+// keep answering 200 off the replica; the router records the ejection and
+// the probe loop records the readmission.
+func TestMultiNodeChaos(t *testing.T) {
+	h := sharedHarness(t)
+	c, err := h.newMultiCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+
+	target := h.Targets[0]
+	direct := walkFollowers(t, h.HTTP, h.APIBase, int64(target.ID))
+	if len(direct) == 0 {
+		t.Fatal("target has no followers to walk")
+	}
+	routed := walkFollowers(t, h.HTTP, c.base, int64(target.ID))
+	if !sameIDs(direct, routed) {
+		t.Fatalf("routed walk diverged before chaos: %d ids vs %d direct", len(routed), len(direct))
+	}
+
+	// Collect follower ids whose slot node 1 owns: killing node 1 makes
+	// these the interesting requests — their primary is gone, so only the
+	// failover path keeps them invisible to the client.
+	ring := router.NewRing(router.DefaultSlots, 2)
+	var owned1 []int64
+	for _, id := range direct {
+		if ring.Owner(ring.Slot(id)) == 1 {
+			owned1 = append(owned1, id)
+		}
+	}
+	if len(owned1) < 3 {
+		t.Fatalf("only %d followers owned by node 1; population too small for the chaos plan", len(owned1))
+	}
+
+	c.nodes[1].kill()
+
+	// Enough node-1-owned reads to cross the ejection threshold, every one
+	// still 200 off the replica.
+	for i := 0; i < 5; i++ {
+		u := fmt.Sprintf("%s/1.1/friends/ids.json?user_id=%d&cursor=-1", c.base, owned1[i%len(owned1)])
+		resp, err := h.HTTP.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kill window leaked to the client: HTTP %d: %s", resp.StatusCode, body)
+		}
+	}
+	if got := c.router.Healthy(); got != 1 {
+		t.Fatalf("Healthy() = %d after the kill window, want the dead node ejected", got)
+	}
+	if got := counterValue(t, c.reg, "router_ejections_total", 1); got < 1 {
+		t.Fatalf("router_ejections_total{backend=1} = %v, want >= 1", got)
+	}
+	if got := counterValue(t, c.reg, "router_backend_healthy", 1); got != 0 {
+		t.Fatalf("router_backend_healthy{backend=1} = %v while dead", got)
+	}
+
+	// Mid-kill cursor walk: no duplicate, no skipped follower id.
+	if mid := walkFollowers(t, h.HTTP, c.base, int64(target.ID)); !sameIDs(direct, mid) {
+		t.Fatalf("mid-kill walk diverged: %d ids vs %d direct", len(mid), len(direct))
+	}
+
+	if err := c.nodes[1].rejoin(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.router.Healthy() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never readmitted the rejoined node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := counterValue(t, c.reg, "router_readmissions_total", 1); got < 1 {
+		t.Fatalf("router_readmissions_total{backend=1} = %v, want >= 1", got)
+	}
+	if got := counterValue(t, c.reg, "router_backend_healthy", 1); got != 1 {
+		t.Fatalf("router_backend_healthy{backend=1} = %v after readmission", got)
+	}
+
+	if after := walkFollowers(t, h.HTTP, c.base, int64(target.ID)); !sameIDs(direct, after) {
+		t.Fatalf("post-rejoin walk diverged: %d ids vs %d direct", len(after), len(direct))
+	}
+}
+
+// TestMultiNodeMixRuns exercises the public path the loadd binary takes:
+// RunMix boots the cluster, runs the mix with the kill/rejoin chaos plan
+// racing it, and the run must finish with zero client-visible non-429
+// errors. Long enough that the dead window (middle third) sees real
+// traffic, short enough for the suite.
+func TestMultiNodeMixRuns(t *testing.T) {
+	h := sharedHarness(t)
+	res, err := h.RunMix(context.Background(), MixMultiNode,
+		Pattern{Rate: 250}, 1200*time.Millisecond, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCount() == 0 {
+		t.Fatal("multinode mix completed zero requests")
+	}
+	if got := res.TotalErrors(); got != 0 {
+		for _, e := range res.Endpoints {
+			if e.Errors > 0 {
+				t.Errorf("%s: %d errors (samples: %v)", e.Endpoint, e.Errors, e.ErrorSamples)
+			}
+		}
+		t.Fatalf("chaos leaked %d non-429 errors to clients", got)
+	}
+}

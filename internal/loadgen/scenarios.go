@@ -30,6 +30,9 @@ import (
 //   - celebrity-hotspot: every request aimed at the single hottest account
 //     (profile, pages, timeline), concentrating all load on one store
 //     shard — the worst case for lock striping.
+//   - multinode: the same crawl-shaped traffic through a router fronting a
+//     two-node partitioned ring booted inside the harness, with a chaos
+//     plan that kills and rejoins one node mid-run (see multinode.go).
 const (
 	MixCrawlHeavy       = "crawl-heavy"
 	MixAuditHeavy       = "audit-heavy"
@@ -39,7 +42,7 @@ const (
 
 // MixNames lists the standard mixes in canonical order.
 func MixNames() []string {
-	return []string{MixCrawlHeavy, MixAuditHeavy, MixChurnStorm, MixCelebrityHotspot}
+	return []string{MixCrawlHeavy, MixAuditHeavy, MixChurnStorm, MixCelebrityHotspot, MixMultiNode}
 }
 
 // churnPlan describes the background platform churn a mix runs under.
@@ -49,10 +52,14 @@ type churnPlan struct {
 	purgeFraction float64
 }
 
-// mixSpec pairs a Mix with its background churn requirement.
+// mixSpec pairs a Mix with its background machinery: platform churn, a
+// chaos plan (the multinode kill/rejoin), and any teardown the mix's
+// private infrastructure needs after the run.
 type mixSpec struct {
-	mix   Mix
-	churn *churnPlan
+	mix     Mix
+	churn   *churnPlan
+	chaos   func(ctx context.Context, d time.Duration) error
+	cleanup func()
 }
 
 // buildMix assembles the named mix over this harness.
@@ -86,6 +93,19 @@ func (h *Harness) buildMix(name string, seed uint64) (mixSpec, error) {
 			return mixSpec{}, err
 		}
 		return mixSpec{mix: mix}, nil
+	case MixMultiNode:
+		if h.store == nil {
+			return mixSpec{}, fmt.Errorf("mix %s needs an in-process platform to partition", name)
+		}
+		cluster, err := h.newMultiCluster(multinodeNodes)
+		if err != nil {
+			return mixSpec{}, err
+		}
+		return mixSpec{
+			mix:     newMultiMix(h, rnd, cluster),
+			chaos:   cluster.chaosPlan,
+			cleanup: cluster.close,
+		}, nil
 	default:
 		return mixSpec{}, fmt.Errorf("unknown mix %q (have %v)", name, MixNames())
 	}
@@ -104,6 +124,9 @@ func (h *Harness) RunMixWith(ctx context.Context, name string, p Pattern, d time
 	spec, err := h.buildMix(name, drand.New(h.seed).SeedFor("loadgen/"+name))
 	if err != nil {
 		return Result{}, err
+	}
+	if spec.cleanup != nil {
+		defer spec.cleanup()
 	}
 	if col == nil {
 		// Allocate the collector here rather than inside RunWith so the
@@ -124,9 +147,19 @@ func (h *Harness) RunMixWith(ctx context.Context, name string, p Pattern, d time
 			churnDone <- churnOutcome{a, r, err}
 		}()
 	}
+	chaosDone := make(chan error, 1)
+	if spec.chaos != nil {
+		go func() { chaosDone <- spec.chaos(churnCtx, d) }()
+	}
 
 	res := RunWith(ctx, spec.mix, p, d, maxInFlight, col)
 
+	if spec.chaos != nil {
+		stopChurn()
+		if err := <-chaosDone; err != nil {
+			return res, fmt.Errorf("chaos plan: %w", err)
+		}
+	}
 	if spec.churn != nil {
 		stopChurn()
 		outcome := <-churnDone

@@ -117,6 +117,39 @@ function renderTiles(flat, dt) {
   const throttled = sumOver(flat, "ratelimit_throttled_total", "value");
   if (throttled != null && throttled > 0) tiles.push(["throttled", fmtCount(throttled)]);
 
+  /* routing tier: present only when the scrape is a routerd */
+  let backendsUp = 0, backendsTotal = 0;
+  for (const s of flat.values()) {
+    if (s.name === "router_backend_healthy" && s.value != null) {
+      backendsTotal++;
+      backendsUp += s.value;
+    }
+  }
+  if (backendsTotal > 0) {
+    tiles.push(["backends up", `${fmtCount(backendsUp)} <small>/ ${fmtCount(backendsTotal)}</small>`]);
+    let hedgeRate = 0;
+    for (const [key, s] of flat) {
+      if (s.name === "router_hedges_total") {
+        const r = rateOf(flat, key, dt);
+        if (r != null) hedgeRate += r;
+      }
+    }
+    const hedges = sumOver(flat, "router_hedges_total", "value");
+    const hedgeWins = sumOver(flat, "router_hedge_wins_total", "value");
+    if (hedges != null) {
+      tiles.push(["hedges", fmtRate(hedgeRate) +
+        (hedgeWins != null ? ` <small>(${fmtCount(hedgeWins)} won)</small>` : "")]);
+    }
+    const failovers = sumOver(flat, "router_failovers_total", "value");
+    if (failovers != null && failovers > 0) tiles.push(["failovers", fmtCount(failovers)]);
+    const ejections = sumOver(flat, "router_ejections_total", "value");
+    if (ejections != null && ejections > 0) {
+      const readmissions = sumOver(flat, "router_readmissions_total", "value");
+      tiles.push(["ejections", fmtCount(ejections) +
+        (readmissions != null ? ` <small>(${fmtCount(readmissions)} back)</small>` : "")]);
+    }
+  }
+
   /* durability plane: present only when the store runs on a WAL */
   let walRate = 0, walTotal = null;
   for (const [key, s] of flat) {

@@ -1,0 +1,99 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+// Backend health: a backend is routable until it fails FailThreshold
+// attempts in a row, where a failure is a transport error or a 5xx — a 429
+// or any other 4xx is the backend doing its job and never counts. Ejected
+// backends are readmitted by the probe loop the moment a GET /healthz
+// succeeds; ejection only steers new attempts, it never cancels in-flight
+// ones, so a blip costs at most the attempts already racing.
+
+// boolFlag and intCounter are thin atomics named for what they mean here.
+type boolFlag struct{ v atomic.Bool }
+
+func (f *boolFlag) get() bool        { return f.v.Load() }
+func (f *boolFlag) set(b bool)       { f.v.Store(b) }
+func (f *boolFlag) swap(b bool) bool { return f.v.Swap(b) }
+
+type intCounter struct{ v atomic.Int32 }
+
+func (c *intCounter) add() int32 { return c.v.Add(1) }
+func (c *intCounter) reset()     { c.v.Store(0) }
+
+// onResult feeds one upstream attempt's outcome into b's health state.
+func (rt *Router) onResult(b *backend, status int, err error) {
+	if err == nil && status < http.StatusInternalServerError {
+		b.fails.reset()
+		return
+	}
+	if int(b.fails.add()) < rt.cfg.FailThreshold {
+		return
+	}
+	if b.healthy.swap(false) {
+		// First observer of the threshold crossing records the ejection.
+		if rt.m.ejections != nil {
+			rt.m.ejections[b.index].Inc()
+		}
+		if b.healthyG != nil {
+			b.healthyG.Set(0)
+		}
+	}
+}
+
+// probeOnce health-checks every ejected backend and readmits the ones that
+// answer. Exposed to in-package tests so virtual-clock suites can drive
+// readmission without a running probe loop.
+func (rt *Router) probeOnce(ctx context.Context) {
+	for _, b := range rt.backends {
+		if b.healthy.get() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		drainClose(resp)
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		b.fails.reset()
+		if !b.healthy.swap(true) {
+			if rt.m.readmissions != nil {
+				rt.m.readmissions[b.index].Inc()
+			}
+			if b.healthyG != nil {
+				b.healthyG.Set(1)
+			}
+		}
+	}
+}
+
+// probeLoop paces probeOnce at ProbeInterval until Close. It runs only on
+// a real clock (a virtual clock's Sleep returns immediately and would spin;
+// virtual-time tests disable the loop and call probeOnce directly).
+func (rt *Router) probeLoop() {
+	defer rt.inflight.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-rt.stop
+		cancel()
+	}()
+	for {
+		rt.clock.Sleep(rt.cfg.ProbeInterval)
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+		rt.probeOnce(ctx)
+	}
+}

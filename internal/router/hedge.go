@@ -1,0 +1,203 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"fakeproject/internal/metrics"
+)
+
+// Request execution: every routed request runs through do(), which knows
+// three tricks for hiding a sick backend from the client:
+//
+//   - failover — a hard failure (transport error or 5xx) retries once on
+//     the secondary holder before anything reaches the client;
+//   - hedging — if the primary is merely slow, a duplicate fires at the
+//     secondary after the hedge delay and the first good answer wins;
+//   - pass-through otherwise — a 2xx/3xx/4xx (429 included) is the backend
+//     speaking and is relayed verbatim.
+//
+// The hedge delay tracks the fleet: with no explicit override it is the
+// observed p99 of upstream attempts, clamped to [HedgeMin, HedgeMax], so
+// roughly 1% of reads hedge — the classic tail-at-scale dial.
+
+// upstreamResponse is one backend's buffered answer. Bodies are small
+// (bounded pages) so buffering is what makes racing two attempts safe: the
+// loser's connection can be torn down without corrupting the winner.
+type upstreamResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// hedgeDefault is the hedge delay used before enough samples accumulate.
+const hedgeDefault = 10 * time.Millisecond
+
+// hedgeWarmup is how many upstream samples the p99 needs before it drives
+// the hedge delay.
+const hedgeWarmup = 100
+
+// do executes orig against primary, failing over and (when canHedge)
+// hedging to secondary. It returns the winning upstream response; a nil
+// response with an error means no backend produced an HTTP answer at all.
+func (rt *Router) do(ctx context.Context, orig *http.Request, primary, secondary *backend, canHedge bool) (*upstreamResponse, error) {
+	var body []byte
+	if orig.Body != nil {
+		body, _ = io.ReadAll(orig.Body)
+		orig.Body.Close()
+	}
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	type result struct {
+		resp *upstreamResponse
+		err  error
+		from *backend
+	}
+	// Buffered to the maximum attempt count so abandoned attempts never
+	// block on send and the inflight WaitGroup always drains.
+	resCh := make(chan result, 2)
+	launch := func(b *backend) {
+		rt.inflight.Add(1)
+		go func() {
+			defer rt.inflight.Done()
+			resp, err := rt.attempt(ctx, orig, b, body)
+			resCh <- result{resp, err, b}
+		}()
+	}
+
+	launch(primary)
+	pending := 1
+	triedSecondary := secondary == nil
+
+	var hedgeCh chan struct{}
+	if canHedge && !triedSecondary && rt.cfg.HedgeDelay >= 0 {
+		hedgeCh = make(chan struct{}, 1)
+		delay := rt.hedgeDelay()
+		rt.inflight.Add(1)
+		go func() {
+			defer rt.inflight.Done()
+			rt.clock.Sleep(delay)
+			hedgeCh <- struct{}{}
+		}()
+	}
+	hedged := false
+
+	var fallback *upstreamResponse // best bad answer, relayed if nothing wins
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-hedgeCh:
+			hedgeCh = nil
+			if !triedSecondary && secondary.healthy.get() {
+				triedSecondary, hedged = true, true
+				incr(rt.m.hedges)
+				launch(secondary)
+				pending++
+			}
+		case r := <-resCh:
+			pending--
+			if r.err == nil && r.resp.status < http.StatusInternalServerError {
+				if hedged && r.from == secondary {
+					incr(rt.m.hedgeWins)
+				}
+				return r.resp, nil
+			}
+			if r.err != nil {
+				lastErr = r.err
+			} else if fallback == nil {
+				fallback = r.resp
+			}
+			if !triedSecondary {
+				triedSecondary = true
+				incr(rt.m.failovers)
+				launch(secondary)
+				pending++
+			}
+		}
+	}
+	if fallback != nil {
+		// Both attempts answered 5xx: relay the backend's words rather than
+		// inventing our own.
+		return fallback, nil
+	}
+	return nil, lastErr
+}
+
+// attempt runs one upstream request against b, buffering the body and
+// feeding latency and health bookkeeping.
+func (rt *Router) attempt(ctx context.Context, orig *http.Request, b *backend, body []byte) (*upstreamResponse, error) {
+	var br io.Reader
+	if body != nil {
+		br = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, orig.Method, b.base+orig.URL.RequestURI(), br)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = orig.Header.Clone()
+	req.Header.Del("Connection")
+	start := rt.clock.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// A loser torn down after the race is decided arrives here with a
+		// cancelled context; that is the router's doing, not the backend's
+		// — only count failures the backend earned.
+		if ctx.Err() == nil {
+			rt.onResult(b, 0, err)
+		}
+		return nil, err
+	}
+	rb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		if ctx.Err() == nil {
+			rt.onResult(b, 0, err)
+		}
+		return nil, err
+	}
+	rt.m.upstream.Record(rt.clock.Now().Sub(start))
+	rt.onResult(b, resp.StatusCode, nil)
+	return &upstreamResponse{status: resp.StatusCode, header: resp.Header, body: rb}, nil
+}
+
+// hedgeDelay picks the current hedge delay: the configured override when
+// set, else the upstream p99 clamped to [HedgeMin, HedgeMax] once enough
+// samples exist, else a conservative default.
+func (rt *Router) hedgeDelay() time.Duration {
+	if d := rt.cfg.HedgeDelay; d > 0 {
+		return d
+	}
+	h := rt.m.upstream
+	if h.Count() < hedgeWarmup {
+		return clampDur(hedgeDefault, rt.cfg.HedgeMin, rt.cfg.HedgeMax)
+	}
+	return clampDur(h.Quantile(0.99), rt.cfg.HedgeMin, rt.cfg.HedgeMax)
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// incr bumps a counter that may be nil (no registry configured).
+func incr(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// drainClose discards and closes a response body so the connection can be
+// reused.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,116 @@
+package router
+
+import "testing"
+
+func TestRingPartition(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 4, 5, 64} {
+		r := NewRing(64, nodes)
+		// Ranges tile the slot space exactly.
+		covered := 0
+		for i := 0; i < nodes; i++ {
+			lo, hi := r.OwnedRange(i)
+			if hi < lo {
+				t.Fatalf("nodes=%d: node %d range [%d,%d) inverted", nodes, i, lo, hi)
+			}
+			covered += hi - lo
+			for s := lo; s < hi; s++ {
+				if got := r.Owner(s); got != i {
+					t.Fatalf("nodes=%d: slot %d owner %d, want %d", nodes, s, got, i)
+				}
+			}
+		}
+		if covered != 64 {
+			t.Fatalf("nodes=%d: ranges cover %d slots, want 64", nodes, covered)
+		}
+	}
+}
+
+func TestRingSecondaryDistinct(t *testing.T) {
+	r := NewRing(64, 4)
+	for s := 0; s < 64; s++ {
+		if r.Secondary(s) == r.Owner(s) {
+			t.Fatalf("slot %d: secondary == owner %d with 4 nodes", s, r.Owner(s))
+		}
+	}
+	// A replica holds exactly its successor's range.
+	for i := 0; i < 4; i++ {
+		lo, hi := r.OwnedRange((i + 1) % 4)
+		for s := lo; s < hi; s++ {
+			if r.Secondary(s) != i {
+				t.Fatalf("slot %d owned by node %d: secondary %d, want replica %d", s, r.Owner(s), r.Secondary(s), i)
+			}
+		}
+	}
+	one := NewRing(64, 1)
+	if one.Secondary(7) != one.Owner(7) {
+		t.Fatal("single-node ring must collapse secondary onto the owner")
+	}
+}
+
+func TestRingKeep(t *testing.T) {
+	r := NewRing(64, 4)
+	for id := int64(1); id <= 256; id++ {
+		s := r.Slot(id)
+		holders := 0
+		for node := 0; node < 4; node++ {
+			if r.Keep(node, id) {
+				holders++
+				if node != r.Owner(s) && node != r.Secondary(s) {
+					t.Fatalf("id %d (slot %d) kept by non-holder node %d", id, s, node)
+				}
+			}
+		}
+		if holders != 2 {
+			t.Fatalf("id %d held by %d nodes, want primary + replica", id, holders)
+		}
+	}
+}
+
+// FuzzRingLookup drives arbitrary ring configurations: construction never
+// panics, every lookup is total (slot, owner and secondary in range), and
+// growing the ring by one node only slides range boundaries forward —
+// owners move monotonically, so a slot never migrates backward past ranges
+// the resize did not touch.
+func FuzzRingLookup(f *testing.F) {
+	f.Add(64, 4, int64(17))
+	f.Add(0, 0, int64(-5))
+	f.Add(1, 9, int64(1))
+	f.Add(1<<16, 1000, int64(1<<40))
+	f.Fuzz(func(t *testing.T, slots, nodes int, id int64) {
+		if slots > 1<<20 {
+			slots = 1 << 20 // keep the owner table allocatable
+		}
+		r := NewRing(slots, nodes)
+		s := r.Slot(id)
+		if s < 0 || s >= r.Slots() {
+			t.Fatalf("Slot(%d) = %d out of [0,%d)", id, s, r.Slots())
+		}
+		o := r.Owner(s)
+		if o < 0 || o >= r.Nodes() {
+			t.Fatalf("Owner(%d) = %d out of [0,%d)", s, o, r.Nodes())
+		}
+		if sec := r.Secondary(s); sec < 0 || sec >= r.Nodes() {
+			t.Fatalf("Secondary(%d) = %d out of [0,%d)", s, sec, r.Nodes())
+		}
+		if !r.Keep(o, id) {
+			t.Fatalf("owner %d does not Keep id %d", o, id)
+		}
+		if sec := r.Secondary(s); !r.Keep(sec, id) {
+			t.Fatalf("secondary %d does not Keep id %d", sec, id)
+		}
+		// Owner is monotone over slots (contiguous ranges in ring order).
+		if s+1 < r.Slots() && r.Owner(s+1) < o {
+			t.Fatalf("owner not monotone: slot %d -> %d, slot %d -> %d", s, o, s+1, r.Owner(s+1))
+		}
+		// Adding one node moves ownership only forward: every slot's owner
+		// index grows or stays, and by at most one.
+		if r.Nodes() < r.Slots() {
+			grown := NewRing(r.Slots(), r.Nodes()+1)
+			og := grown.Owner(s)
+			if og < o || og > o+1 {
+				t.Fatalf("slot %d: owner %d with %d nodes, %d with %d — moved beyond the slid boundary",
+					s, o, r.Nodes(), og, grown.Nodes())
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestParseIDListMirrorsBackend(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []int64
+		ok   bool
+	}{
+		{"", nil, false},
+		{"1", []int64{1}, true},
+		{"1,2,3", []int64{1, 2, 3}, true},
+		{" 1 , 2 ", []int64{1, 2}, true},
+		{"1,,2", nil, false},
+		{"1,x", nil, false},
+		{"5,5,5", []int64{5, 5, 5}, true},
+		{"-3", []int64{-3}, true},
+	}
+	for _, c := range cases {
+		got, ok := parseIDList(c.raw)
+		if ok != c.ok {
+			t.Errorf("parseIDList(%q) ok=%v, want %v", c.raw, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseIDList(%q) = %v, want %v", c.raw, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseIDList(%q)[%d] = %d, want %d", c.raw, i, got[i], c.want[i])
+			}
+		}
+	}
+	// The 100-ID cap is part of the wire contract.
+	big := "1"
+	for i := 2; i <= 101; i++ {
+		big += fmt.Sprintf(",%d", i)
+	}
+	if _, ok := parseIDList(big); ok {
+		t.Error("parseIDList accepted 101 ids; the backend would reject them")
+	}
+}
+
+// fakeLookupBody renders what a backend returns for a subset: the known
+// IDs, in subset order, unknowns dropped, compact elements.
+func fakeLookupBody(sub []int64, known func(int64) bool) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	n := 0
+	for _, id := range sub {
+		if !known(id) {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":%d,"id_str":"%d"}`, id, id)
+		n++
+	}
+	b.WriteString("]\n")
+	return b.Bytes()
+}
+
+func TestMergeLookupMatchesSingleNode(t *testing.T) {
+	known := func(id int64) bool { return id%7 != 0 }
+	ids := []int64{1, 40, 2, 2, 14, 41, 3, 77, 40}
+	// Two groups split like serveLookup would: ring(64, 2) owners.
+	r := NewRing(64, 2)
+	groupOf := make([]int, len(ids))
+	var subs [2][]int64
+	for i, id := range ids {
+		g := r.Owner(r.Slot(id))
+		groupOf[i] = g
+		subs[g] = append(subs[g], id)
+	}
+	bodies := [][]byte{
+		fakeLookupBody(subs[0], known),
+		fakeLookupBody(subs[1], known),
+	}
+	got, err := mergeLookup(ids, groupOf, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fakeLookupBody(ids, known) // what one node holding everything says
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merge mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// FuzzScatterMerge checks the merge invariants two ways. With well-formed
+// per-group bodies derived from the fuzzed ID list, the merge must
+// byte-match the single-node rendering (order preserved, duplicates
+// preserved, unknowns dropped). With the raw fuzz bytes as bodies, it must
+// never panic, and any successful merge must be a valid JSON array that
+// uses no source element twice.
+func FuzzScatterMerge(f *testing.F) {
+	f.Add("1,2,3", uint64(0), []byte(`[{"id":1}]`))
+	f.Add("14,7,21,7", uint64(3), []byte(`not json`))
+	f.Add("5,5,5,9", uint64(1), []byte(`[{"id":5},{"id":5}]`))
+	f.Fuzz(func(t *testing.T, raw string, seed uint64, rawBody []byte) {
+		ids, ok := parseIDList(raw)
+		if !ok || len(ids) == 0 {
+			return
+		}
+		nodes := int(seed%4) + 1
+		r := NewRing(64, nodes)
+		known := func(id int64) bool { return (uint64(id)+seed)%3 != 0 }
+
+		// Group exactly like serveLookup: by owner, first appearance order.
+		ownerGroup := map[int]int{}
+		groupOf := make([]int, len(ids))
+		var subs [][]int64
+		for i, id := range ids {
+			o := r.Owner(r.Slot(id))
+			g, seen := ownerGroup[o]
+			if !seen {
+				g = len(subs)
+				ownerGroup[o] = g
+				subs = append(subs, nil)
+			}
+			groupOf[i] = g
+			subs[g] = append(subs[g], id)
+		}
+		bodies := make([][]byte, len(subs))
+		for g := range subs {
+			bodies[g] = fakeLookupBody(subs[g], known)
+		}
+		got, err := mergeLookup(ids, groupOf, bodies)
+		if err != nil {
+			t.Fatalf("well-formed merge failed: %v", err)
+		}
+		if want := fakeLookupBody(ids, known); !bytes.Equal(got, want) {
+			t.Fatalf("merge diverged from single node:\n got %s\nwant %s", got, want)
+		}
+
+		// Hostile bodies: same grouping, arbitrary bytes in group 0.
+		bodies[0] = rawBody
+		out, err := mergeLookup(ids, groupOf, bodies)
+		if err != nil {
+			return // rejected, fine
+		}
+		var arr []json.RawMessage
+		if jsonErr := json.Unmarshal(out, &arr); jsonErr != nil {
+			t.Fatalf("merge of hostile body produced invalid JSON: %v\n%s", jsonErr, out)
+		}
+		total := 0
+		for _, b := range bodies {
+			var src []json.RawMessage
+			if json.Unmarshal(b, &src) == nil {
+				total += len(src)
+			}
+		}
+		if len(arr) > total {
+			t.Fatalf("merge emitted %d elements from %d available — duplicated", len(arr), total)
+		}
+	})
+}

@@ -190,6 +190,14 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 // operator-facing shard-heat counters exactly where platform traffic put
 // them.
 func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
+	return s.writeSnapshot(w, atCut, nil)
+}
+
+// writeSnapshot is the shared writer behind WriteSnapshotWith and
+// WriteSnapshotRange: keep, when non-nil, filters which targets' heavy
+// state is emitted (records and names always cover the full account space,
+// so the stream stays a loadable v5 snapshot).
+func (s *Store) writeSnapshot(w io.Writer, atCut func() error, keep func(UserID) bool) error {
 	s.createMu.Lock()
 	defer s.createMu.Unlock()
 	s.rlockAll()
@@ -204,6 +212,9 @@ func (s *Store) WriteSnapshotWith(w io.Writer, atCut func() error) error {
 	var targetIDs []int64
 	for si := range s.shards {
 		for id := range *s.shards[si].targets.Load() {
+			if keep != nil && !keep(id) {
+				continue
+			}
 			targetIDs = append(targetIDs, int64(id))
 		}
 	}
@@ -343,6 +354,14 @@ func LoadSnapshotFile(path string, clock simclock.Clock, opts ...Option) (*Store
 // through the non-counting shard accessor, so a boot-from-snapshot starts
 // with all shard-heat counters at zero.
 func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, error) {
+	return readSnapshot(r, clock, nil, opts...)
+}
+
+// readSnapshot is the shared reader behind ReadSnapshot and
+// ReadSnapshotRange: keep, when non-nil, selects which targets' heavy state
+// is installed, with every target's observable override counts folded into
+// its record first (see persist_range.go).
+func readSnapshot(r io.Reader, clock simclock.Clock, keep func(UserID) bool, opts ...Option) (*Store, error) {
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var snap snapshot
 	if err := dec.Decode(&snap); err != nil {
@@ -432,12 +451,28 @@ func ReadSnapshot(r io.Reader, clock simclock.Clock, opts ...Option) (*Store, er
 			if err := dec.Decode(&pt); err != nil {
 				return nil, fmt.Errorf("%w: target value: %v", ErrBadSnapshot, err)
 			}
+			if keep != nil {
+				if err := foldTargetCounts(store, &pt, snap.Version, n); err != nil {
+					return nil, err
+				}
+				if !keep(UserID(pt.ID)) {
+					continue
+				}
+			}
 			if err := installTarget(store, &pt, snap.Version, n); err != nil {
 				return nil, err
 			}
 		}
 	} else {
 		for i := range snap.Targets {
+			if keep != nil {
+				if err := foldTargetCounts(store, &snap.Targets[i], snap.Version, n); err != nil {
+					return nil, err
+				}
+				if !keep(UserID(snap.Targets[i].ID)) {
+					continue
+				}
+			}
 			if err := installTarget(store, &snap.Targets[i], snap.Version, n); err != nil {
 				return nil, err
 			}

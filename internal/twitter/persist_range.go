@@ -1,0 +1,97 @@
+package twitter
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"fakeproject/internal/simclock"
+)
+
+// Range snapshots: the partitioned multi-node deployment splits one
+// canonical v5 snapshot across a ring of nodes. Every node loads the full
+// record and name space (a record is ~40 bytes, so even a 10M-account
+// universe costs a few hundred MB everywhere, and profiles, name lookups
+// and the synthetic-friends permutation stay globally consistent), but the
+// heavy per-target state — edge segments, explicit tweets, materialised
+// friend lists, removal logs — is installed only for the accounts the node
+// owns or replicates.
+//
+// The one observable that would leak a target's absence is its profile:
+// profiles override the record's synthetic followers/friends counters with
+// the materialised state when it exists. ReadSnapshotRange therefore folds
+// those override counts into every target's record — uniformly, owned or
+// not — so a profile served from any node is a pure function of record and
+// name, byte-identical ring-wide. Folding is uniform on purpose: it keeps
+// the record space identical across all holders of a range, which is what
+// makes WriteSnapshotRange exports comparable byte-for-byte between a
+// range's primary and its replica.
+
+// WriteSnapshotRange serialises the store with all records and names but
+// only the targets keep selects — the ownership-transfer stream a node
+// exports for a range it holds. The output is a loadable v5 snapshot and
+// is canonical: two stores holding the same records and the same kept
+// targets produce identical bytes, regardless of what other targets each
+// happens to hold.
+func (s *Store) WriteSnapshotRange(w io.Writer, keep func(UserID) bool) error {
+	if keep == nil {
+		return s.writeSnapshot(w, nil, nil)
+	}
+	return s.writeSnapshot(w, nil, keep)
+}
+
+// ReadSnapshotRange reconstructs a partial Store from a snapshot: all
+// records and names load, every target's override counts are folded into
+// its record (see the package comment above), and only targets selected by
+// keep get their heavy state installed. A nil keep folds every target and
+// installs them all — the configuration the single-node baseline of the
+// cross-topology differential tests loads, so its exports compare
+// byte-for-byte with the partial nodes'.
+func ReadSnapshotRange(r io.Reader, clock simclock.Clock, keep func(UserID) bool, opts ...Option) (*Store, error) {
+	if keep == nil {
+		keep = func(UserID) bool { return true }
+	}
+	return readSnapshot(r, clock, keep, opts...)
+}
+
+// LoadSnapshotRangeFile is ReadSnapshotRange over a snapshot file, with the
+// operator-facing error translation of LoadSnapshotFile.
+func LoadSnapshotRangeFile(path string, clock simclock.Clock, keep func(UserID) bool, opts ...Option) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("twitter: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	store, err := ReadSnapshotRange(f, clock, keep, opts...)
+	if err != nil {
+		return nil, fmt.Errorf(
+			"twitter: snapshot %s is not loadable: %w (this build writes snapshot v%d and reads v%d through v%d; regenerate with genpop if the file predates v%d or is truncated)",
+			path, err, snapshotVersion, minSnapshotVersion, snapshotVersion, minSnapshotVersion)
+	}
+	return store, nil
+}
+
+// foldTargetCounts rewrites pt's record so the profile the record alone
+// produces matches the profile the materialised state would: the followers
+// counter becomes the live edge count whenever an edge was ever
+// materialised (the same "ever" rule profileIn applies — a target promoted
+// by tweets or friends alone keeps its synthetic counter), and the friends
+// counter becomes the materialised list's length whenever SetFriends ran.
+func foldTargetCounts(store *Store, pt *persistTarget, version, n int) error {
+	if pt.ID < 1 || int(pt.ID) > n {
+		return fmt.Errorf("%w: target %d out of range", ErrBadSnapshot, pt.ID)
+	}
+	edgeN, removedN := int64(len(pt.Follows)), int64(len(pt.Removed))
+	if version >= 5 {
+		edgeN, removedN = pt.EdgeN, pt.RemovedN
+	}
+	id := UserID(pt.ID)
+	rec := &store.shardOf(id).recs[store.slotFor(id)]
+	if edgeN > 0 || removedN > 0 {
+		rec.followers = int32(edgeN)
+	}
+	if pt.FriendsSet || pt.Friends != nil {
+		rec.friends = int32(len(pt.Friends))
+	}
+	return nil
+}
